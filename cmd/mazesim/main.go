@@ -1,0 +1,87 @@
+// Command mazesim is the CSE101 maze environment on the command line:
+// generate a maze, run a navigation algorithm or a drop-down command
+// program against it, and print the result.
+//
+//	mazesim -size 15 -seed 7 -alg two-distance-greedy
+//	mazesim -size 9 -program prog.txt
+//	mazesim -size 11 -dot             # print the Figure 2 FSM
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"soc/internal/maze"
+	"soc/internal/nav"
+	"soc/internal/robot"
+)
+
+func main() {
+	size := flag.Int("size", 15, "maze size (square)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	gen := flag.String("gen", "dfs", "generator: dfs|prim|division")
+	alg := flag.String("alg", nav.AlgTwoDistance, "navigation algorithm: "+strings.Join(nav.Algorithms(), "|"))
+	programPath := flag.String("program", "", "run a drop-down command program file instead of an algorithm")
+	budget := flag.Int("budget", 50000, "step budget")
+	dot := flag.Bool("dot", false, "print the two-distance FSM in DOT and exit")
+	flag.Parse()
+
+	if *dot {
+		fmt.Print(nav.TwoDistanceDOT())
+		return
+	}
+	var algorithm maze.Algorithm
+	switch *gen {
+	case "dfs":
+		algorithm = maze.DFS
+	case "prim":
+		algorithm = maze.Prim
+	case "division":
+		algorithm = maze.Division
+	default:
+		log.Fatalf("mazesim: unknown generator %q", *gen)
+	}
+	m, err := maze.Generate(*size, *size, algorithm, *seed)
+	if err != nil {
+		log.Fatalf("mazesim: %v", err)
+	}
+	r, err := robot.New(m)
+	if err != nil {
+		log.Fatalf("mazesim: %v", err)
+	}
+	fmt.Println(m.String())
+
+	ctx := context.Background()
+	if *programPath != "" {
+		src, err := os.ReadFile(*programPath)
+		if err != nil {
+			log.Fatalf("mazesim: %v", err)
+		}
+		prog, err := robot.ParseProgram(string(src))
+		if err != nil {
+			log.Fatalf("mazesim: %v", err)
+		}
+		runErr := prog.Run(ctx, r, *budget)
+		fmt.Printf("program: atGoal=%v steps=%d turns=%d bumps=%d", r.AtGoal(), r.Steps(), r.Turns(), r.Bumps())
+		if runErr != nil {
+			fmt.Printf(" error=%v", runErr)
+		}
+		fmt.Println()
+		return
+	}
+
+	ctrl, err := nav.New(*alg, *seed)
+	if err != nil {
+		log.Fatalf("mazesim: %v", err)
+	}
+	ep, err := nav.Run(ctx, ctrl, r, *budget)
+	if err != nil {
+		log.Fatalf("mazesim: %v", err)
+	}
+	fmt.Printf("%s: solved=%v steps=%d (optimal %d) turns=%d visited=%d bumps=%d\n",
+		ep.Algorithm, ep.Solved, ep.Steps, ep.Optimal, ep.Turns, ep.Visited, ep.Bumps)
+}

@@ -1,0 +1,87 @@
+// Command svccrawl runs the service crawler against seed directory pages,
+// prints discovered services, optionally publishes them into a remote
+// registry, and optionally monitors endpoint availability.
+//
+//	svccrawl -seeds http://host/dir.html
+//	svccrawl -seeds http://host/dir.html -registry http://host:8080
+//	svccrawl -monitor http://host/services/Calc,http://other/svc -rounds 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"soc/internal/crawler"
+	"soc/internal/registry"
+)
+
+func main() {
+	seeds := flag.String("seeds", "", "comma-separated seed page URLs")
+	registryURL := flag.String("registry", "", "publish discoveries to this registry base URL")
+	monitor := flag.String("monitor", "", "comma-separated endpoints to monitor instead of crawling")
+	rounds := flag.Int("rounds", 3, "monitoring rounds")
+	interval := flag.Duration("interval", time.Second, "monitoring interval")
+	sameHost := flag.Bool("same-host", true, "restrict crawl to the seeds' hosts")
+	flag.Parse()
+
+	ctx := context.Background()
+	if *monitor != "" {
+		urls := splitList(*monitor)
+		mon := crawler.NewMonitor(nil)
+		for i := 0; i < *rounds; i++ {
+			mon.CheckAll(ctx, urls)
+			if i < *rounds-1 {
+				time.Sleep(*interval)
+			}
+		}
+		fmt.Printf("%-50s %7s %8s %12s %s\n", "endpoint", "checks", "uptime", "mean RTT", "last error")
+		for _, st := range mon.Stats() {
+			fmt.Printf("%-50s %7d %7.0f%% %12v %s\n",
+				st.URL, st.Checks, st.Uptime()*100, st.MeanRTT().Round(time.Millisecond), st.LastError)
+		}
+		return
+	}
+
+	if *seeds == "" {
+		log.Fatal("svccrawl: -seeds or -monitor required")
+	}
+	found, err := crawler.Crawl(ctx, splitList(*seeds), crawler.Config{SameHostOnly: *sameHost})
+	if err != nil {
+		log.Fatalf("svccrawl: %v", err)
+	}
+	fmt.Printf("discovered %d services:\n", len(found))
+	for _, d := range found {
+		fmt.Printf("  %-20s %-5s %-40s ops=%s\n", d.Name, d.Kind, d.URL, strings.Join(d.Operations, ","))
+	}
+	if *registryURL != "" {
+		client := registry.NewClient(*registryURL)
+		published := 0
+		for _, d := range found {
+			err := client.Publish(ctx, registry.Entry{
+				Name: d.Name, Namespace: d.Namespace, Doc: d.Doc,
+				Endpoint: d.URL, Bindings: []string{d.Kind},
+				Operations: d.Operations, Provider: "svccrawl",
+			})
+			if err != nil {
+				log.Printf("svccrawl: publish %s: %v", d.Name, err)
+				continue
+			}
+			published++
+		}
+		fmt.Printf("published %d/%d to %s\n", published, len(found), *registryURL)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestBuildServerEndpoints(t *testing.T) {
+	mux, h, err := buildServer(t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Names()); got != 12 { // 11 catalog services + Robot
+		t.Errorf("mounted services = %d, want 12", got)
+	}
+	server := httptest.NewServer(mux)
+	defer server.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(server.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	status, body := get("/")
+	if status != http.StatusOK || !strings.Contains(body, "service repository") {
+		t.Errorf("index: %d %q", status, body)
+	}
+	status, body = get("/services")
+	if status != http.StatusOK || !strings.Contains(body, "Encryption") || !strings.Contains(body, "Robot") {
+		t.Errorf("services: %d", status)
+	}
+	status, body = get("/services/Encryption?wsdl")
+	if status != http.StatusOK || !strings.Contains(body, "wsdl:definitions") {
+		t.Errorf("wsdl: %d", status)
+	}
+	status, body = get("/registry/search?q=mortgage")
+	if status != http.StatusOK || !strings.Contains(body, "Mortgage") {
+		t.Errorf("search: %d %s", status, body)
+	}
+	status, body = get("/app/")
+	if status != http.StatusOK || !strings.Contains(body, "/subscribe") {
+		t.Errorf("app: %d", status)
+	}
+	status, body = get("/robot/")
+	if status != http.StatusOK || !strings.Contains(body, "WHILE NOT_GOAL") ||
+		!strings.Contains(body, "/services/Robot/invoke/") {
+		t.Errorf("robot page: %d", status)
+	}
+	status, body = get("/services/Calc/invoke/Add")
+	if status != http.StatusNotFound {
+		t.Errorf("unknown service: %d %s", status, body)
+	}
+	if status, _ := get("/totally/unknown"); status != http.StatusNotFound {
+		t.Errorf("unknown path: %d", status)
+	}
+}
+
+func TestBuildServerBadDataDir(t *testing.T) {
+	if _, _, err := buildServer("", ""); err == nil {
+		t.Error("empty dataDir accepted")
+	}
+}

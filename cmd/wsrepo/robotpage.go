@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"net/http"
+)
+
+// robotPage is the Figure 1 web programming environment: a page where a
+// maze-navigation program is composed from drop-down commands and run
+// against the Robot-as-a-Service REST API, with the maze rendered back.
+const robotPage = `<!DOCTYPE html>
+<html>
+<head><title>Web Robotics Programming Environment</title>
+<style>
+ body { font-family: monospace; margin: 2em; }
+ pre  { background: #f4f4f4; padding: 1em; }
+ select, button, textarea { font-family: monospace; margin: 2px; }
+ textarea { width: 30em; height: 12em; }
+</style>
+</head>
+<body>
+<h1>Web Robotics Programming Environment</h1>
+<p>Compose a program from the drop-down commands (Figure 1 of the course
+paper), then run it against the simulated robot.</p>
+
+<label>Add command:
+<select id="cmd">
+  <option>FORWARD</option>
+  <option>LEFT</option>
+  <option>RIGHT</option>
+  <option>WHILE NOT_GOAL</option>
+  <option>IF FRONT_OPEN</option>
+  <option>IF FRONT_BLOCKED</option>
+  <option>IF LEFT_OPEN</option>
+  <option>IF RIGHT_OPEN</option>
+  <option>ELSE</option>
+  <option>END</option>
+  <option>REPEAT 5</option>
+</select></label>
+<button onclick="addCmd()">add</button>
+<button onclick="document.getElementById('prog').value=''">clear</button>
+<button onclick="wallFollower()">load wall follower</button>
+<br>
+<textarea id="prog"></textarea><br>
+<button onclick="run()">new maze + run program</button>
+<pre id="maze">(no maze yet)</pre>
+<pre id="result"></pre>
+
+<script>
+function addCmd() {
+  var t = document.getElementById('prog');
+  t.value += document.getElementById('cmd').value + '\n';
+}
+function wallFollower() {
+  document.getElementById('prog').value =
+    'WHILE NOT_GOAL\nIF RIGHT_OPEN\nRIGHT\nFORWARD\nELSE\n' +
+    'IF FRONT_OPEN\nFORWARD\nELSE\nLEFT\nEND\nEND\nEND\n';
+}
+async function invoke(op, args) {
+  var resp = await fetch('/services/Robot/invoke/' + op, {
+    method: 'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify(args)
+  });
+  return resp.json();
+}
+async function run() {
+  var created = await invoke('CreateMaze',
+    {width: 11, height: 11, algorithm: 'dfs', seed: Date.now() % 100000});
+  var session = created.session;
+  var rendered = await invoke('Render', {session: session});
+  document.getElementById('maze').textContent = rendered.maze;
+  var res = await invoke('RunProgram',
+    {session: session, program: document.getElementById('prog').value});
+  document.getElementById('result').textContent =
+    'ok=' + res.ok + ' atGoal=' + res.atGoal + ' steps=' + res.steps +
+    (res.error ? ('\nerror: ' + res.error) : '');
+  await invoke('CloseSession', {session: session});
+}
+</script>
+</body>
+</html>`
+
+func robotPageHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, robotPage)
+}

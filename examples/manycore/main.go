@@ -1,0 +1,77 @@
+// Manycore: the CSE445 multithreading unit's performance study — validate
+// the Collatz conjecture sequentially, with static partitioning, and with
+// TBB-style dynamic scheduling, then project the scaling to 32 cores with
+// the virtual-time executor (the paper's Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"soc/internal/collatz"
+	"soc/internal/perf"
+	"soc/internal/vtime"
+)
+
+func main() {
+	const lo, hi = 1, 500_001
+	fmt.Printf("validating Collatz for [%d, %d) on %d host cores\n\n", lo, hi, runtime.GOMAXPROCS(0))
+
+	seq, err := collatz.ValidateSeq(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %d numbers verified, longest trajectory %d steps (at %d)\n\n",
+		seq.Verified, seq.MaxSteps, seq.MaxAt)
+
+	// Static vs dynamic scheduling: the irregular trajectory lengths are
+	// why dynamic chunking wins.
+	workers := runtime.GOMAXPROCS(0)
+	measure := func(name string, fn func() (collatz.Result, error)) time.Duration {
+		stats, err := perf.Measure(3, func() {
+			r, err := fn()
+			if err != nil || r.TotalSteps != seq.TotalSteps {
+				log.Fatalf("%s: %v", name, err)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %v\n", name, stats.Min)
+		return stats.Min
+	}
+	t1 := measure("1-core", func() (collatz.Result, error) { return collatz.ValidateSeq(lo, hi) })
+	measure("static", func() (collatz.Result, error) { return collatz.ValidateStatic(lo, hi, workers) })
+	td := measure("dynamic", func() (collatz.Result, error) { return collatz.ValidateDynamic(lo, hi, workers) })
+	s, _ := perf.Speedup(t1, td)
+	e, _ := perf.Efficiency(t1, td, workers)
+	fmt.Printf("\ndynamic on %d cores: speedup %.2fx, efficiency %.0f%%\n\n", workers, s, e*100)
+
+	// Virtual-time projection to the paper's 32 cores.
+	tasks, err := collatz.Tasks(lo, hi, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, t := range tasks {
+		total += t.Cost
+	}
+	ex, err := vtime.NewExecutor(vtime.Config{
+		DispatchOverhead: 6, CoreStartup: 2000,
+		SerialWork: int64(0.025 * float64(total)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := ex.Scaling(tasks, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("virtual-time projection (Figure 3 shape):")
+	fmt.Printf("%6s %9s %11s\n", "cores", "speedup", "efficiency")
+	for _, pt := range points {
+		fmt.Printf("%6d %9.2f %10.1f%%\n", pt.Cores, pt.Speedup, pt.Efficiency*100)
+	}
+}

@@ -1,0 +1,92 @@
+// Mazerobot: the CSE101 web robotics environment (Figure 1/2) driven
+// entirely through the Robot-as-a-Service API — create a maze, inspect it,
+// run a student-style drop-down command program, then compare the
+// navigation algorithms on the same maze.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"soc/internal/core"
+	"soc/internal/maze"
+	"soc/internal/nav"
+	"soc/internal/robot"
+)
+
+const program = `# student program: right-hand wall follower
+WHILE NOT_GOAL
+  IF RIGHT_OPEN
+    RIGHT
+    FORWARD
+  ELSE
+    IF FRONT_OPEN
+      FORWARD
+    ELSE
+      LEFT
+    END
+  END
+END`
+
+func main() {
+	ctx := context.Background()
+	svc, err := robot.NewService(robot.NewSessions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Everything below happens through service operations, exactly as
+	// the web environment's drop-down UI would call them.
+	out, err := svc.Invoke(ctx, "CreateMaze", core.Values{
+		"width": 11, "height": 11, "algorithm": "dfs", "seed": 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := out.Int("session")
+
+	render, err := svc.Invoke(ctx, "Render", core.Values{"session": session})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(render.Str("maze"))
+
+	sense, err := svc.Invoke(ctx, "Sense", core.Values{"session": session})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensors: front=%d left=%d right=%d\n\n",
+		sense.Int("front"), sense.Int("left"), sense.Int("right"))
+
+	run, err := svc.Invoke(ctx, "RunProgram", core.Values{
+		"session": session, "program": program,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program result: atGoal=%v steps=%d\n\n", run.Bool("atGoal"), run.Int("steps"))
+
+	// Now compare algorithms on fresh copies of the same maze.
+	fmt.Println("algorithm comparison on the same maze:")
+	for _, alg := range nav.Algorithms() {
+		m, err := maze.Generate(11, 11, maze.DFS, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := robot.New(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctrl, err := nav.New(alg, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ep, err := nav.Run(ctx, ctrl, r, 50000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s solved=%-5v steps=%4d (optimal %d)\n",
+			ep.Algorithm, ep.Solved, ep.Steps, ep.Optimal)
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart: the full SOA triangle in one file — define a service,
+// host it over SOAP and REST, publish it to a registry, discover it by
+// keyword, and consume it through both bindings.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"soc/internal/core"
+	"soc/internal/host"
+	"soc/internal/registry"
+)
+
+func main() {
+	// 1. Define a service: typed operations with handlers.
+	svc, err := core.NewService("Greeter", "http://example.org/greeter", "says hello")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.MustAddOperation(core.Operation{
+		Name:   "Greet",
+		Doc:    "greets a person, optionally loudly",
+		Input:  []core.Param{{Name: "name", Type: core.String}, {Name: "loud", Type: core.Bool, Optional: true}},
+		Output: []core.Param{{Name: "greeting", Type: core.String}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			g := "hello, " + in.Str("name")
+			if in.Bool("loud") {
+				g = "HELLO, " + in.Str("name") + "!!"
+			}
+			return core.Values{"greeting": g}, nil
+		},
+	})
+
+	// 2. Host it: one mount exposes SOAP, REST, and a generated WSDL.
+	h := host.New()
+	h.MustMount(svc)
+	server := httptest.NewServer(h)
+	defer server.Close()
+	h.BaseURL = server.URL
+	fmt.Println("provider:", server.URL)
+
+	// 3. Publish to the broker (service registry).
+	reg := registry.New()
+	if err := reg.Publish(registry.Entry{
+		Name: "Greeter", Namespace: svc.Namespace, Doc: svc.Doc,
+		Endpoint: server.URL + "/services/Greeter",
+		Bindings: []string{"soap", "rest"}, Operations: []string{"Greet"},
+		Provider: "quickstart",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Discover it like a client that only knows a keyword.
+	matches, err := reg.Search("hello greeter", 1)
+	if err != nil || len(matches) == 0 {
+		log.Fatalf("discovery failed: %v %v", matches, err)
+	}
+	fmt.Printf("discovered: %s at %s\n", matches[0].Entry.Name, matches[0].Entry.Endpoint)
+
+	// 5. Consume over REST...
+	ctx := context.Background()
+	client := host.NewClient(server.URL)
+	out, err := client.Call(ctx, "Greeter", "Greet", core.Values{"name": "ada"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rest :", out.Str("greeting"))
+
+	// ...and over SOAP.
+	soapOut, err := client.CallSOAP(ctx, "Greeter", "Greet", svc.Namespace,
+		core.Values{"name": "grace", "loud": true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("soap :", soapOut["greeting"])
+
+	// 6. And read its contract.
+	desc, err := client.Describe(ctx, "Greeter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wsdl : service %s with %d operation(s), endpoint %s\n",
+		desc.Name, len(desc.Ops), desc.Endpoint)
+}

@@ -1,0 +1,3 @@
+module soc
+
+go 1.22

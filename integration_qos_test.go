@@ -1,0 +1,133 @@
+package soc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"soc/internal/crawler"
+	"soc/internal/ontology"
+	"soc/internal/registry"
+)
+
+// TestIntegrationQoSFeedbackLoop closes the consumer-centric loop the
+// paper's §V motivates: the availability monitor probes live endpoints,
+// its measurements feed the registry's QoS records, and quality-weighted
+// search then prefers the dependable provider over an equally relevant
+// but flaky one.
+func TestIntegrationQoSFeedbackLoop(t *testing.T) {
+	var flakyDown atomic.Bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if flakyDown.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer flaky.Close()
+	stable := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer stable.Close()
+
+	reg := registry.NewQoS(registry.New())
+	publish := func(name, endpoint string) {
+		t.Helper()
+		if err := reg.Publish(registry.Entry{
+			Name: name, Doc: "weather forecast service", Endpoint: endpoint,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish("FlakyWeather", flaky.URL)
+	publish("StableWeather", stable.URL)
+
+	// Monitor both endpoints over rounds with injected outages.
+	mon := crawler.NewMonitor(nil)
+	ctx := context.Background()
+	for round := 0; round < 6; round++ {
+		flakyDown.Store(round%2 == 0)
+		mon.CheckAll(ctx, []string{flaky.URL, stable.URL})
+	}
+	// Feed measurements back into the broker.
+	for _, st := range mon.Stats() {
+		name := "StableWeather"
+		if st.URL == flaky.URL {
+			name = "FlakyWeather"
+		}
+		if err := reg.ReportQoS(name, registry.QoS{
+			Uptime: st.Uptime(), MeanRTT: st.MeanRTT(), Samples: st.Checks,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Plain keyword search cannot tell them apart...
+	plain, err := reg.Search("weather forecast", 0)
+	if err != nil || len(plain) != 2 {
+		t.Fatalf("plain search: %v %v", plain, err)
+	}
+	if plain[0].Score != plain[1].Score {
+		t.Fatalf("expected identical relevance, got %v vs %v", plain[0].Score, plain[1].Score)
+	}
+	// ...but the QoS-weighted search prefers the dependable provider.
+	weighted, err := reg.SearchQoS("weather forecast", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted[0].Entry.Name != "StableWeather" {
+		t.Errorf("QoS search top = %s", weighted[0].Entry.Name)
+	}
+	deps := reg.Dependable(0.9)
+	if len(deps) != 1 || deps[0].Entry.Name != "StableWeather" {
+		t.Errorf("dependable = %v", deps)
+	}
+}
+
+// TestIntegrationSemanticDiscoveryOverCatalog annotates catalog-like
+// entries with concept profiles and discovers by capability rather than
+// keyword.
+func TestIntegrationSemanticDiscoveryOverCatalog(t *testing.T) {
+	onto := ontology.NewStore()
+	for _, tr := range [][3]string{
+		{"MortgageApproval", ontology.SubClassOf, "FinancialDecision"},
+		{"CreditScore", ontology.SubClassOf, "Score"},
+		{"Ciphertext", ontology.SubClassOf, "Blob"},
+	} {
+		if err := onto.Add(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := registry.NewSemantic(registry.New(), onto)
+	entries := []struct {
+		name    string
+		inputs  []string
+		outputs []string
+	}{
+		{"Mortgage", []string{"SSN", "Income"}, []string{"MortgageApproval"}},
+		{"CreditScore", []string{"SSN"}, []string{"CreditScore"}},
+		{"Encryption", []string{"Plaintext", "Passphrase"}, []string{"Ciphertext"}},
+	}
+	for _, e := range entries {
+		if err := reg.Publish(registry.Entry{Name: e.name, Endpoint: "http://venus/" + e.name}); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Annotate(e.name, e.inputs, e.outputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "I have an SSN and income; I want any financial decision."
+	matches, err := reg.Discover([]string{"SSN", "Income"}, []string{"FinancialDecision"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Entry.Name != "Mortgage" {
+		t.Fatalf("discover = %v", matches)
+	}
+	if matches[0].Degree != ontology.Plugin {
+		t.Errorf("degree = %s (MortgageApproval ⊂ FinancialDecision should be plugin)", matches[0].Degree)
+	}
+}

@@ -1,0 +1,291 @@
+// Package cloud implements the "Cloud Computing and Software as a
+// Service" unit of CSE446 as a deterministic simulation: a pool of
+// virtual nodes hosting service instances, request load balancing
+// (round-robin and least-loaded), an on-demand autoscaler driven by
+// target utilization with a cooldown, and per-instance-tick metering —
+// the on-demand, virtualized, pay-per-use properties the course defines
+// cloud computing by.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrConfig reports an invalid simulation configuration.
+var ErrConfig = errors.New("cloud: invalid configuration")
+
+// Instance is one running copy of the service.
+type Instance struct {
+	ID int
+	// Capacity is requests the instance can serve per tick.
+	Capacity int
+	// served accumulates this tick's assignment.
+	served int
+}
+
+// Strategy selects how the balancer spreads requests.
+type Strategy int
+
+// Balancing strategies.
+const (
+	RoundRobin Strategy = iota
+	LeastLoaded
+)
+
+// Balancer assigns requests to instances tick by tick.
+type Balancer struct {
+	strategy Strategy
+	rrNext   int
+}
+
+// NewBalancer returns a balancer with the given strategy.
+func NewBalancer(s Strategy) (*Balancer, error) {
+	if s != RoundRobin && s != LeastLoaded {
+		return nil, fmt.Errorf("%w: strategy %d", ErrConfig, s)
+	}
+	return &Balancer{strategy: s}, nil
+}
+
+// Assign distributes n requests across instances, returning how many were
+// served and how many dropped (beyond total capacity). Instances' served
+// counters are reset first.
+func (b *Balancer) Assign(instances []*Instance, n int) (served, dropped int) {
+	for _, ins := range instances {
+		ins.served = 0
+	}
+	if len(instances) == 0 {
+		return 0, n
+	}
+	for i := 0; i < n; i++ {
+		var target *Instance
+		switch b.strategy {
+		case RoundRobin:
+			// Scan from rrNext for an instance with headroom.
+			for j := 0; j < len(instances); j++ {
+				cand := instances[(b.rrNext+j)%len(instances)]
+				if cand.served < cand.Capacity {
+					target = cand
+					b.rrNext = (b.rrNext + j + 1) % len(instances)
+					break
+				}
+			}
+		case LeastLoaded:
+			for _, cand := range instances {
+				if cand.served >= cand.Capacity {
+					continue
+				}
+				if target == nil || float64(cand.served)/float64(cand.Capacity) <
+					float64(target.served)/float64(target.Capacity) {
+					target = cand
+				}
+			}
+		}
+		if target == nil {
+			dropped = n - i
+			break
+		}
+		target.served++
+		served++
+	}
+	return served, dropped
+}
+
+// AutoscalerConfig tunes the scaling loop.
+type AutoscalerConfig struct {
+	// MinInstances and MaxInstances bound the pool.
+	MinInstances, MaxInstances int
+	// InstanceCapacity is each instance's requests/tick.
+	InstanceCapacity int
+	// TargetUtilization is the desired load/capacity ratio in (0,1].
+	TargetUtilization float64
+	// CooldownTicks is the minimum spacing between scaling actions.
+	CooldownTicks int
+	// StartupTicks is how long a new instance takes to come online.
+	StartupTicks int
+}
+
+func (c AutoscalerConfig) validate() error {
+	switch {
+	case c.MinInstances < 1 || c.MaxInstances < c.MinInstances:
+		return fmt.Errorf("%w: instances [%d,%d]", ErrConfig, c.MinInstances, c.MaxInstances)
+	case c.InstanceCapacity < 1:
+		return fmt.Errorf("%w: capacity %d", ErrConfig, c.InstanceCapacity)
+	case c.TargetUtilization <= 0 || c.TargetUtilization > 1:
+		return fmt.Errorf("%w: target %v", ErrConfig, c.TargetUtilization)
+	case c.CooldownTicks < 0 || c.StartupTicks < 0:
+		return fmt.Errorf("%w: negative ticks", ErrConfig)
+	}
+	return nil
+}
+
+// TickStats is one simulated tick's outcome.
+type TickStats struct {
+	Tick        int
+	Demand      int
+	Served      int
+	Dropped     int
+	Instances   int // online instances
+	Pending     int // instances still starting
+	Utilization float64
+	ScaledTo    int // desired count after this tick's decision
+}
+
+// Simulation runs demand against an autoscaled pool.
+type Simulation struct {
+	cfg      AutoscalerConfig
+	balancer *Balancer
+
+	nextID       int
+	online       []*Instance
+	pending      []int // remaining startup ticks per pending instance
+	lastScale    int   // tick of the last scaling action
+	instanceTick int   // metering: accumulated instance-ticks
+}
+
+// NewSimulation returns a simulation starting at MinInstances.
+func NewSimulation(cfg AutoscalerConfig, strategy Strategy) (*Simulation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b, err := NewBalancer(strategy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{cfg: cfg, balancer: b, lastScale: -1 << 30}
+	for i := 0; i < cfg.MinInstances; i++ {
+		s.addInstance()
+	}
+	return s, nil
+}
+
+func (s *Simulation) addInstance() {
+	s.nextID++
+	s.online = append(s.online, &Instance{ID: s.nextID, Capacity: s.cfg.InstanceCapacity})
+}
+
+// Run simulates the demand series and returns per-tick statistics.
+func (s *Simulation) Run(demand []int) ([]TickStats, error) {
+	if len(demand) == 0 {
+		return nil, fmt.Errorf("%w: empty demand", ErrConfig)
+	}
+	stats := make([]TickStats, len(demand))
+	for tick, d := range demand {
+		if d < 0 {
+			return nil, fmt.Errorf("%w: negative demand at tick %d", ErrConfig, tick)
+		}
+		// Pending instances come online.
+		var stillPending []int
+		for _, remain := range s.pending {
+			if remain <= 1 {
+				s.addInstance()
+			} else {
+				stillPending = append(stillPending, remain-1)
+			}
+		}
+		s.pending = stillPending
+
+		served, dropped := s.balancer.Assign(s.online, d)
+		capacity := len(s.online) * s.cfg.InstanceCapacity
+		util := 0.0
+		if capacity > 0 {
+			util = float64(served) / float64(capacity)
+		}
+		s.instanceTick += len(s.online)
+
+		// Scaling decision on observed demand (not just served).
+		desired := len(s.online)
+		if tick-s.lastScale >= s.cfg.CooldownTicks {
+			ideal := ceilDiv(d, int(float64(s.cfg.InstanceCapacity)*s.cfg.TargetUtilization))
+			if ideal < s.cfg.MinInstances {
+				ideal = s.cfg.MinInstances
+			}
+			if ideal > s.cfg.MaxInstances {
+				ideal = s.cfg.MaxInstances
+			}
+			current := len(s.online) + len(s.pending)
+			if ideal > current {
+				for i := current; i < ideal; i++ {
+					if s.cfg.StartupTicks == 0 {
+						s.addInstance()
+					} else {
+						s.pending = append(s.pending, s.cfg.StartupTicks)
+					}
+				}
+				s.lastScale = tick
+				desired = ideal
+			} else if ideal < current && len(s.online) > s.cfg.MinInstances {
+				// Scale down immediately (terminate newest first), never
+				// below the configured minimum.
+				drop := current - ideal
+				for drop > 0 && len(s.pending) > 0 {
+					s.pending = s.pending[:len(s.pending)-1]
+					drop--
+				}
+				for drop > 0 && len(s.online) > s.cfg.MinInstances {
+					s.online = s.online[:len(s.online)-1]
+					drop--
+				}
+				s.lastScale = tick
+				desired = len(s.online) + len(s.pending)
+			}
+		}
+
+		stats[tick] = TickStats{
+			Tick: tick, Demand: d, Served: served, Dropped: dropped,
+			Instances: len(s.online), Pending: len(s.pending),
+			Utilization: util, ScaledTo: desired,
+		}
+	}
+	return stats, nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// InstanceTicks is the metering counter: total instance-ticks consumed.
+func (s *Simulation) InstanceTicks() int { return s.instanceTick }
+
+// Bill computes the metered cost at a rate per instance-tick.
+func (s *Simulation) Bill(ratePerInstanceTick float64) float64 {
+	return float64(s.instanceTick) * ratePerInstanceTick
+}
+
+// FormatStats renders the tick table of the elasticity experiment.
+func FormatStats(stats []TickStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %7s %7s %8s %10s %8s %6s\n",
+		"tick", "demand", "served", "dropped", "instances", "pending", "util")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "%5d %7d %7d %8d %10d %8d %5.0f%%\n",
+			st.Tick, st.Demand, st.Served, st.Dropped, st.Instances, st.Pending, st.Utilization*100)
+	}
+	return b.String()
+}
+
+// StaticServed computes how much of the demand a fixed pool of n
+// instances would have served — the non-elastic baseline the cloud unit
+// contrasts against.
+func StaticServed(demand []int, n, capacity int) (served, dropped int, err error) {
+	if n < 1 || capacity < 1 {
+		return 0, 0, fmt.Errorf("%w: n=%d capacity=%d", ErrConfig, n, capacity)
+	}
+	for _, d := range demand {
+		if d < 0 {
+			return 0, 0, fmt.Errorf("%w: negative demand", ErrConfig)
+		}
+		cap := n * capacity
+		if d <= cap {
+			served += d
+		} else {
+			served += cap
+			dropped += d - cap
+		}
+	}
+	return served, dropped, nil
+}

@@ -1,0 +1,259 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkInstances(caps ...int) []*Instance {
+	out := make([]*Instance, len(caps))
+	for i, c := range caps {
+		out[i] = &Instance{ID: i + 1, Capacity: c}
+	}
+	return out
+}
+
+func TestBalancerRoundRobinSpreadsEvenly(t *testing.T) {
+	b, err := NewBalancer(RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := mkInstances(10, 10, 10)
+	served, dropped := b.Assign(ins, 9)
+	if served != 9 || dropped != 0 {
+		t.Fatalf("served=%d dropped=%d", served, dropped)
+	}
+	for _, i := range ins {
+		if i.served != 3 {
+			t.Errorf("instance %d served %d, want 3", i.ID, i.served)
+		}
+	}
+}
+
+func TestBalancerDropsBeyondCapacity(t *testing.T) {
+	b, _ := NewBalancer(RoundRobin)
+	ins := mkInstances(2, 2)
+	served, dropped := b.Assign(ins, 10)
+	if served != 4 || dropped != 6 {
+		t.Errorf("served=%d dropped=%d", served, dropped)
+	}
+	served, dropped = b.Assign(nil, 5)
+	if served != 0 || dropped != 5 {
+		t.Errorf("no instances: served=%d dropped=%d", served, dropped)
+	}
+}
+
+func TestBalancerLeastLoadedFavorsBigInstances(t *testing.T) {
+	b, _ := NewBalancer(LeastLoaded)
+	ins := mkInstances(30, 10)
+	served, _ := b.Assign(ins, 20)
+	if served != 20 {
+		t.Fatalf("served = %d", served)
+	}
+	// Load ratios should end roughly equal: 15/30 vs 5/10.
+	if ins[0].served != 15 || ins[1].served != 5 {
+		t.Errorf("split = %d/%d, want 15/5", ins[0].served, ins[1].served)
+	}
+}
+
+func TestBalancerValidation(t *testing.T) {
+	if _, err := NewBalancer(Strategy(9)); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+func baseConfig() AutoscalerConfig {
+	return AutoscalerConfig{
+		MinInstances: 1, MaxInstances: 8, InstanceCapacity: 10,
+		TargetUtilization: 0.8, CooldownTicks: 0, StartupTicks: 0,
+	}
+}
+
+func TestSimulationScalesUpUnderLoad(t *testing.T) {
+	sim, err := NewSimulation(baseConfig(), RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := []int{5, 5, 40, 40, 40, 40}
+	stats, err := sim.Run(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Instances != 1 {
+		t.Errorf("tick0 instances = %d", stats[0].Instances)
+	}
+	last := stats[len(stats)-1]
+	if last.Instances < 5 {
+		t.Errorf("final instances = %d, want >= 5 for demand 40 at 80%% of cap 10", last.Instances)
+	}
+	if last.Dropped != 0 {
+		t.Errorf("steady state still dropping %d", last.Dropped)
+	}
+}
+
+func TestSimulationScalesDownAfterPeak(t *testing.T) {
+	sim, _ := NewSimulation(baseConfig(), RoundRobin)
+	demand := []int{40, 40, 40, 5, 5, 5, 5}
+	stats, err := sim.Run(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for _, st := range stats {
+		if st.Instances > peak {
+			peak = st.Instances
+		}
+	}
+	last := stats[len(stats)-1]
+	if last.Instances >= peak {
+		t.Errorf("no scale-down: peak %d, final %d", peak, last.Instances)
+	}
+	if last.Instances < 1 {
+		t.Error("scaled below minimum")
+	}
+}
+
+func TestSimulationStartupDelayCausesDrops(t *testing.T) {
+	cfg := baseConfig()
+	cfg.StartupTicks = 2
+	sim, _ := NewSimulation(cfg, RoundRobin)
+	demand := []int{40, 40, 40, 40, 40}
+	stats, err := sim.Run(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Dropped == 0 {
+		t.Error("cold start dropped nothing despite 4x overload")
+	}
+	if stats[0].Pending == 0 {
+		t.Error("no pending instances during startup")
+	}
+	last := stats[len(stats)-1]
+	if last.Dropped != 0 {
+		t.Errorf("still dropping after startup: %+v", last)
+	}
+}
+
+func TestSimulationCooldownLimitsFlapping(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CooldownTicks = 100 // effectively one scaling action
+	sim, _ := NewSimulation(cfg, RoundRobin)
+	demand := []int{40, 5, 40, 5, 40, 5}
+	stats, err := sim.Run(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Instances+stats[i].Pending != stats[i-1].Instances+stats[i-1].Pending {
+			changes++
+		}
+	}
+	if changes > 1 {
+		t.Errorf("scaled %d times despite cooldown", changes)
+	}
+}
+
+func TestSimulationRespectsMax(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxInstances = 2
+	sim, _ := NewSimulation(cfg, RoundRobin)
+	stats, err := sim.Run([]int{1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stats {
+		if st.Instances > 2 {
+			t.Errorf("exceeded max: %+v", st)
+		}
+	}
+	if stats[2].Dropped == 0 {
+		t.Error("capped pool dropped nothing under 50x overload")
+	}
+}
+
+func TestMeteringAndBill(t *testing.T) {
+	sim, _ := NewSimulation(baseConfig(), RoundRobin)
+	_, err := sim.Run([]int{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.InstanceTicks() != 3 {
+		t.Errorf("instance-ticks = %d, want 3 (1 instance x 3 ticks)", sim.InstanceTicks())
+	}
+	if sim.Bill(0.5) != 1.5 {
+		t.Errorf("bill = %v", sim.Bill(0.5))
+	}
+}
+
+func TestElasticBeatsStaticOnBurstyLoad(t *testing.T) {
+	demand := []int{5, 5, 5, 80, 80, 5, 5, 5, 5, 5}
+	sim, _ := NewSimulation(baseConfig(), RoundRobin)
+	stats, err := sim.Run(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elasticServed := 0
+	for _, st := range stats {
+		elasticServed += st.Served
+	}
+	elasticTicks := sim.InstanceTicks()
+
+	// A static pool sized for the average (2 instances) drops the burst;
+	// a static pool sized for the peak (8) wastes instance-ticks.
+	avgServed, avgDropped, err := StaticServed(demand, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avgDropped == 0 {
+		t.Error("average-sized static pool should drop during burst")
+	}
+	peakTicks := 8 * len(demand)
+	if elasticServed <= avgServed {
+		t.Errorf("elastic served %d <= static-average %d", elasticServed, avgServed)
+	}
+	if elasticTicks >= peakTicks {
+		t.Errorf("elastic used %d instance-ticks >= static-peak %d", elasticTicks, peakTicks)
+	}
+}
+
+func TestStaticServedValidation(t *testing.T) {
+	if _, _, err := StaticServed([]int{1}, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := StaticServed([]int{-1}, 1, 1); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	bad := []AutoscalerConfig{
+		{MinInstances: 0, MaxInstances: 1, InstanceCapacity: 1, TargetUtilization: 0.5},
+		{MinInstances: 2, MaxInstances: 1, InstanceCapacity: 1, TargetUtilization: 0.5},
+		{MinInstances: 1, MaxInstances: 2, InstanceCapacity: 0, TargetUtilization: 0.5},
+		{MinInstances: 1, MaxInstances: 2, InstanceCapacity: 1, TargetUtilization: 0},
+		{MinInstances: 1, MaxInstances: 2, InstanceCapacity: 1, TargetUtilization: 1.5},
+		{MinInstances: 1, MaxInstances: 2, InstanceCapacity: 1, TargetUtilization: 0.5, CooldownTicks: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSimulation(cfg, RoundRobin); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	sim, _ := NewSimulation(baseConfig(), RoundRobin)
+	if _, err := sim.Run(nil); err == nil {
+		t.Error("empty demand accepted")
+	}
+	if _, err := sim.Run([]int{-5}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	sim, _ := NewSimulation(baseConfig(), RoundRobin)
+	stats, _ := sim.Run([]int{5, 15})
+	out := FormatStats(stats)
+	if !strings.Contains(out, "demand") || !strings.Contains(out, "15") {
+		t.Errorf("table:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+// Package collatz implements the Collatz-conjecture validation workload
+// the paper uses to demonstrate multithreaded speedup (Figure 3: "a
+// program that validates the Collatz conjecture has been used to evaluate
+// the performance in a single core up through 32 cores using Intel
+// Manycore Testing Lab").
+//
+// Validate(n) counts the steps of the 3n+1 iteration until reaching 1.
+// The per-number cost is irregular (trajectory lengths vary wildly), which
+// is exactly why the workload distinguishes static from dynamic schedules.
+package collatz
+
+import (
+	"errors"
+	"fmt"
+
+	"soc/internal/parallel"
+	"soc/internal/vtime"
+)
+
+// ErrBadRange reports an invalid validation range.
+var ErrBadRange = errors.New("collatz: invalid range")
+
+// ErrDiverged reports a number whose trajectory exceeded the step bound —
+// a counterexample candidate (never produced for ranges a machine can
+// enumerate, but the validator must bound the loop).
+var ErrDiverged = errors.New("collatz: trajectory exceeded step bound")
+
+// MaxSteps bounds a single trajectory; 64-bit inputs below 2^60 stay far
+// under it.
+const MaxSteps = 5000
+
+// Steps returns the number of Collatz steps taken from n to reach 1.
+func Steps(n uint64) (int, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("%w: n=0", ErrBadRange)
+	}
+	steps := 0
+	for n != 1 {
+		if steps >= MaxSteps {
+			return steps, ErrDiverged
+		}
+		if n%2 == 0 {
+			n /= 2
+		} else {
+			// Overflow guard: 3n+1 must fit in uint64.
+			if n > (1<<64-2)/3 {
+				return steps, fmt.Errorf("%w: overflow at %d", ErrDiverged, n)
+			}
+			n = 3*n + 1
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// Result summarizes a validated range.
+type Result struct {
+	// Verified is the count of numbers whose trajectory reached 1.
+	Verified uint64
+	// TotalSteps is the sum of all trajectory lengths — the workload's
+	// total "work" and the checksum used to compare implementations.
+	TotalSteps uint64
+	// MaxSteps is the longest trajectory seen.
+	MaxSteps int
+	// MaxAt is the number achieving MaxSteps.
+	MaxAt uint64
+}
+
+// ValidateSeq validates [lo, hi) sequentially — the 1-core baseline.
+func ValidateSeq(lo, hi uint64) (Result, error) {
+	if lo == 0 || hi < lo {
+		return Result{}, fmt.Errorf("%w: [%d,%d)", ErrBadRange, lo, hi)
+	}
+	var r Result
+	for n := lo; n < hi; n++ {
+		s, err := Steps(n)
+		if err != nil {
+			return r, err
+		}
+		r.Verified++
+		r.TotalSteps += uint64(s)
+		if s > r.MaxSteps {
+			r.MaxSteps, r.MaxAt = s, n
+		}
+	}
+	return r, nil
+}
+
+// ValidateStatic validates [lo, hi) with a static block partition over
+// `workers` goroutines — the naive parallelization students write first.
+func ValidateStatic(lo, hi uint64, workers int) (Result, error) {
+	return validatePar(lo, hi, workers, true)
+}
+
+// ValidateDynamic validates [lo, hi) with dynamic chunk claiming — the
+// TBB-style load-balanced schedule.
+func ValidateDynamic(lo, hi uint64, workers int) (Result, error) {
+	return validatePar(lo, hi, workers, false)
+}
+
+func validatePar(lo, hi uint64, workers int, static bool) (Result, error) {
+	if lo == 0 || hi < lo {
+		return Result{}, fmt.Errorf("%w: [%d,%d)", ErrBadRange, lo, hi)
+	}
+	if workers <= 0 {
+		return Result{}, fmt.Errorf("%w: workers=%d", ErrBadRange, workers)
+	}
+	n := int(hi - lo)
+	combine := func(a, b Result) Result {
+		out := Result{
+			Verified:   a.Verified + b.Verified,
+			TotalSteps: a.TotalSteps + b.TotalSteps,
+			MaxSteps:   a.MaxSteps,
+			MaxAt:      a.MaxAt,
+		}
+		if b.MaxSteps > out.MaxSteps {
+			out.MaxSteps, out.MaxAt = b.MaxSteps, b.MaxAt
+		}
+		return out
+	}
+	mapf := func(i int) Result {
+		v := lo + uint64(i)
+		s, err := Steps(v)
+		if err != nil {
+			// Unreachable for enumerable ranges; surface as a
+			// zero result so the checksum mismatch is caught.
+			return Result{}
+		}
+		return Result{Verified: 1, TotalSteps: uint64(s), MaxSteps: s, MaxAt: v}
+	}
+	opts := parallel.Options{Workers: workers}
+	if static {
+		// A static schedule is dynamic scheduling with one huge grain
+		// per worker.
+		opts.Grain = (n + workers - 1) / workers
+		if opts.Grain < 1 {
+			opts.Grain = 1
+		}
+	} else {
+		opts.Grain = 256
+	}
+	return parallel.Reduce(0, n, Result{}, mapf, combine, opts)
+}
+
+// Tasks converts the range [lo, hi) into cost-annotated virtual-time tasks,
+// chunked to the given size, with each chunk's cost equal to its total
+// trajectory length. This drives the >host-core scaling study.
+func Tasks(lo, hi uint64, chunk int) ([]vtime.Task, error) {
+	if lo == 0 || hi < lo {
+		return nil, fmt.Errorf("%w: [%d,%d)", ErrBadRange, lo, hi)
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("%w: chunk=%d", ErrBadRange, chunk)
+	}
+	var tasks []vtime.Task
+	id := 0
+	for start := lo; start < hi; {
+		end := start + uint64(chunk)
+		if end > hi {
+			end = hi
+		}
+		var cost int64
+		for n := start; n < end; n++ {
+			s, err := Steps(n)
+			if err != nil {
+				return nil, err
+			}
+			cost += int64(s)
+		}
+		if cost == 0 {
+			cost = 1 // n=1 has a zero-length trajectory
+		}
+		tasks = append(tasks, vtime.Task{ID: id, Cost: cost})
+		id++
+		start = end
+	}
+	return tasks, nil
+}

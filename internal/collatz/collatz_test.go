@@ -1,0 +1,144 @@
+package collatz
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStepsKnownValues(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 7}, {4, 2}, {5, 5}, {6, 8}, {7, 16},
+		{27, 111}, // the famous long trajectory
+		{97, 118},
+	}
+	for _, c := range cases {
+		got, err := Steps(c.n)
+		if err != nil {
+			t.Errorf("Steps(%d): %v", c.n, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Steps(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestStepsRejectsZero(t *testing.T) {
+	if _, err := Steps(0); err == nil {
+		t.Error("Steps(0) accepted")
+	}
+}
+
+func TestStepsRecurrenceProperty(t *testing.T) {
+	// Property: Steps(2n) == Steps(n) + 1 for n >= 1.
+	prop := func(raw uint16) bool {
+		n := uint64(raw) + 1
+		a, err1 := Steps(n)
+		b, err2 := Steps(2 * n)
+		return err1 == nil && err2 == nil && b == a+1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateSeq(t *testing.T) {
+	r, err := ValidateSeq(1, 1001)
+	if err != nil {
+		t.Fatalf("ValidateSeq: %v", err)
+	}
+	if r.Verified != 1000 {
+		t.Errorf("verified = %d, want 1000", r.Verified)
+	}
+	if r.MaxAt != 871 || r.MaxSteps != 178 {
+		// 871 has the longest trajectory (178 steps) below 1000.
+		t.Errorf("max = %d steps at %d, want 178 at 871", r.MaxSteps, r.MaxAt)
+	}
+}
+
+func TestValidateSeqInvalid(t *testing.T) {
+	if _, err := ValidateSeq(0, 10); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := ValidateSeq(10, 5); err == nil {
+		t.Error("hi<lo accepted")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := ValidateSeq(1, 20001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		dyn, err := ValidateDynamic(1, 20001, workers)
+		if err != nil {
+			t.Fatalf("dynamic %d: %v", workers, err)
+		}
+		if dyn.Verified != seq.Verified || dyn.TotalSteps != seq.TotalSteps || dyn.MaxSteps != seq.MaxSteps {
+			t.Errorf("dynamic %d workers: %+v != %+v", workers, dyn, seq)
+		}
+		st, err := ValidateStatic(1, 20001, workers)
+		if err != nil {
+			t.Fatalf("static %d: %v", workers, err)
+		}
+		if st.Verified != seq.Verified || st.TotalSteps != seq.TotalSteps || st.MaxSteps != seq.MaxSteps {
+			t.Errorf("static %d workers: %+v != %+v", workers, st, seq)
+		}
+	}
+}
+
+func TestParallelInvalid(t *testing.T) {
+	if _, err := ValidateDynamic(1, 100, 0); err == nil {
+		t.Error("workers=0 accepted")
+	}
+	if _, err := ValidateStatic(0, 100, 2); err == nil {
+		t.Error("lo=0 accepted")
+	}
+}
+
+func TestTasksCostEqualsTotalSteps(t *testing.T) {
+	seq, err := ValidateSeq(2, 502)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := Tasks(2, 502, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 10 {
+		t.Fatalf("chunks = %d, want 10", len(tasks))
+	}
+	var total int64
+	for _, task := range tasks {
+		if task.Cost <= 0 {
+			t.Errorf("task %d has cost %d", task.ID, task.Cost)
+		}
+		total += task.Cost
+	}
+	if uint64(total) != seq.TotalSteps {
+		t.Errorf("task cost sum %d != total steps %d", total, seq.TotalSteps)
+	}
+}
+
+func TestTasksRaggedTail(t *testing.T) {
+	tasks, err := Tasks(1, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 { // 3+3+3+1
+		t.Errorf("chunks = %d, want 4", len(tasks))
+	}
+}
+
+func TestTasksInvalid(t *testing.T) {
+	if _, err := Tasks(1, 10, 0); err == nil {
+		t.Error("chunk=0 accepted")
+	}
+	if _, err := Tasks(0, 10, 5); err == nil {
+		t.Error("lo=0 accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package curriculum
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrData reports empty or malformed dataset input.
+var ErrData = errors.New("curriculum: invalid data")
+
+// GrowthFactor is last/first of the combined enrollment — the paper's
+// headline "increased from 39 in Fall 2006 to 134 in Fall 2013".
+func GrowthFactor(rows []Enrollment) (float64, error) {
+	if len(rows) < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 rows", ErrData)
+	}
+	first := float64(rows[0].PrintedTotal)
+	last := float64(rows[len(rows)-1].PrintedTotal)
+	if first <= 0 {
+		return 0, fmt.Errorf("%w: non-positive first total", ErrData)
+	}
+	return last / first, nil
+}
+
+// LinearTrend fits y = a + b·x by least squares over the combined totals
+// (x = row index) and returns the slope b in students per semester.
+func LinearTrend(rows []Enrollment) (slope float64, err error) {
+	n := len(rows)
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need >= 2 rows", ErrData)
+	}
+	var sx, sy, sxx, sxy float64
+	for i, r := range rows {
+		x, y := float64(i), float64(r.PrintedTotal)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	denom := fn*sxx - sx*sx
+	if denom == 0 {
+		return 0, fmt.Errorf("%w: degenerate x", ErrData)
+	}
+	return (fn*sxy - sx*sy) / denom, nil
+}
+
+// MeanScores averages Table 5 per course.
+func MeanScores(rows []Evaluation) (mean445, mean598 float64, err error) {
+	if len(rows) == 0 {
+		return 0, 0, fmt.Errorf("%w: empty", ErrData)
+	}
+	for _, r := range rows {
+		mean445 += r.Score445
+		mean598 += r.Score598
+	}
+	n := float64(len(rows))
+	return mean445 / n, mean598 / n, nil
+}
+
+// FormatTable4 renders Table 4 as the paper prints it.
+func FormatTable4(rows []Enrollment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s\n", "semester", "CSE445", "CSE598", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d\n", r.Semester, r.CSE445, r.CSE598, r.PrintedTotal)
+	}
+	return b.String()
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "semester", "445 score", "598 score")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f\n", r.Semester, r.Score445, r.Score598)
+	}
+	return b.String()
+}
+
+// AsciiChart renders series as a fixed-height ASCII line chart — the
+// text rendition of Figure 5. Series are drawn with their marker runes
+// in the given order (later series overwrite earlier at collisions).
+func AsciiChart(height int, labels []string, series map[rune][]int) (string, error) {
+	if height < 2 || len(series) == 0 {
+		return "", fmt.Errorf("%w: height %d, %d series", ErrData, height, len(series))
+	}
+	n := 0
+	maxV := 0
+	for marker, vals := range series {
+		if n == 0 {
+			n = len(vals)
+		} else if len(vals) != n {
+			return "", fmt.Errorf("%w: ragged series %q", ErrData, marker)
+		}
+		for _, v := range vals {
+			if v < 0 {
+				return "", fmt.Errorf("%w: negative value", ErrData)
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if n == 0 {
+		return "", fmt.Errorf("%w: empty series", ErrData)
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = make([]rune, n)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	markers := make([]rune, 0, len(series))
+	for m := range series {
+		markers = append(markers, m)
+	}
+	// Deterministic order.
+	for i := 1; i < len(markers); i++ {
+		for j := i; j > 0 && markers[j] < markers[j-1]; j-- {
+			markers[j], markers[j-1] = markers[j-1], markers[j]
+		}
+	}
+	for _, m := range markers {
+		for x, v := range series[m] {
+			row := height - 1 - (v*(height-1))/maxV
+			grid[row][x] = m
+		}
+	}
+	var b strings.Builder
+	for y, row := range grid {
+		level := maxV * (height - 1 - y) / (height - 1)
+		fmt.Fprintf(&b, "%4d |", level)
+		for _, r := range row {
+			b.WriteString("  ")
+			b.WriteRune(r)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("---", n))
+	b.WriteString("\n      ")
+	for i := range make([]struct{}, n) {
+		if i < len(labels) && len(labels[i]) > 0 {
+			b.WriteString(" ")
+			b.WriteString(labels[i][len(labels[i])-2:])
+		} else {
+			b.WriteString("   ")
+		}
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// Figure5 renders the paper's enrollment plot in ASCII: CSE445 ('4'),
+// CSE598 ('5'), combined ('*').
+func Figure5(rows []Enrollment) (string, error) {
+	if len(rows) == 0 {
+		return "", fmt.Errorf("%w: empty", ErrData)
+	}
+	var labels []string
+	s445 := make([]int, len(rows))
+	s598 := make([]int, len(rows))
+	comb := make([]int, len(rows))
+	for i, r := range rows {
+		labels = append(labels, itoa(r.Semester.Year))
+		s445[i] = r.CSE445
+		s598[i] = r.CSE598
+		comb[i] = r.PrintedTotal
+	}
+	chart, err := AsciiChart(14, labels, map[rune][]int{'4': s445, '5': s598, '*': comb})
+	if err != nil {
+		return "", err
+	}
+	return "CSE445/598 enrollment 2006-2014  (4=CSE445, 5=CSE598, *=combined)\n" + chart, nil
+}
+
+// CoverageReport maps each ACM topic to the repository modules exercising
+// it, flagging uncovered topics.
+func CoverageReport(topics []Topic) (string, int) {
+	var b strings.Builder
+	uncovered := 0
+	fmt.Fprintf(&b, "%-45s %-6s %s\n", "topic", "bloom", "modules")
+	for _, t := range topics {
+		blooms := make([]string, len(t.Blooms))
+		for i, bl := range t.Blooms {
+			blooms[i] = string(bl)
+		}
+		mods := strings.Join(t.Modules, ", ")
+		if len(t.Modules) == 0 {
+			mods = "UNCOVERED"
+			uncovered++
+		}
+		fmt.Fprintf(&b, "%-45s %-6s %s\n", truncateTo(t.Name, 45), strings.Join(blooms, ","), mods)
+	}
+	return b.String(), uncovered
+}
+
+func truncateTo(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

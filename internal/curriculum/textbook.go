@@ -1,0 +1,84 @@
+package curriculum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chapter is one chapter of the course textbook (paper §VI: the fourth
+// edition's fourteen chapters in three parts, one part per course).
+type Chapter struct {
+	Part   int // 1: CSE445, 2: CSE446, 3 would be the CSE101 appendices
+	Number int
+	Title  string
+	// Packages lists this repository's packages implementing the
+	// chapter's material.
+	Packages []string
+}
+
+// TextbookChapters transcribes the paper's §VI chapter list with the
+// module mapping of this reproduction.
+var TextbookChapters = []Chapter{
+	{1, 1, "Introduction to Distributed Service-Oriented Computing",
+		[]string{"soc/internal/core", "soc/internal/host"}},
+	{1, 2, "Distributed Computing with Multithreading",
+		[]string{"soc/internal/parallel", "soc/internal/collatz", "soc/internal/perf", "soc/internal/vtime"}},
+	{1, 3, "Essentials in Service-Oriented Software Development",
+		[]string{"soc/internal/soap", "soc/internal/wsdl", "soc/internal/rest", "soc/internal/registry"}},
+	{1, 4, "XML Data Representation and Processing",
+		[]string{"soc/internal/xmlkit"}},
+	{1, 5, "Web Application and State Management",
+		[]string{"soc/internal/session", "soc/internal/webapp", "soc/internal/mortgageapp"}},
+	{1, 6, "Dependability of Service-Oriented Software",
+		[]string{"soc/internal/security", "soc/internal/reliability"}},
+	{2, 7, "Advanced Services and Architecture-Driven Application Development",
+		[]string{"soc/internal/workflow", "soc/internal/host"}},
+	{2, 8, "Enterprise Software Development and Integration",
+		[]string{"soc/internal/workflow", "soc/internal/eventbus"}},
+	{2, 9, "Internet of Things and Robot as a Service",
+		[]string{"soc/internal/robot", "soc/internal/maze", "soc/internal/nav"}},
+	{2, 10, "Interfacing Service-Oriented Software with Databases",
+		[]string{"soc/internal/xmlstore"}},
+	{2, 11, "Big Data Systems and Ontology",
+		[]string{"soc/internal/ontology"}},
+	{2, 12, "Service-Oriented Application Architecture",
+		[]string{"soc/internal/core", "soc/internal/registry", "soc/internal/crawler"}},
+	{2, 13, "A Mini Walkthrough of Service-Oriented Software Development",
+		[]string{"soc/internal/services", "soc/internal/mortgageapp"}},
+	{2, 14, "Cloud Computing and Software as a Service",
+		[]string{"soc/internal/cloud"}},
+}
+
+// FormatTextbook renders the chapter/module map (the §VI table of
+// contents with this repository's coverage).
+func FormatTextbook(chapters []Chapter) string {
+	var b strings.Builder
+	part := 0
+	for _, c := range chapters {
+		if c.Part != part {
+			part = c.Part
+			switch part {
+			case 1:
+				b.WriteString("Part I — Distributed Service-Oriented Software Development (CSE445)\n")
+			case 2:
+				b.WriteString("Part II — Advanced Service-Oriented Computing and System Integration (CSE446)\n")
+			default:
+				fmt.Fprintf(&b, "Part %d\n", part)
+			}
+		}
+		fmt.Fprintf(&b, "  ch.%2d %-62s %s\n", c.Number, c.Title, strings.Join(c.Packages, ", "))
+	}
+	return b.String()
+}
+
+// TextbookCoverage reports chapters with no implementing packages.
+func TextbookCoverage(chapters []Chapter) (covered, uncovered int) {
+	for _, c := range chapters {
+		if len(c.Packages) > 0 {
+			covered++
+		} else {
+			uncovered++
+		}
+	}
+	return covered, uncovered
+}

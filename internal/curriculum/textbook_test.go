@@ -1,0 +1,61 @@
+package curriculum
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextbookStructureMatchesPaper(t *testing.T) {
+	if len(TextbookChapters) != 14 {
+		t.Fatalf("chapters = %d, want 14", len(TextbookChapters))
+	}
+	// Part I is chapters 1-6 (CSE445), Part II is 7-14 (CSE446).
+	for i, c := range TextbookChapters {
+		if c.Number != i+1 {
+			t.Errorf("chapter %d numbered %d", i+1, c.Number)
+		}
+		wantPart := 1
+		if c.Number >= 7 {
+			wantPart = 2
+		}
+		if c.Part != wantPart {
+			t.Errorf("chapter %d in part %d, want %d", c.Number, c.Part, wantPart)
+		}
+		if c.Title == "" {
+			t.Errorf("chapter %d untitled", c.Number)
+		}
+	}
+	// Spot-check titles from the paper's list.
+	if TextbookChapters[3].Title != "XML Data Representation and Processing" {
+		t.Errorf("ch4 = %q", TextbookChapters[3].Title)
+	}
+	if TextbookChapters[8].Title != "Internet of Things and Robot as a Service" {
+		t.Errorf("ch9 = %q", TextbookChapters[8].Title)
+	}
+	if TextbookChapters[13].Title != "Cloud Computing and Software as a Service" {
+		t.Errorf("ch14 = %q", TextbookChapters[13].Title)
+	}
+}
+
+func TestTextbookFullyCovered(t *testing.T) {
+	covered, uncovered := TextbookCoverage(TextbookChapters)
+	if covered != 14 || uncovered != 0 {
+		t.Errorf("coverage = %d/%d", covered, uncovered)
+	}
+	for _, c := range TextbookChapters {
+		for _, p := range c.Packages {
+			if !strings.HasPrefix(p, "soc/internal/") {
+				t.Errorf("ch%d references %q", c.Number, p)
+			}
+		}
+	}
+}
+
+func TestFormatTextbook(t *testing.T) {
+	out := FormatTextbook(TextbookChapters)
+	for _, want := range []string{"Part I", "Part II", "ch. 9", "Robot as a Service", "soc/internal/cloud"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

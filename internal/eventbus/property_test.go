@@ -1,0 +1,82 @@
+package eventbus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sanitizeTopic(raw []uint8) string {
+	if len(raw) == 0 {
+		return "a"
+	}
+	segs := make([]string, 0, len(raw)%4+1)
+	words := []string{"orders", "users", "audit", "robot", "created", "deleted"}
+	for i := 0; i < len(raw)%4+1; i++ {
+		segs = append(segs, words[int(raw[i%len(raw)])%len(words)])
+	}
+	return strings.Join(segs, "/")
+}
+
+func TestMatchesReflexiveProperty(t *testing.T) {
+	// Property: a concrete topic always matches itself as a pattern.
+	prop := func(raw []uint8) bool {
+		topic := sanitizeTopic(raw)
+		return Matches(topic, topic)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashMatchesEverySuffixProperty(t *testing.T) {
+	// Property: prefix/# matches prefix itself extended by any suffix.
+	prop := func(rawA, rawB []uint8) bool {
+		prefix := sanitizeTopic(rawA)
+		suffix := sanitizeTopic(rawB)
+		return Matches(prefix+"/#", prefix+"/"+suffix)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStarMatchesExactlyOneSegmentProperty(t *testing.T) {
+	// Property: replacing any single segment of a topic with * still
+	// matches, and the starred pattern never matches a topic with a
+	// different segment count.
+	prop := func(raw []uint8, pick uint8) bool {
+		topic := sanitizeTopic(raw)
+		segs := strings.Split(topic, "/")
+		i := int(pick) % len(segs)
+		patSegs := append([]string(nil), segs...)
+		patSegs[i] = "*"
+		pattern := strings.Join(patSegs, "/")
+		if !Matches(pattern, topic) {
+			return false
+		}
+		longer := topic + "/extra"
+		return !Matches(pattern, longer)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublishDeliveryCountProperty(t *testing.T) {
+	// Property: publishing to n exact subscribers delivers n times.
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		b := New(4)
+		for i := 0; i < n; i++ {
+			if _, err := b.Subscribe("t/x"); err != nil {
+				return false
+			}
+		}
+		delivered, err := b.Publish("t/x", 1)
+		return err == nil && delivered == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+
+	"soc/internal/mortgageapp"
+	"soc/internal/services"
+)
+
+// Figure4 reproduces the web-application project end-to-end over real
+// HTTP: subscribe → credit check → user-ID issue → password creation
+// (match + strength) → login → account access, plus every denial path
+// the figure's decision diamonds show. dataDir holds account.xml.
+func Figure4(dataDir string) (string, error) {
+	app, err := mortgageapp.New(dataDir)
+	if err != nil {
+		return "", err
+	}
+	server := httptest.NewServer(app)
+	defer server.Close()
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return "", err
+	}
+	client := &http.Client{Jar: jar}
+
+	var b strings.Builder
+	b.WriteString("Figure 4 — web application project (client + provider over HTTP)\n\n")
+	step := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	goodSSN, err := findSSN(func(s int64) bool { return s >= services.ApprovalThreshold })
+	if err != nil {
+		return "", err
+	}
+	badSSN, err := findSSN(func(s int64) bool { return s < services.ApprovalThreshold })
+	if err != nil {
+		return "", err
+	}
+
+	post := func(path string, form url.Values) (int, map[string]any, error) {
+		resp, err := client.PostForm(server.URL+path, form)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var body map[string]any
+		_ = json.Unmarshal(data, &body)
+		return resp.StatusCode, body, nil
+	}
+
+	// 1. Invalid form is rejected at the presentation layer.
+	status, _, err := post("/subscribe", url.Values{"name": {"Ada"}, "ssn": {"badssn"}})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusBadRequest {
+		return b.String(), fmt.Errorf("figure4: invalid form got %d", status)
+	}
+	step("1. presentation-layer validation rejects malformed SSN (HTTP %d)", status)
+
+	// 2. Low credit score → "You do not qualify".
+	status, body, err := post("/subscribe", url.Values{
+		"name": {"Bob"}, "ssn": {badSSN}, "address": {"1 Elm St"},
+		"dob": {"1990-05-01"}, "income": {"90000"}, "amount": {"200000"},
+	})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK || body["approved"] != false {
+		return b.String(), fmt.Errorf("figure4: low-credit flow got %d %v", status, body)
+	}
+	step("2. credit-score service denies SSN %s (score %v): %v", badSSN, body["score"], body["reason"])
+
+	// 3. Approved application issues a user ID.
+	status, body, err = post("/subscribe", url.Values{
+		"name": {"Ada"}, "ssn": {goodSSN}, "address": {"2 Oak St"},
+		"dob": {"1988-03-07"}, "income": {"95000"}, "amount": {"250000"},
+	})
+	if err != nil {
+		return "", err
+	}
+	userID, _ := body["userId"].(string)
+	if status != http.StatusOK || body["approved"] != true || userID == "" {
+		return b.String(), fmt.Errorf("figure4: approval flow got %d %v", status, body)
+	}
+	step("3. application approved (score %v), issued user ID %s; stored in account.xml", body["score"], userID)
+
+	// 4. Weak password rejected ("Strong?" diamond).
+	status, _, err = post("/password", url.Values{
+		"userId": {userID}, "password": {"weak"}, "retype": {"weak"},
+	})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusBadRequest {
+		return b.String(), fmt.Errorf("figure4: weak password got %d", status)
+	}
+	step("4. weak password rejected (HTTP %d)", status)
+
+	// 5. Mismatched retype rejected ("Match?" diamond).
+	status, _, err = post("/password", url.Values{
+		"userId": {userID}, "password": {"Str0ngPass!"}, "retype": {"Different1!"},
+	})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusBadRequest {
+		return b.String(), fmt.Errorf("figure4: mismatch got %d", status)
+	}
+	step("5. mismatched retype rejected (HTTP %d)", status)
+
+	// 6. Strong matching password accepted.
+	status, body, err = post("/password", url.Values{
+		"userId": {userID}, "password": {"Str0ngPass!"}, "retype": {"Str0ngPass!"},
+	})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK || body["ready"] != true {
+		return b.String(), fmt.Errorf("figure4: password create got %d %v", status, body)
+	}
+	step("6. password created for %s", userID)
+
+	// 7. Wrong password login denied; correct login succeeds.
+	status, _, err = post("/login", url.Values{"userId": {userID}, "password": {"WrongPass1!"}})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusUnauthorized {
+		return b.String(), fmt.Errorf("figure4: wrong login got %d", status)
+	}
+	status, body, err = post("/login", url.Values{"userId": {userID}, "password": {"Str0ngPass!"}})
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK || body["loggedIn"] != true {
+		return b.String(), fmt.Errorf("figure4: login got %d %v", status, body)
+	}
+	step("7. wrong password denied; correct login succeeds")
+
+	// 8. Authenticated account access reads back the XML store.
+	resp, err := client.Get(server.URL + "/account/" + userID)
+	if err != nil {
+		return "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var acct map[string]any
+	_ = json.Unmarshal(data, &acct)
+	if resp.StatusCode != http.StatusOK || acct["state"] != "approved" || acct["name"] != "Ada" {
+		return b.String(), fmt.Errorf("figure4: account fetch got %d %v", resp.StatusCode, acct)
+	}
+	step("8. account page served from account.xml: user %v, state %v", acct["userId"], acct["state"])
+
+	b.WriteString("\nall Figure 4 decision paths exercised successfully\n")
+	return b.String(), nil
+}
+
+// findSSN searches the synthetic bureau for a score matching pred.
+func findSSN(pred func(int64) bool) (string, error) {
+	for a := 100; a < 1000; a++ {
+		ssn := fmt.Sprintf("%03d-%02d-%04d", a, a%90+10, a*7%9000+1000)
+		score, err := services.CreditScoreOf(ssn)
+		if err != nil {
+			return "", err
+		}
+		if pred(score) {
+			return ssn, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: no SSN matches predicate")
+}

@@ -1,0 +1,158 @@
+package host
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/soap"
+	"soc/internal/wsdl"
+)
+
+// ErrRemote reports a remote invocation failure, wrapping the transported
+// problem detail.
+var ErrRemote = errors.New("host: remote error")
+
+// Client consumes services exposed by a Host (or any server following the
+// same URL conventions), over either binding.
+type Client struct {
+	// BaseURL is the server prefix, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient performs requests; nil uses a 30 s timeout client.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Call invokes service.op over the REST binding with JSON arguments.
+func (c *Client) Call(ctx context.Context, service, op string, args core.Values) (core.Values, error) {
+	body, err := json.Marshal(args)
+	if err != nil {
+		return nil, fmt.Errorf("host: encoding args: %w", err)
+	}
+	url := fmt.Sprintf("%s/services/%s/invoke/%s", c.BaseURL, service, op)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transport: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading response: %v", ErrRemote, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var prob struct {
+			Detail string `json:"detail"`
+			Title  string `json:"title"`
+		}
+		if json.Unmarshal(data, &prob) == nil && prob.Detail != "" {
+			return nil, fmt.Errorf("%w: %s (%d)", ErrRemote, prob.Detail, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%w: decoding response: %v", ErrRemote, err)
+	}
+	return core.Values(out), nil
+}
+
+// CallSOAP invokes service.op over the SOAP binding. Arguments are
+// serialized to their lexical forms; results come back as strings (the
+// caller coerces as needed, as any WSDL-driven client would).
+func (c *Client) CallSOAP(ctx context.Context, service, op, namespace string, args core.Values) (map[string]string, error) {
+	msg := soap.Message{Operation: op, Namespace: namespace, Params: map[string]string{}}
+	for k, v := range args {
+		msg.Params[k] = core.FormatValue(v)
+	}
+	sc := &soap.Client{HTTPClient: c.httpClient()}
+	url := fmt.Sprintf("%s/services/%s/soap", c.BaseURL, service)
+	// The soap package has no context plumbing of its own; honor
+	// cancellation by binding it to the request timeout path.
+	type result struct {
+		msg soap.Message
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		m, err := sc.Call(url, msg)
+		done <- result{m, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return r.msg.Params, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Describe fetches the WSDL for a service and parses it.
+func (c *Client) Describe(ctx context.Context, service string) (*wsdl.Description, error) {
+	url := fmt.Sprintf("%s/services/%s?wsdl", c.BaseURL, service)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transport: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: wsdl status %d", ErrRemote, resp.StatusCode)
+	}
+	return wsdl.Parse(resp.Body)
+}
+
+// List fetches the hosted service summaries.
+func (c *Client) List(ctx context.Context) ([]ServiceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/services", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transport: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.StatusCode)
+	}
+	var out []ServiceInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: decoding list: %v", ErrRemote, err)
+	}
+	return out, nil
+}
+
+// ServiceInfo is one entry of a service listing.
+type ServiceInfo struct {
+	Name      string `json:"name"`
+	Namespace string `json:"namespace"`
+	Doc       string `json:"doc"`
+	Category  string `json:"category"`
+}

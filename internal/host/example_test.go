@@ -1,0 +1,34 @@
+package host_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"soc/internal/core"
+	"soc/internal/host"
+)
+
+// Example mounts a service and consumes it over both standard bindings.
+func Example() {
+	svc, _ := core.NewService("Calc", "http://example.org/calc", "arithmetic")
+	svc.MustAddOperation(core.Operation{
+		Name:   "Add",
+		Input:  []core.Param{{Name: "a", Type: core.Int}, {Name: "b", Type: core.Int}},
+		Output: []core.Param{{Name: "sum", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			return core.Values{"sum": in.Int("a") + in.Int("b")}, nil
+		},
+	})
+	h := host.New()
+	h.MustMount(svc)
+	server := httptest.NewServer(h)
+	defer server.Close()
+
+	client := host.NewClient(server.URL)
+	ctx := context.Background()
+	restOut, _ := client.Call(ctx, "Calc", "Add", core.Values{"a": 40, "b": 2})
+	soapOut, _ := client.CallSOAP(ctx, "Calc", "Add", "http://example.org/calc", core.Values{"a": 40, "b": 2})
+	fmt.Printf("rest=%v soap=%s\n", restOut["sum"], soapOut["sum"])
+	// Output: rest=42 soap=42
+}

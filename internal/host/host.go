@@ -1,0 +1,345 @@
+// Package host exposes soc/internal/core services over the two standard
+// protocol bindings the courses teach — SOAP (document/literal, with a
+// generated WSDL) and REST (JSON or XML) — from a single mount call, and
+// provides the matching client. One Host plays the role of the ASU
+// repository's service provider: many services, uniform URLs:
+//
+//	GET  /services                      list hosted services
+//	GET  /services/{name}               service description (JSON/XML)
+//	GET  /services/{name}?wsdl          WSDL 1.1 document
+//	POST /services/{name}/soap          SOAP endpoint
+//	POST /services/{name}/invoke/{op}   REST invocation (JSON body)
+//	GET  /services/{name}/invoke/{op}   REST invocation (query params)
+package host
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/rest"
+	"soc/internal/soap"
+	"soc/internal/wsdl"
+)
+
+// ErrMount reports an invalid mount.
+var ErrMount = errors.New("host: invalid mount")
+
+// Host serves a set of core services over SOAP and REST.
+type Host struct {
+	mu       sync.RWMutex
+	services map[string]*core.Service
+	soapSrvs map[string]*soap.Server
+	router   *rest.Router
+	metrics  *metrics
+	// BaseURL, when set, is used as the advertised endpoint prefix in
+	// generated WSDL (e.g. "http://host:port"). Unset hosts advertise
+	// a relative endpoint.
+	BaseURL string
+}
+
+// New returns an empty host.
+func New() *Host {
+	h := &Host{
+		services: make(map[string]*core.Service),
+		soapSrvs: make(map[string]*soap.Server),
+		router:   rest.NewRouter(),
+		metrics:  newMetrics(),
+	}
+	h.router.Use(rest.Recovery())
+	must := func(err error) {
+		if err != nil {
+			panic(err) // static routes; failure is a programming bug
+		}
+	}
+	must(h.router.GET("/services", h.handleList))
+	must(h.router.GET("/services/{name}/stats", h.handleStats))
+	must(h.router.GET("/services/{name}", h.handleDescribe))
+	must(h.router.POST("/services/{name}/soap", h.handleSOAP))
+	must(h.router.POST("/services/{name}/invoke/{op}", h.handleInvoke))
+	must(h.router.GET("/services/{name}/invoke/{op}", h.handleInvoke))
+	return h
+}
+
+// Mount adds a service to the host.
+func (h *Host) Mount(svc *core.Service) error {
+	if svc == nil {
+		return fmt.Errorf("%w: nil service", ErrMount)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.services[svc.Name]; dup {
+		return fmt.Errorf("%w: duplicate service %q", ErrMount, svc.Name)
+	}
+	ss := soap.NewServer(svc.Namespace)
+	for _, op := range svc.Operations() {
+		opName := op.Name
+		err := ss.Handle(opName, func(req soap.Message) (soap.Message, error) {
+			args := core.Values{}
+			for k, v := range req.Params {
+				args[k] = v
+			}
+			start := time.Now()
+			out, err := h.invokeLocked(svc, opName, args)
+			h.metrics.record(svc.Name+"."+opName, time.Since(start), err != nil)
+			if err != nil {
+				if errors.Is(err, core.ErrBadRequest) || errors.Is(err, core.ErrNotFound) {
+					return soap.Message{}, soap.ClientFault("%v", err)
+				}
+				return soap.Message{}, soap.ServerFault("%v", err)
+			}
+			resp := soap.Message{Params: map[string]string{}}
+			for k, v := range out {
+				resp.Params[k] = core.FormatValue(v)
+			}
+			return resp, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	h.services[svc.Name] = svc
+	h.soapSrvs[svc.Name] = ss
+	return nil
+}
+
+// MustMount is Mount panicking on error.
+func (h *Host) MustMount(svc *core.Service) {
+	if err := h.Mount(svc); err != nil {
+		panic(err)
+	}
+}
+
+func (h *Host) invokeLocked(svc *core.Service, op string, args core.Values) (core.Values, error) {
+	// Service invocation itself is lock-free; the host lock only guards
+	// the service maps.
+	return svc.Invoke(context.Background(), op, args)
+}
+
+// Service returns a mounted service by name.
+func (h *Host) Service(name string) (*core.Service, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.services[name]
+	return s, ok
+}
+
+// Names lists mounted service names, sorted.
+func (h *Host) Names() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.services))
+	for n := range h.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.router.ServeHTTP(w, r)
+}
+
+// serviceSummary is the wire form of a service listing entry.
+type serviceSummary struct {
+	Name      string `json:"name" xml:"name"`
+	Namespace string `json:"namespace" xml:"namespace"`
+	Doc       string `json:"doc,omitempty" xml:"doc,omitempty"`
+	Category  string `json:"category,omitempty" xml:"category,omitempty"`
+}
+
+type paramDesc struct {
+	Name     string `json:"name" xml:"name"`
+	Type     string `json:"type" xml:"type"`
+	Optional bool   `json:"optional,omitempty" xml:"optional,omitempty"`
+	Doc      string `json:"doc,omitempty" xml:"doc,omitempty"`
+}
+
+type opDesc struct {
+	Name   string      `json:"name" xml:"name"`
+	Doc    string      `json:"doc,omitempty" xml:"doc,omitempty"`
+	Input  []paramDesc `json:"input" xml:"input>param"`
+	Output []paramDesc `json:"output" xml:"output>param"`
+}
+
+type serviceDesc struct {
+	serviceSummary
+	Endpoints map[string]string `json:"endpoints" xml:"-"`
+	Ops       []opDesc          `json:"operations" xml:"operations>operation"`
+}
+
+func (h *Host) handleList(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]serviceSummary, 0, len(h.services))
+	for _, name := range h.namesLocked() {
+		s := h.services[name]
+		out = append(out, serviceSummary{Name: s.Name, Namespace: s.Namespace, Doc: s.Doc, Category: s.Category})
+	}
+	rest.WriteResponse(w, r, http.StatusOK, out)
+}
+
+func (h *Host) namesLocked() []string {
+	out := make([]string, 0, len(h.services))
+	for n := range h.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (h *Host) handleDescribe(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	svc, ok := h.Service(p["name"])
+	if !ok {
+		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
+		return
+	}
+	if _, wantWSDL := r.URL.Query()["wsdl"]; wantWSDL {
+		endpoint := h.BaseURL + "/services/" + svc.Name + "/soap"
+		doc, err := wsdl.Generate(svc, endpoint)
+		if err != nil {
+			rest.WriteError(w, r, http.StatusInternalServerError, "wsdl generation: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		_, _ = w.Write(doc)
+		return
+	}
+	desc := serviceDesc{
+		serviceSummary: serviceSummary{Name: svc.Name, Namespace: svc.Namespace, Doc: svc.Doc, Category: svc.Category},
+		Endpoints: map[string]string{
+			"soap": h.BaseURL + "/services/" + svc.Name + "/soap",
+			"rest": h.BaseURL + "/services/" + svc.Name + "/invoke",
+			"wsdl": h.BaseURL + "/services/" + svc.Name + "?wsdl",
+		},
+	}
+	for _, op := range svc.Operations() {
+		desc.Ops = append(desc.Ops, opDesc{
+			Name:   op.Name,
+			Doc:    op.Doc,
+			Input:  toParamDescs(op.Input),
+			Output: toParamDescs(op.Output),
+		})
+	}
+	rest.WriteResponse(w, r, http.StatusOK, desc)
+}
+
+func toParamDescs(ps []core.Param) []paramDesc {
+	out := make([]paramDesc, len(ps))
+	for i, p := range ps {
+		out[i] = paramDesc{Name: p.Name, Type: string(p.Type), Optional: p.Optional, Doc: p.Doc}
+	}
+	return out
+}
+
+// statsEntry is the wire form of one operation's statistics.
+type statsEntry struct {
+	Operation string `json:"operation"`
+	Calls     uint64 `json:"calls"`
+	Errors    uint64 `json:"errors"`
+	MeanNanos int64  `json:"meanNanos"`
+}
+
+func (h *Host) handleStats(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	svc, ok := h.Service(p["name"])
+	if !ok {
+		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
+		return
+	}
+	all := h.Stats()
+	out := []statsEntry{}
+	for _, op := range svc.Operations() {
+		key := svc.Name + "." + op.Name
+		if st, ok := all[key]; ok {
+			out = append(out, statsEntry{
+				Operation: op.Name, Calls: st.Calls, Errors: st.Errors,
+				MeanNanos: int64(st.MeanTime()),
+			})
+		}
+	}
+	rest.WriteResponse(w, r, http.StatusOK, out)
+}
+
+func (h *Host) handleSOAP(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	h.mu.RLock()
+	ss, ok := h.soapSrvs[p["name"]]
+	h.mu.RUnlock()
+	if !ok {
+		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
+		return
+	}
+	ss.ServeHTTP(w, r)
+}
+
+func (h *Host) handleInvoke(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	svc, ok := h.Service(p["name"])
+	if !ok {
+		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
+		return
+	}
+	args := core.Values{}
+	if r.Method == http.MethodPost {
+		var body map[string]any
+		if err := rest.ReadJSON(r, &body, 0); err != nil {
+			rest.WriteError(w, r, http.StatusBadRequest, "body: %v", err)
+			return
+		}
+		for k, v := range body {
+			args[k] = v
+		}
+	} else {
+		for k, vs := range r.URL.Query() {
+			if k == "format" {
+				continue
+			}
+			if len(vs) > 0 {
+				args[k] = vs[0]
+			}
+		}
+	}
+	start := time.Now()
+	out, err := svc.Invoke(r.Context(), p["op"], args)
+	h.metrics.record(svc.Name+"."+p["op"], time.Since(start), err != nil)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrBadRequest) {
+			status = http.StatusBadRequest
+		} else if errors.Is(err, core.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		rest.WriteError(w, r, status, "%v", err)
+		return
+	}
+	// XML marshaling of map types is unsupported by encoding/xml, so
+	// force JSON output for invocation results unless explicitly
+	// negotiated; wrap XML results in a simple element form.
+	if rest.Negotiate(r) == "xml" {
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, valuesToXML(p["op"]+"Response", out))
+		return
+	}
+	rest.WriteResponse(w, r, http.StatusOK, out)
+}
+
+func valuesToXML(root string, v core.Values) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%s>", root)
+	for _, k := range v.Keys() {
+		fmt.Fprintf(&b, "<%s>%s</%s>", k, xmlEscape(core.FormatValue(v[k])), k)
+	}
+	fmt.Fprintf(&b, "</%s>", root)
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,71 @@
+package host
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpStats accumulates invocation statistics for one service operation —
+// the provider-side observability the "service hosting" assignment asks
+// students to analyze ("determine the performance improvement based on
+// the service model").
+type OpStats struct {
+	Calls     uint64
+	Errors    uint64
+	TotalTime time.Duration
+}
+
+// MeanTime is the average handler latency.
+func (s OpStats) MeanTime() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(s.Calls)
+}
+
+type metrics struct {
+	mu sync.Mutex
+	m  map[string]*OpStats // "Service.Operation" → stats
+}
+
+func newMetrics() *metrics { return &metrics{m: map[string]*OpStats{}} }
+
+func (mx *metrics) record(key string, d time.Duration, failed bool) {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	st, ok := mx.m[key]
+	if !ok {
+		st = &OpStats{}
+		mx.m[key] = st
+	}
+	st.Calls++
+	st.TotalTime += d
+	if failed {
+		st.Errors++
+	}
+}
+
+// Stats returns a snapshot of per-operation statistics keyed by
+// "Service.Operation".
+func (h *Host) Stats() map[string]OpStats {
+	h.metrics.mu.Lock()
+	defer h.metrics.mu.Unlock()
+	out := make(map[string]OpStats, len(h.metrics.m))
+	for k, v := range h.metrics.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// StatKeys returns the sorted operation keys with recorded calls.
+func (h *Host) StatKeys() []string {
+	h.metrics.mu.Lock()
+	defer h.metrics.mu.Unlock()
+	out := make([]string, 0, len(h.metrics.m))
+	for k := range h.metrics.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,97 @@
+package nav
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"soc/internal/maze"
+	"soc/internal/robot"
+)
+
+// Summary aggregates episodes of one algorithm over a corpus.
+type Summary struct {
+	Algorithm   string
+	Runs        int
+	Solved      int
+	MeanSteps   float64 // over solved runs
+	MeanVisited float64 // over solved runs
+	MeanExcess  float64 // mean Steps/Optimal over solved runs
+}
+
+// SolveRate is the fraction of solved runs.
+func (s Summary) SolveRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Solved) / float64(s.Runs)
+}
+
+// CorpusSpec describes a maze corpus: sizes × seeds × generator.
+type CorpusSpec struct {
+	Sizes     []int // square mazes, must be odd-friendly ≥ 2
+	Seeds     int   // seeds 0..Seeds-1 per size
+	Algorithm maze.Algorithm
+	Budget    int // step budget per episode (0 = default)
+}
+
+// Evaluate runs every named controller over the corpus and returns one
+// summary per controller in the given order.
+func Evaluate(ctx context.Context, algorithms []string, spec CorpusSpec) ([]Summary, error) {
+	if len(algorithms) == 0 || len(spec.Sizes) == 0 || spec.Seeds <= 0 {
+		return nil, fmt.Errorf("nav: empty evaluation spec")
+	}
+	summaries := make([]Summary, len(algorithms))
+	for i, alg := range algorithms {
+		summaries[i].Algorithm = alg
+		var steps, visited, excess float64
+		for _, size := range spec.Sizes {
+			for seed := 0; seed < spec.Seeds; seed++ {
+				m, err := maze.Generate(size, size, spec.Algorithm, int64(seed))
+				if err != nil {
+					return nil, err
+				}
+				r, err := robot.New(m)
+				if err != nil {
+					return nil, err
+				}
+				ctrl, err := New(alg, int64(seed))
+				if err != nil {
+					return nil, err
+				}
+				ep, err := Run(ctx, ctrl, r, spec.Budget)
+				if err != nil {
+					return nil, fmt.Errorf("nav: %s on %dx%d seed %d: %w", alg, size, size, seed, err)
+				}
+				summaries[i].Runs++
+				if ep.Solved {
+					summaries[i].Solved++
+					steps += float64(ep.Steps)
+					visited += float64(ep.Visited)
+					if ep.Optimal > 0 {
+						excess += float64(ep.Steps) / float64(ep.Optimal)
+					}
+				}
+			}
+		}
+		if summaries[i].Solved > 0 {
+			n := float64(summaries[i].Solved)
+			summaries[i].MeanSteps = steps / n
+			summaries[i].MeanVisited = visited / n
+			summaries[i].MeanExcess = excess / n
+		}
+	}
+	return summaries, nil
+}
+
+// FormatSummaries renders the evaluation as the Figure 2 experiment table.
+func FormatSummaries(summaries []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %6s %8s %10s %10s %8s\n",
+		"algorithm", "runs", "solved", "meanSteps", "visited", "excess")
+	for _, s := range summaries {
+		fmt.Fprintf(&b, "%-22s %6d %7.0f%% %10.1f %10.1f %7.2fx\n",
+			s.Algorithm, s.Runs, s.SolveRate()*100, s.MeanSteps, s.MeanVisited, s.MeanExcess)
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package parallel_test
+
+import (
+	"fmt"
+
+	"soc/internal/parallel"
+)
+
+// ExampleReduce sums squares with a TBB-style parallel reduction.
+func ExampleReduce() {
+	sum, _ := parallel.Reduce(1, 11, 0,
+		func(i int) int { return i * i },
+		func(a, b int) int { return a + b },
+		parallel.Options{Workers: 4})
+	fmt.Println(sum)
+	// Output: 385
+}
+
+// ExampleAsync turns a synchronous call into an asynchronous one — the
+// course's server-design pattern.
+func ExampleAsync() {
+	future := parallel.Async(func() (string, error) {
+		return "computed in the background", nil
+	})
+	// ... caller does other work here ...
+	v, err := future.Get()
+	fmt.Println(v, err)
+	// Output: computed in the background <nil>
+}

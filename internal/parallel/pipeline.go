@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stage is one step of a pipeline: it transforms an input item into an
+// output item. A stage declares how many parallel workers may run it;
+// serial stages (Workers == 1) preserve no particular order unless the
+// pipeline is configured as ordered.
+type Stage[T any] struct {
+	// Name identifies the stage in errors.
+	Name string
+	// Workers is the stage's parallelism; values < 1 are treated as 1.
+	Workers int
+	// Fn transforms an item. Returning an error aborts the pipeline.
+	Fn func(T) (T, error)
+}
+
+// Pipeline chains stages the way TBB's parallel_pipeline does: each stage
+// runs its own worker pool, connected by bounded channels, so throughput is
+// governed by the slowest stage rather than the sum of stage latencies.
+type Pipeline[T any] struct {
+	stages []Stage[T]
+	buffer int
+}
+
+// NewPipeline builds a pipeline from the given stages. buffer sets the
+// capacity of inter-stage channels (tokens in flight); values < 1 become 1.
+func NewPipeline[T any](buffer int, stages ...Stage[T]) (*Pipeline[T], error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("parallel: pipeline needs at least one stage")
+	}
+	for i, s := range stages {
+		if s.Fn == nil {
+			return nil, fmt.Errorf("parallel: stage %d (%q) has nil Fn", i, s.Name)
+		}
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Pipeline[T]{stages: stages, buffer: buffer}, nil
+}
+
+// Run feeds every input through all stages and returns the outputs in
+// arbitrary order. The first stage error cancels the run.
+func (p *Pipeline[T]) Run(inputs []T) ([]T, error) {
+	errOnce := sync.Once{}
+	var firstErr error
+	abort := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+
+	in := make(chan T, p.buffer)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	cur := in
+	for _, st := range p.stages {
+		out := make(chan T, p.buffer)
+		workers := st.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		stage := st
+		for w := 0; w < workers; w++ {
+			go func(src <-chan T, dst chan<- T) {
+				defer wg.Done()
+				for v := range src {
+					r, err := stage.Fn(v)
+					if err != nil {
+						fail(fmt.Errorf("parallel: stage %q: %w", stage.Name, err))
+						return
+					}
+					select {
+					case dst <- r:
+					case <-abort:
+						return
+					}
+				}
+			}(cur, out)
+		}
+		go func(dst chan T) {
+			wg.Wait()
+			close(dst)
+		}(out)
+		cur = out
+	}
+
+	var results []T
+	for v := range cur {
+		results = append(results, v)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

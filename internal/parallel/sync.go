@@ -1,0 +1,265 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed reports an operation on a closed primitive.
+var ErrClosed = errors.New("parallel: closed")
+
+// Semaphore is a counting semaphore built on a buffered channel, the
+// resource-locking primitive contrasted with unbreakable operations in
+// CSE445 unit 2.
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n permits.
+func NewSemaphore(n int) (*Semaphore, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("parallel: semaphore permits must be positive, got %d", n)
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}, nil
+}
+
+// Acquire takes a permit, blocking until one is available or ctx is done.
+func (s *Semaphore) Acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a permit without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a permit. Releasing more permits than were acquired is a
+// programming error and panics.
+func (s *Semaphore) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("parallel: semaphore release without acquire")
+	}
+}
+
+// InUse reports the number of permits currently held.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// CountdownEvent becomes signaled after Signal has been called n times —
+// the "event coordination" primitive of the multithreading unit (the
+// MRDS/CCR join pattern).
+type CountdownEvent struct {
+	mu    sync.Mutex
+	count int
+	done  chan struct{}
+}
+
+// NewCountdownEvent returns an event that fires after n signals.
+func NewCountdownEvent(n int) (*CountdownEvent, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("parallel: countdown must be positive, got %d", n)
+	}
+	return &CountdownEvent{count: n, done: make(chan struct{})}, nil
+}
+
+// Signal decrements the count; the final signal releases all waiters.
+// Signaling past zero is ignored.
+func (e *CountdownEvent) Signal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.count == 0 {
+		return
+	}
+	e.count--
+	if e.count == 0 {
+		close(e.done)
+	}
+}
+
+// Wait blocks until the count reaches zero or ctx is done.
+func (e *CountdownEvent) Wait(ctx context.Context) error {
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Remaining reports the number of outstanding signals.
+func (e *CountdownEvent) Remaining() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}
+
+// Barrier is a reusable (cyclic) barrier for n parties.
+type Barrier struct {
+	mu      sync.Mutex
+	n       int
+	waiting int
+	gen     chan struct{}
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) (*Barrier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("parallel: barrier parties must be positive, got %d", n)
+	}
+	return &Barrier{n: n, gen: make(chan struct{})}, nil
+}
+
+// Await blocks until n parties have arrived, then releases them all and
+// resets for the next generation. It returns true for exactly one caller
+// per generation (the "leader"), which can perform a serial phase.
+func (b *Barrier) Await(ctx context.Context) (leader bool, err error) {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.gen = make(chan struct{})
+		close(gen)
+		b.mu.Unlock()
+		return true, nil
+	}
+	b.mu.Unlock()
+	select {
+	case <-gen:
+		return false, nil
+	case <-ctx.Done():
+		// Withdraw from the current generation if it has not tripped.
+		b.mu.Lock()
+		if b.gen == gen && b.waiting > 0 {
+			b.waiting--
+		}
+		b.mu.Unlock()
+		return false, ctx.Err()
+	}
+}
+
+// Queue is a bounded blocking producer/consumer queue (the monitor-style
+// buffer of the synchronization unit, and the "messaging buffer service"
+// of the ASU repository).
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	size     int
+	closed   bool
+}
+
+// NewQueue returns a queue with the given capacity.
+func NewQueue[T any](capacity int) (*Queue[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("parallel: queue capacity must be positive, got %d", capacity)
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q, nil
+}
+
+// Put appends v, blocking while the queue is full. It fails once the queue
+// is closed.
+func (q *Queue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends v without blocking; it reports false when the queue is
+// full or closed.
+func (q *Queue[T]) TryPut(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Take removes the oldest element, blocking while the queue is empty.
+// After Close, Take drains remaining elements and then reports ErrClosed.
+func (q *Queue[T]) Take() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.size == 0 {
+		return zero, ErrClosed
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryTake removes the oldest element without blocking.
+func (q *Queue[T]) TryTake() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.notFull.Signal()
+	return v, true
+}
+
+// Close marks the queue closed: producers fail immediately, consumers
+// drain the backlog.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.notFull.Broadcast()
+		q.notEmpty.Broadcast()
+	}
+}
+
+// Len reports the number of buffered elements.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }

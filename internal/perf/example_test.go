@@ -1,0 +1,29 @@
+package perf_test
+
+import (
+	"fmt"
+	"time"
+
+	"soc/internal/perf"
+)
+
+// ExampleSpeedup derives the Figure 3 metrics from two measured times.
+func ExampleSpeedup() {
+	t1 := 8 * time.Second
+	t4 := 2500 * time.Millisecond
+	s, _ := perf.Speedup(t1, t4)
+	e, _ := perf.Efficiency(t1, t4, 4)
+	fmt.Printf("speedup %.2fx, efficiency %.0f%%\n", s, e*100)
+	// Output: speedup 3.20x, efficiency 80%
+}
+
+// ExampleAmdahl shows the scaling ceiling a serial fraction imposes.
+func ExampleAmdahl() {
+	for _, p := range []int{4, 32} {
+		s, _ := perf.Amdahl(0.05, p)
+		fmt.Printf("p=%d: %.2fx\n", p, s)
+	}
+	// Output:
+	// p=4: 3.48x
+	// p=32: 12.55x
+}

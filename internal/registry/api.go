@@ -1,0 +1,216 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"soc/internal/rest"
+)
+
+// API exposes a Registry over REST:
+//
+//	GET    /registry/services            list (all|live)
+//	POST   /registry/services            publish (JSON Entry)
+//	GET    /registry/services/{name}     fetch one
+//	DELETE /registry/services/{name}     unpublish
+//	POST   /registry/services/{name}/heartbeat
+//	GET    /registry/search?q=...&limit=N
+//	GET    /registry/categories
+//	GET    /registry/categories/{cat}    entries under a taxonomy prefix
+type API struct {
+	reg    *Registry
+	router *rest.Router
+}
+
+// NewAPI wraps a registry in its REST API.
+func NewAPI(reg *Registry) *API {
+	a := &API{reg: reg, router: rest.NewRouter()}
+	a.router.Use(rest.Recovery())
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(a.router.GET("/registry/services", a.list))
+	must(a.router.POST("/registry/services", a.publish))
+	must(a.router.GET("/registry/services/{name}", a.get))
+	must(a.router.DELETE("/registry/services/{name}", a.unpublish))
+	must(a.router.POST("/registry/services/{name}/heartbeat", a.heartbeat))
+	must(a.router.GET("/registry/search", a.search))
+	must(a.router.GET("/registry/categories", a.categories))
+	must(a.router.GET("/registry/categories/{cat}", a.byCategory))
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.router.ServeHTTP(w, r) }
+
+func (a *API) list(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	liveOnly := r.URL.Query().Get("all") == ""
+	rest.WriteResponse(w, r, http.StatusOK, a.reg.List(liveOnly))
+}
+
+func (a *API) publish(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	var e Entry
+	if err := rest.ReadJSON(r, &e, 0); err != nil {
+		rest.WriteError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := a.reg.Publish(e); err != nil {
+		rest.WriteError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stored, _ := a.reg.Get(e.Name)
+	rest.WriteResponse(w, r, http.StatusCreated, stored)
+}
+
+func (a *API) get(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	e, err := a.reg.Get(p["name"])
+	if err != nil {
+		rest.WriteError(w, r, http.StatusNotFound, "%v", err)
+		return
+	}
+	rest.WriteResponse(w, r, http.StatusOK, e)
+}
+
+func (a *API) unpublish(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	if err := a.reg.Unpublish(p["name"]); err != nil {
+		rest.WriteError(w, r, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) heartbeat(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	if err := a.reg.Heartbeat(p["name"]); err != nil {
+		rest.WriteError(w, r, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *API) search(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	q := r.URL.Query().Get("q")
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	matches, err := a.reg.Search(q, limit)
+	if err != nil {
+		rest.WriteError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if matches == nil {
+		matches = []Match{}
+	}
+	rest.WriteResponse(w, r, http.StatusOK, matches)
+}
+
+func (a *API) categories(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	rest.WriteResponse(w, r, http.StatusOK, a.reg.Categories())
+}
+
+func (a *API) byCategory(w http.ResponseWriter, r *http.Request, p rest.Params) {
+	entries := a.reg.ByCategory(p["cat"])
+	if entries == nil {
+		entries = []Entry{}
+	}
+	rest.WriteResponse(w, r, http.StatusOK, entries)
+}
+
+// Client talks to a remote registry API.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient returns a registry client.
+func NewClient(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 15 * time.Second}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: transport: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%w: status %d: %s", ErrInvalid, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("registry: decoding: %w", err)
+		}
+	}
+	return nil
+}
+
+// Publish registers the entry remotely.
+func (c *Client) Publish(ctx context.Context, e Entry) error {
+	return c.do(ctx, http.MethodPost, "/registry/services", e, nil)
+}
+
+// Heartbeat renews the remote lease.
+func (c *Client) Heartbeat(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodPost, "/registry/services/"+url.PathEscape(name)+"/heartbeat", nil, nil)
+}
+
+// Unpublish removes the remote entry.
+func (c *Client) Unpublish(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/registry/services/"+url.PathEscape(name), nil, nil)
+}
+
+// Get fetches one entry.
+func (c *Client) Get(ctx context.Context, name string) (Entry, error) {
+	var e Entry
+	err := c.do(ctx, http.MethodGet, "/registry/services/"+url.PathEscape(name), nil, &e)
+	return e, err
+}
+
+// List fetches live entries.
+func (c *Client) List(ctx context.Context) ([]Entry, error) {
+	var out []Entry
+	err := c.do(ctx, http.MethodGet, "/registry/services", nil, &out)
+	return out, err
+}
+
+// Search performs a ranked keyword search.
+func (c *Client) Search(ctx context.Context, query string, limit int) ([]Match, error) {
+	var out []Match
+	path := "/registry/search?q=" + url.QueryEscape(query)
+	if limit > 0 {
+		path += "&limit=" + strconv.Itoa(limit)
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}

@@ -1,0 +1,25 @@
+package registry_test
+
+import (
+	"fmt"
+
+	"soc/internal/registry"
+)
+
+// Example publishes services into the broker and discovers one by
+// keyword — the publish/discover half of the SOA triangle.
+func Example() {
+	reg := registry.New()
+	_ = reg.Publish(registry.Entry{
+		Name: "ShoppingCart", Doc: "stateful shopping cart for web stores",
+		Category: "commerce", Endpoint: "http://venus/cart",
+		Operations: []string{"AddItem", "Checkout"},
+	})
+	_ = reg.Publish(registry.Entry{
+		Name: "Encryption", Doc: "AES encryption and decryption",
+		Category: "security/encryption", Endpoint: "http://venus/enc",
+	})
+	matches, _ := reg.Search("checkout cart", 1)
+	fmt.Println(matches[0].Entry.Name, matches[0].Entry.Endpoint)
+	// Output: ShoppingCart http://venus/cart
+}

@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"soc/internal/xmlkit"
+)
+
+// The registry persists as an XML directory document — the same data
+// shape the ASU repository's registration page collects:
+//
+//	<directory>
+//	  <service name="..." category="..." provider="...">
+//	    <namespace>...</namespace>
+//	    <doc>...</doc>
+//	    <endpoint>...</endpoint>
+//	    <bindings>soap,rest</bindings>
+//	    <operations>Encrypt,Decrypt</operations>
+//	    <published>RFC3339</published>
+//	  </service>
+//	</directory>
+
+// Save writes every entry (live or lapsed) to w as XML.
+func (r *Registry) Save(w io.Writer) error {
+	root := xmlkit.NewElement("directory")
+	for _, e := range r.List(false) {
+		el := root.AppendChild(xmlkit.NewElement("service"))
+		el.SetAttr("name", e.Name)
+		if e.Category != "" {
+			el.SetAttr("category", e.Category)
+		}
+		if e.Provider != "" {
+			el.SetAttr("provider", e.Provider)
+		}
+		appendText := func(name, value string) {
+			if value == "" {
+				return
+			}
+			c := el.AppendChild(xmlkit.NewElement(name))
+			c.AppendChild(xmlkit.NewText(value))
+		}
+		appendText("namespace", e.Namespace)
+		appendText("doc", e.Doc)
+		appendText("endpoint", e.Endpoint)
+		appendText("bindings", strings.Join(e.Bindings, ","))
+		appendText("operations", strings.Join(e.Operations, ","))
+		appendText("published", e.Published.UTC().Format(time.RFC3339))
+	}
+	doc := &xmlkit.Document{Root: root}
+	return doc.Write(w)
+}
+
+// Load publishes every service element of an XML directory document into
+// the registry (granting fresh leases) and returns how many were loaded.
+func (r *Registry) Load(rd io.Reader) (int, error) {
+	doc, err := xmlkit.ParseDocument(rd)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if doc.Root.Name != "directory" {
+		return 0, fmt.Errorf("%w: root is <%s>, want <directory>", ErrInvalid, doc.Root.Name)
+	}
+	n := 0
+	for _, el := range doc.Root.Elements() {
+		if el.Name != "service" {
+			return n, fmt.Errorf("%w: unexpected element <%s>", ErrInvalid, el.Name)
+		}
+		name, _ := el.Attr("name")
+		category, _ := el.Attr("category")
+		provider, _ := el.Attr("provider")
+		e := Entry{
+			Name:       name,
+			Category:   category,
+			Provider:   provider,
+			Namespace:  el.ChildText("namespace"),
+			Doc:        el.ChildText("doc"),
+			Endpoint:   el.ChildText("endpoint"),
+			Bindings:   splitList(el.ChildText("bindings")),
+			Operations: splitList(el.ChildText("operations")),
+		}
+		if err := r.Publish(e); err != nil {
+			return n, fmt.Errorf("%w: service %q: %v", ErrInvalid, name, err)
+		}
+		// Preserve the recorded publication time when present.
+		if ts := el.ChildText("published"); ts != "" {
+			if when, err := time.Parse(time.RFC3339, ts); err == nil {
+				r.mu.Lock()
+				if stored, ok := r.entries[name]; ok {
+					stored.Published = when
+				}
+				r.mu.Unlock()
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

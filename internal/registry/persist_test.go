@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := seeded(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<directory>") || !strings.Contains(buf.String(), `name="Encryption"`) {
+		t.Errorf("serialized form:\n%s", buf.String())
+	}
+	restored := New()
+	n, err := restored.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 4 {
+		t.Fatalf("Load: %d %v", n, err)
+	}
+	for _, want := range seedEntries() {
+		got, err := restored.Get(want.Name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", want.Name, err)
+		}
+		if got.Namespace != want.Namespace || got.Doc != want.Doc ||
+			got.Category != want.Category || got.Endpoint != want.Endpoint {
+			t.Errorf("%s: %+v != %+v", want.Name, got, want)
+		}
+		if strings.Join(got.Bindings, ",") != strings.Join(want.Bindings, ",") {
+			t.Errorf("%s bindings = %v", want.Name, got.Bindings)
+		}
+		if strings.Join(got.Operations, ",") != strings.Join(want.Operations, ",") {
+			t.Errorf("%s operations = %v", want.Name, got.Operations)
+		}
+	}
+	// Loaded entries are live (fresh leases) and searchable.
+	matches, err := restored.Search("captcha", 1)
+	if err != nil || len(matches) == 0 || matches[0].Entry.Name != "ImageVerifier" {
+		t.Errorf("post-load search: %v %v", matches, err)
+	}
+}
+
+func TestSavePreservesPublishedTime(t *testing.T) {
+	now := time.Date(2014, 2, 7, 12, 0, 0, 0, time.UTC)
+	r := New(WithClock(func() time.Time { return now }))
+	_ = r.Publish(Entry{Name: "A", Endpoint: "http://a"})
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if _, err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := restored.Get("A")
+	if !got.Published.Equal(now) {
+		t.Errorf("published = %v, want %v", got.Published, now)
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		"not xml",
+		"<wrong/>",
+		"<directory><other/></directory>",
+		`<directory><service name=""><endpoint>http://x</endpoint></service></directory>`,
+	}
+	for _, c := range cases {
+		r := New()
+		if _, err := r.Load(strings.NewReader(c)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Load(%q) = %v", c, err)
+		}
+	}
+}
+
+func TestLoadEmptyDirectory(t *testing.T) {
+	r := New()
+	n, err := r.Load(strings.NewReader("<directory/>"))
+	if err != nil || n != 0 {
+		t.Errorf("empty load: %d %v", n, err)
+	}
+}

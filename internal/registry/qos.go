@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// QoS is the measured quality-of-service record of an endpoint — the
+// paper's §V motivates exactly this: free public services are "too slow
+// to use" and "often offline", so a consumer-centric broker (the
+// Tsai/Chen consumer-centric SOA of reference [27]) must rank candidates
+// by observed quality, not just keyword relevance.
+type QoS struct {
+	// Uptime is the observed availability in [0, 1].
+	Uptime float64 `json:"uptime"`
+	// MeanRTT is the observed mean round-trip time.
+	MeanRTT time.Duration `json:"meanRTT"`
+	// Samples is how many probes back the record.
+	Samples int `json:"samples"`
+}
+
+// qosStore tracks QoS per service name alongside a registry.
+type qosStore struct {
+	mu sync.RWMutex
+	m  map[string]QoS
+}
+
+// QoSRegistry decorates a Registry with QoS records and quality-weighted
+// search.
+type QoSRegistry struct {
+	*Registry
+	qos qosStore
+}
+
+// NewQoS wraps a registry.
+func NewQoS(r *Registry) *QoSRegistry {
+	return &QoSRegistry{Registry: r, qos: qosStore{m: map[string]QoS{}}}
+}
+
+// ReportQoS records (or replaces) the measured QoS of a service.
+func (r *QoSRegistry) ReportQoS(name string, q QoS) error {
+	if q.Uptime < 0 || q.Uptime > 1 || q.Samples < 0 || q.MeanRTT < 0 {
+		return fmt.Errorf("%w: qos %+v", ErrInvalid, q)
+	}
+	if _, err := r.Get(name); err != nil {
+		return err
+	}
+	r.qos.mu.Lock()
+	defer r.qos.mu.Unlock()
+	r.qos.m[name] = q
+	return nil
+}
+
+// QoSOf returns the recorded QoS and whether one exists.
+func (r *QoSRegistry) QoSOf(name string) (QoS, bool) {
+	r.qos.mu.RLock()
+	defer r.qos.mu.RUnlock()
+	q, ok := r.qos.m[name]
+	return q, ok
+}
+
+// QoSMatch is a quality-weighted search result.
+type QoSMatch struct {
+	Entry     Entry   `json:"entry"`
+	Relevance float64 `json:"relevance"`
+	Quality   float64 `json:"quality"`
+	Score     float64 `json:"score"`
+}
+
+// rttReference is the RTT at which the latency factor halves.
+const rttReference = 200 * time.Millisecond
+
+// quality maps a QoS record to [0, 1]: uptime discounted by latency.
+// Services with no record get a neutral prior of 0.5, so measured-good
+// services outrank unknowns and unknowns outrank measured-bad ones.
+func quality(q QoS, ok bool) float64 {
+	if !ok || q.Samples == 0 {
+		return 0.5
+	}
+	latencyFactor := float64(rttReference) / float64(rttReference+q.MeanRTT)
+	return q.Uptime * latencyFactor
+}
+
+// SearchQoS ranks live entries by relevance × quality.
+func (r *QoSRegistry) SearchQoS(query string, limit int) ([]QoSMatch, error) {
+	base, err := r.Search(query, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QoSMatch, 0, len(base))
+	for _, m := range base {
+		q, ok := r.QoSOf(m.Entry.Name)
+		qual := quality(q, ok)
+		out = append(out, QoSMatch{
+			Entry:     m.Entry,
+			Relevance: m.Score,
+			Quality:   qual,
+			Score:     m.Score * qual,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entry.Name < out[j].Entry.Name
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Dependable returns live entries whose uptime meets the threshold,
+// sorted by quality descending — the broker-side answer to "which free
+// services can a class assignment actually rely on".
+func (r *QoSRegistry) Dependable(minUptime float64) []QoSMatch {
+	var out []QoSMatch
+	for _, e := range r.List(true) {
+		q, ok := r.QoSOf(e.Name)
+		if !ok || q.Uptime < minUptime {
+			continue
+		}
+		out = append(out, QoSMatch{Entry: e, Quality: quality(q, true), Score: quality(q, true)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Quality != out[j].Quality {
+			return out[i].Quality > out[j].Quality
+		}
+		return out[i].Entry.Name < out[j].Entry.Name
+	})
+	return out
+}

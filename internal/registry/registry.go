@@ -1,0 +1,308 @@
+// Package registry implements the service broker of the SOA triangle
+// (provider → broker ← client): a directory where providers publish
+// service entries and clients discover them. It supplies the pieces the
+// paper's §V describes for the ASU repository and service search engine:
+// a category taxonomy, a keyword inverted index with TF-IDF ranking,
+// liveness leases with heartbeats (addressing the "services are often
+// offline or removed without notice" complaint about free directories),
+// and a REST API with a matching client.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInvalid reports a malformed entry or query.
+var ErrInvalid = errors.New("registry: invalid input")
+
+// ErrNotFound reports a missing entry.
+var ErrNotFound = errors.New("registry: not found")
+
+// Entry is one published service.
+type Entry struct {
+	// Name uniquely identifies the service in the registry.
+	Name string `json:"name"`
+	// Namespace is the service's XML namespace.
+	Namespace string `json:"namespace"`
+	// Doc is the human description, indexed for keyword search.
+	Doc string `json:"doc"`
+	// Category is a slash-separated taxonomy path, e.g. "security/encryption".
+	Category string `json:"category"`
+	// Endpoint is the base URL where the service is hosted.
+	Endpoint string `json:"endpoint"`
+	// Bindings lists supported protocols, e.g. ["soap", "rest"].
+	Bindings []string `json:"bindings"`
+	// Operations lists operation names, indexed for search.
+	Operations []string `json:"operations"`
+	// Provider identifies who published the entry.
+	Provider string `json:"provider"`
+	// Published is when the entry was first registered.
+	Published time.Time `json:"published"`
+	// LeaseExpires is when the entry's lease lapses; expired entries
+	// are reported unavailable and eventually evicted.
+	LeaseExpires time.Time `json:"leaseExpires"`
+}
+
+// Available reports whether the entry's lease is current at t.
+func (e *Entry) Available(t time.Time) bool { return t.Before(e.LeaseExpires) }
+
+// Registry is an in-memory service directory, safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	// lease is the duration granted on publish and heartbeat.
+	lease time.Duration
+	now   func() time.Time
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithLease sets the lease duration (default 5 minutes).
+func WithLease(d time.Duration) Option { return func(r *Registry) { r.lease = d } }
+
+// WithClock sets the time source, for deterministic tests.
+func WithClock(now func() time.Time) Option { return func(r *Registry) { r.now = now } }
+
+// New returns an empty registry.
+func New(opts ...Option) *Registry {
+	r := &Registry{
+		entries: make(map[string]*Entry),
+		lease:   5 * time.Minute,
+		now:     time.Now,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+var categoryRE = regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+)*$`)
+
+// Publish registers (or re-registers) an entry and grants a fresh lease.
+func (r *Registry) Publish(e Entry) error {
+	if e.Name == "" || e.Endpoint == "" {
+		return fmt.Errorf("%w: name and endpoint are required", ErrInvalid)
+	}
+	if e.Category != "" && !categoryRE.MatchString(e.Category) {
+		return fmt.Errorf("%w: bad category %q", ErrInvalid, e.Category)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if old, ok := r.entries[e.Name]; ok {
+		e.Published = old.Published
+	} else {
+		e.Published = now
+	}
+	e.LeaseExpires = now.Add(r.lease)
+	copied := e
+	r.entries[e.Name] = &copied
+	return nil
+}
+
+// Heartbeat renews the lease of an entry.
+func (r *Registry) Heartbeat(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.LeaseExpires = r.now().Add(r.lease)
+	return nil
+}
+
+// Unpublish removes an entry.
+func (r *Registry) Unpublish(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// Get returns the entry by name.
+func (r *Registry) Get(name string) (Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return *e, nil
+}
+
+// List returns all entries sorted by name. When liveOnly, lapsed leases
+// are filtered out.
+func (r *Registry) List(liveOnly bool) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	now := r.now()
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if liveOnly && !e.Available(now) {
+			continue
+		}
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByCategory returns live entries whose category equals or falls under the
+// given taxonomy prefix ("security" matches "security/encryption").
+func (r *Registry) ByCategory(prefix string) []Entry {
+	var out []Entry
+	for _, e := range r.List(true) {
+		if e.Category == prefix || strings.HasPrefix(e.Category, prefix+"/") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Categories returns the sorted distinct categories of live entries.
+func (r *Registry) Categories() []string {
+	seen := map[string]bool{}
+	for _, e := range r.List(true) {
+		if e.Category != "" {
+			seen[e.Category] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evict removes entries whose lease lapsed more than grace ago; it returns
+// the evicted names.
+func (r *Registry) Evict(grace time.Duration) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	var evicted []string
+	for name, e := range r.entries {
+		if now.Sub(e.LeaseExpires) > grace {
+			delete(r.entries, name)
+			evicted = append(evicted, name)
+		}
+	}
+	sort.Strings(evicted)
+	return evicted
+}
+
+// Match is one ranked search result.
+type Match struct {
+	Entry Entry   `json:"entry"`
+	Score float64 `json:"score"`
+}
+
+var tokenRE = regexp.MustCompile(`[a-z0-9]+`)
+
+func tokenize(s string) []string {
+	return tokenRE.FindAllString(strings.ToLower(s), -1)
+}
+
+// docTokens returns the searchable token multiset of an entry.
+func docTokens(e *Entry) []string {
+	var parts []string
+	parts = append(parts, tokenize(e.Name)...)
+	parts = append(parts, tokenize(camelSplit(e.Name))...)
+	parts = append(parts, tokenize(e.Doc)...)
+	parts = append(parts, tokenize(strings.ReplaceAll(e.Category, "/", " "))...)
+	for _, op := range e.Operations {
+		parts = append(parts, tokenize(camelSplit(op))...)
+	}
+	return parts
+}
+
+// camelSplit breaks CamelCase identifiers into words so "ShoppingCart"
+// matches the query "cart".
+func camelSplit(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			b.WriteByte(' ')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Search ranks live entries against the query with TF-IDF cosine-like
+// scoring and returns matches in descending score order. Empty queries
+// are invalid.
+func (r *Registry) Search(query string, limit int) ([]Match, error) {
+	qTokens := tokenize(query)
+	if len(qTokens) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrInvalid)
+	}
+	entries := r.List(true)
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	// Document frequency per token.
+	df := map[string]int{}
+	tfs := make([]map[string]float64, len(entries))
+	for i := range entries {
+		toks := docTokens(&entries[i])
+		tf := map[string]float64{}
+		for _, t := range toks {
+			tf[t]++
+		}
+		for t := range tf {
+			df[t]++
+		}
+		// Normalize by document length.
+		for t := range tf {
+			tf[t] /= float64(len(toks))
+		}
+		tfs[i] = tf
+	}
+	n := float64(len(entries))
+	var matches []Match
+	for i := range entries {
+		score := 0.0
+		for _, q := range qTokens {
+			tf := tfs[i][q]
+			if tf == 0 {
+				continue
+			}
+			idf := math.Log(1 + n/float64(df[q]))
+			score += tf * idf
+		}
+		if score > 0 {
+			matches = append(matches, Match{Entry: entries[i], Score: score})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].Entry.Name < matches[j].Entry.Name
+	})
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
+	}
+	return matches, nil
+}
+
+// Len reports the number of entries (including lapsed ones).
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

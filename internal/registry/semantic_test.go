@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"soc/internal/ontology"
+)
+
+func semanticFixture(t *testing.T) *SemanticRegistry {
+	t.Helper()
+	onto := ontology.NewStore()
+	for _, tr := range [][3]string{
+		{"Loan", ontology.SubClassOf, "FinancialProduct"},
+		{"Mortgage", ontology.SubClassOf, "Loan"},
+		{"CreditScore", ontology.SubClassOf, "Score"},
+	} {
+		if err := onto.Add(tr[0], tr[1], tr[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewSemantic(New(), onto)
+	entries := []struct {
+		name    string
+		inputs  []string
+		outputs []string
+	}{
+		{"MortgageSvc", []string{"CreditScore"}, []string{"Mortgage"}},
+		{"LoanSvc", []string{"CreditScore"}, []string{"Loan"}},
+		{"ProductSvc", []string{"CreditScore"}, []string{"FinancialProduct"}},
+		{"WeatherSvc", []string{"City"}, []string{"Forecast"}},
+	}
+	for _, e := range entries {
+		if err := r.Publish(Entry{Name: e.name, Endpoint: "http://x/" + e.name}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Annotate(e.name, e.inputs, e.outputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One published entry without a profile: ignored by Discover.
+	if err := r.Publish(Entry{Name: "Unannotated", Endpoint: "http://x/u"}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiscoverRanksByMatchDegree(t *testing.T) {
+	r := semanticFixture(t)
+	matches, err := r.Discover([]string{"CreditScore"}, []string{"Loan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("matches = %v", matches)
+	}
+	// exact (LoanSvc) < plugin (MortgageSvc) < subsume (ProductSvc).
+	want := []struct {
+		name   string
+		degree ontology.MatchDegree
+	}{
+		{"LoanSvc", ontology.Exact},
+		{"MortgageSvc", ontology.Plugin},
+		{"ProductSvc", ontology.Subsume},
+	}
+	for i, w := range want {
+		if matches[i].Entry.Name != w.name || matches[i].Degree != w.degree {
+			t.Errorf("match[%d] = %s/%s, want %s/%s",
+				i, matches[i].Entry.Name, matches[i].Degree, w.name, w.degree)
+		}
+	}
+}
+
+func TestDiscoverExcludesFailsAndUnannotated(t *testing.T) {
+	r := semanticFixture(t)
+	matches, err := r.Discover([]string{"City"}, []string{"Forecast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].Entry.Name != "WeatherSvc" {
+		t.Errorf("matches = %v", matches)
+	}
+	// A request that cannot supply the advert's inputs discovers nothing.
+	none, err := r.Discover(nil, []string{"Forecast"})
+	if err != nil || len(none) != 0 {
+		t.Errorf("inputless request = %v %v", none, err)
+	}
+	for _, m := range matches {
+		if m.Entry.Name == "Unannotated" {
+			t.Error("unannotated entry discovered")
+		}
+	}
+}
+
+func TestAnnotateValidation(t *testing.T) {
+	r := semanticFixture(t)
+	if err := r.Annotate("Ghost", nil, []string{"Loan"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("annotate missing: %v", err)
+	}
+	if err := r.Annotate("LoanSvc", nil, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty outputs: %v", err)
+	}
+	if _, err := r.Discover(nil, nil); !errors.Is(err, ErrInvalid) {
+		t.Errorf("empty request: %v", err)
+	}
+	if p, ok := r.Profile("LoanSvc"); !ok || p.Outputs[0] != "Loan" {
+		t.Errorf("profile = %+v %v", p, ok)
+	}
+}

@@ -1,0 +1,330 @@
+// Package reliability implements the dependability-reliability mechanisms
+// of CSE445 unit 6 for service consumers: retry with exponential backoff,
+// circuit breaking, call timeouts, bulkhead isolation, replica failover,
+// health checking, and the series/parallel availability arithmetic used to
+// reason about composed services.
+package reliability
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen reports a call rejected by an open circuit breaker.
+var ErrOpen = errors.New("reliability: circuit open")
+
+// ErrBulkheadFull reports a call rejected because the bulkhead is at
+// capacity.
+var ErrBulkheadFull = errors.New("reliability: bulkhead full")
+
+// ErrAllReplicasFailed reports a failover group with no surviving replica.
+var ErrAllReplicasFailed = errors.New("reliability: all replicas failed")
+
+// RetryPolicy controls Retry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the first backoff; doubles each retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = uncapped).
+	MaxDelay time.Duration
+	// Retryable decides whether an error is worth retrying; nil retries
+	// everything.
+	Retryable func(error) bool
+	// sleep is the wait function; tests replace it.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func defaultSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn until success, a non-retryable error, attempt exhaustion,
+// or context cancellation. It returns the last error annotated with the
+// attempt count.
+func Retry(ctx context.Context, p RetryPolicy, fn func(ctx context.Context) error) error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("reliability: MaxAttempts must be >= 1, got %d", p.MaxAttempts)
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = defaultSleep
+	}
+	delay := p.BaseDelay
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = fn(ctx)
+		if last == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(last) {
+			return last
+		}
+		if attempt == p.MaxAttempts {
+			break
+		}
+		if err := sleep(ctx, delay); err != nil {
+			return err
+		}
+		delay *= 2
+		if p.MaxDelay > 0 && delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return fmt.Errorf("reliability: %d attempts failed: %w", p.MaxAttempts, last)
+}
+
+// BreakerState is a circuit breaker state.
+type BreakerState int
+
+// Circuit breaker states.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// Breaker is a circuit breaker: after FailureThreshold consecutive
+// failures it opens and rejects calls for Cooldown; the first probe after
+// the cooldown half-opens the circuit, and its outcome closes or re-opens
+// it.
+type Breaker struct {
+	FailureThreshold int
+	Cooldown         time.Duration
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	probing   bool
+	now       func() time.Time
+	rejected  uint64
+	succeeded uint64
+	failed    uint64
+}
+
+// NewBreaker returns a closed breaker. now=nil uses wall time.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) (*Breaker, error) {
+	if threshold < 1 || cooldown <= 0 {
+		return nil, fmt.Errorf("reliability: bad breaker config threshold=%d cooldown=%v", threshold, cooldown)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{FailureThreshold: threshold, Cooldown: cooldown, state: Closed, now: now}, nil
+}
+
+// State returns the current state (advancing Open → HalfOpen when the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+func (b *Breaker) advanceLocked() {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.Cooldown {
+		b.state = HalfOpen
+	}
+}
+
+// Do runs fn under the breaker. In the half-open state exactly one probe
+// call is admitted; concurrent callers are rejected until it reports.
+func (b *Breaker) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	b.mu.Lock()
+	b.advanceLocked()
+	probe := false
+	switch b.state {
+	case Open:
+		b.rejected++
+		b.mu.Unlock()
+		return ErrOpen
+	case HalfOpen:
+		if b.probing {
+			b.rejected++
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.probing = true
+		probe = true
+	}
+	b.mu.Unlock()
+
+	err := fn(ctx)
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if err != nil {
+		b.failed++
+		b.failures++
+		if probe || b.failures >= b.FailureThreshold {
+			b.state = Open
+			b.openedAt = b.now()
+		}
+		return err
+	}
+	b.succeeded++
+	b.failures = 0
+	b.state = Closed
+	return nil
+}
+
+// Counters reports successes, failures and rejections.
+func (b *Breaker) Counters() (succeeded, failed, rejected uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.succeeded, b.failed, b.rejected
+}
+
+// WithTimeout runs fn with a deadline; when fn ignores the context, the
+// caller is still released after d (fn keeps running until it returns).
+func WithTimeout(ctx context.Context, d time.Duration, fn func(ctx context.Context) error) error {
+	if d <= 0 {
+		return errors.New("reliability: non-positive timeout")
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- fn(ctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Bulkhead caps concurrent calls to protect a dependency from overload.
+type Bulkhead struct {
+	slots chan struct{}
+}
+
+// NewBulkhead returns a bulkhead admitting n concurrent calls.
+func NewBulkhead(n int) (*Bulkhead, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("reliability: bulkhead capacity %d", n)
+	}
+	return &Bulkhead{slots: make(chan struct{}, n)}, nil
+}
+
+// Do runs fn if a slot is free, else fails fast with ErrBulkheadFull.
+func (b *Bulkhead) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	select {
+	case b.slots <- struct{}{}:
+		defer func() { <-b.slots }()
+		return fn(ctx)
+	default:
+		return ErrBulkheadFull
+	}
+}
+
+// InUse reports occupied slots.
+func (b *Bulkhead) InUse() int { return len(b.slots) }
+
+// Failover tries replicas in order until one succeeds, remembering the
+// last healthy replica to try first next time (sticky failover).
+type Failover[T any] struct {
+	mu       sync.Mutex
+	replicas []T
+	prefer   int
+}
+
+// NewFailover returns a group over the replicas.
+func NewFailover[T any](replicas ...T) (*Failover[T], error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("reliability: failover needs replicas")
+	}
+	return &Failover[T]{replicas: replicas}, nil
+}
+
+// Do invokes fn per replica starting from the sticky preference; the first
+// success wins. All failures yield ErrAllReplicasFailed wrapping the last.
+func (f *Failover[T]) Do(ctx context.Context, fn func(ctx context.Context, replica T) error) error {
+	f.mu.Lock()
+	start := f.prefer
+	n := len(f.replicas)
+	f.mu.Unlock()
+	var last error
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		idx := (start + i) % n
+		f.mu.Lock()
+		replica := f.replicas[idx]
+		f.mu.Unlock()
+		if err := fn(ctx, replica); err != nil {
+			last = err
+			continue
+		}
+		f.mu.Lock()
+		f.prefer = idx
+		f.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("%w: last error: %v", ErrAllReplicasFailed, last)
+}
+
+// SeriesAvailability is the availability of components that must all work:
+// the product of the individual availabilities.
+func SeriesAvailability(availabilities ...float64) (float64, error) {
+	if len(availabilities) == 0 {
+		return 0, errors.New("reliability: no components")
+	}
+	p := 1.0
+	for _, a := range availabilities {
+		if a < 0 || a > 1 {
+			return 0, fmt.Errorf("reliability: availability %v out of [0,1]", a)
+		}
+		p *= a
+	}
+	return p, nil
+}
+
+// ParallelAvailability is the availability of redundant components where
+// any one suffices: 1 − ∏(1−ai).
+func ParallelAvailability(availabilities ...float64) (float64, error) {
+	if len(availabilities) == 0 {
+		return 0, errors.New("reliability: no components")
+	}
+	q := 1.0
+	for _, a := range availabilities {
+		if a < 0 || a > 1 {
+			return 0, fmt.Errorf("reliability: availability %v out of [0,1]", a)
+		}
+		q *= 1 - a
+	}
+	return 1 - q, nil
+}

@@ -1,0 +1,184 @@
+package rest
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Recovery converts handler panics into 500 responses instead of crashing
+// the server — the first dependability mechanism unit 6 teaches.
+func Recovery() Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					WriteError(w, r, http.StatusInternalServerError, "internal error: %v", rec)
+				}
+			}()
+			next(w, r, p)
+		}
+	}
+}
+
+// Logging writes one line per request to logger (nil uses log.Default()).
+func Logging(logger *log.Logger) Middleware {
+	if logger == nil {
+		logger = log.Default()
+	}
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			next(sw, r, p)
+			logger.Printf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		}
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.status == 0 || !s.wrote {
+		s.status = code
+	}
+	s.wrote = true
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	if !s.wrote {
+		s.wrote = true
+		if s.status == 0 {
+			s.status = http.StatusOK
+		}
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// Authenticator validates a bearer token and returns the principal name.
+type Authenticator func(token string) (principal string, ok bool)
+
+type principalKey struct{}
+
+// Principal returns the authenticated principal stored by BearerAuth.
+func Principal(r *http.Request) (string, bool) {
+	v, ok := r.Context().Value(principalKey{}).(string)
+	return v, ok
+}
+
+// BearerAuth rejects requests without a valid "Authorization: Bearer ..."
+// header and stores the principal in the request context.
+func BearerAuth(auth Authenticator) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			const prefix = "Bearer "
+			h := r.Header.Get("Authorization")
+			if len(h) <= len(prefix) || h[:len(prefix)] != prefix {
+				WriteError(w, r, http.StatusUnauthorized, "missing bearer token")
+				return
+			}
+			principal, ok := auth(h[len(prefix):])
+			if !ok {
+				WriteError(w, r, http.StatusUnauthorized, "invalid token")
+				return
+			}
+			ctx := context.WithValue(r.Context(), principalKey{}, principal)
+			next(w, r.WithContext(ctx), p)
+		}
+	}
+}
+
+// RateLimit applies a global token bucket: capacity burst, refilled at
+// perSecond tokens per second. Exhausted buckets yield 429.
+func RateLimit(burst int, perSecond float64) Middleware {
+	tb := &tokenBucket{tokens: float64(burst), capacity: float64(burst), rate: perSecond, last: time.Now()}
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			if !tb.allow() {
+				WriteError(w, r, http.StatusTooManyRequests, "rate limit exceeded")
+				return
+			}
+			next(w, r, p)
+		}
+	}
+}
+
+type tokenBucket struct {
+	mu       sync.Mutex
+	tokens   float64
+	capacity float64
+	rate     float64
+	last     time.Time
+}
+
+func (tb *tokenBucket) allow() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.capacity {
+		tb.tokens = tb.capacity
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true
+	}
+	return false
+}
+
+// Timeout cancels the request context after d; handlers that honor the
+// context stop early, and the middleware writes 503 if the deadline
+// elapsed before the handler finished writing.
+func Timeout(d time.Duration) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			done := make(chan struct{})
+			sw := &statusWriter{ResponseWriter: w, status: 0}
+			go func() {
+				defer close(done)
+				defer func() {
+					if rec := recover(); rec != nil {
+						WriteError(sw, r, http.StatusInternalServerError, "internal error: %v", rec)
+					}
+				}()
+				next(sw, r.WithContext(ctx), p)
+			}()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				<-done // wait for the handler to observe cancellation
+				if !sw.wrote {
+					WriteError(w, r, http.StatusServiceUnavailable, "request timed out after %v", d)
+				}
+			}
+		}
+	}
+}
+
+// RequestID stamps each request with a monotonically increasing id header
+// (X-Request-ID) for tracing across composed services.
+func RequestID() Middleware {
+	var mu sync.Mutex
+	var n uint64
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			mu.Lock()
+			n++
+			id := n
+			mu.Unlock()
+			w.Header().Set("X-Request-ID", fmt.Sprintf("req-%d", id))
+			next(w, r, p)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package rest is the RESTful service substrate of CSE446's "RESTful
+// service development" unit: a small router with path parameters, JSON/XML
+// content negotiation, and a composable middleware chain (recovery,
+// logging, authentication, rate limiting).
+package rest
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ErrRoute reports an invalid route registration.
+var ErrRoute = errors.New("rest: invalid route")
+
+// Params holds path parameters extracted from the matched route pattern.
+type Params map[string]string
+
+// HandlerFunc is a REST handler with extracted path parameters.
+type HandlerFunc func(w http.ResponseWriter, r *http.Request, p Params)
+
+// Middleware wraps a handler with cross-cutting behavior.
+type Middleware func(next HandlerFunc) HandlerFunc
+
+// segment is one piece of a route pattern.
+type segment struct {
+	literal string
+	param   string // non-empty for {name} segments
+	wild    bool   // true for a trailing *
+}
+
+type route struct {
+	method   string
+	segments []segment
+	handler  HandlerFunc
+	pattern  string
+}
+
+// Router dispatches requests by method and path pattern. Patterns use
+// {name} for single-segment parameters and a trailing * for a catch-all
+// (bound to the parameter "*").
+type Router struct {
+	routes     []route
+	middleware []Middleware
+	// NotFound handles unmatched paths; nil uses http.NotFound.
+	NotFound http.HandlerFunc
+	// MethodNotAllowed handles matched paths with wrong methods; nil
+	// writes a 405 with an Allow header.
+	MethodNotAllowed func(w http.ResponseWriter, r *http.Request, allowed []string)
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router { return &Router{} }
+
+// Use appends middleware, applied to every route in registration order
+// (the first Use is the outermost wrapper).
+func (rt *Router) Use(mw ...Middleware) { rt.middleware = append(rt.middleware, mw...) }
+
+// Handle registers a handler for a method and pattern.
+func (rt *Router) Handle(method, pattern string, h HandlerFunc) error {
+	if h == nil {
+		return fmt.Errorf("%w: nil handler for %s %s", ErrRoute, method, pattern)
+	}
+	if method == "" || !strings.HasPrefix(pattern, "/") {
+		return fmt.Errorf("%w: %q %q", ErrRoute, method, pattern)
+	}
+	segs, err := parsePattern(pattern)
+	if err != nil {
+		return err
+	}
+	for _, existing := range rt.routes {
+		if existing.method == method && existing.pattern == pattern {
+			return fmt.Errorf("%w: duplicate %s %s", ErrRoute, method, pattern)
+		}
+	}
+	rt.routes = append(rt.routes, route{method: method, segments: segs, handler: h, pattern: pattern})
+	return nil
+}
+
+// GET, POST, PUT and DELETE are Handle shorthands.
+func (rt *Router) GET(pattern string, h HandlerFunc) error {
+	return rt.Handle(http.MethodGet, pattern, h)
+}
+func (rt *Router) POST(pattern string, h HandlerFunc) error {
+	return rt.Handle(http.MethodPost, pattern, h)
+}
+func (rt *Router) PUT(pattern string, h HandlerFunc) error {
+	return rt.Handle(http.MethodPut, pattern, h)
+}
+func (rt *Router) DELETE(pattern string, h HandlerFunc) error {
+	return rt.Handle(http.MethodDelete, pattern, h)
+}
+
+func parsePattern(pattern string) ([]segment, error) {
+	parts := strings.Split(strings.Trim(pattern, "/"), "/")
+	if pattern == "/" {
+		return nil, nil
+	}
+	segs := make([]segment, 0, len(parts))
+	for i, p := range parts {
+		switch {
+		case p == "*":
+			if i != len(parts)-1 {
+				return nil, fmt.Errorf("%w: * must be final in %q", ErrRoute, pattern)
+			}
+			segs = append(segs, segment{wild: true})
+		case strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}"):
+			name := p[1 : len(p)-1]
+			if name == "" {
+				return nil, fmt.Errorf("%w: empty parameter in %q", ErrRoute, pattern)
+			}
+			segs = append(segs, segment{param: name})
+		case p == "":
+			return nil, fmt.Errorf("%w: empty segment in %q", ErrRoute, pattern)
+		default:
+			segs = append(segs, segment{literal: p})
+		}
+	}
+	return segs, nil
+}
+
+func match(segs []segment, path string) (Params, bool) {
+	trimmed := strings.Trim(path, "/")
+	var parts []string
+	if trimmed != "" {
+		parts = strings.Split(trimmed, "/")
+	}
+	p := Params{}
+	i := 0
+	for _, s := range segs {
+		if s.wild {
+			p["*"] = strings.Join(parts[i:], "/")
+			return p, true
+		}
+		if i >= len(parts) {
+			return nil, false
+		}
+		switch {
+		case s.param != "":
+			p[s.param] = parts[i]
+		case s.literal != parts[i]:
+			return nil, false
+		}
+		i++
+	}
+	if i != len(parts) {
+		return nil, false
+	}
+	return p, true
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var allowed []string
+	for _, rte := range rt.routes {
+		params, ok := match(rte.segments, r.URL.Path)
+		if !ok {
+			continue
+		}
+		if rte.method != r.Method {
+			allowed = append(allowed, rte.method)
+			continue
+		}
+		h := rte.handler
+		for i := len(rt.middleware) - 1; i >= 0; i-- {
+			h = rt.middleware[i](h)
+		}
+		h(w, r, params)
+		return
+	}
+	if len(allowed) > 0 {
+		if rt.MethodNotAllowed != nil {
+			rt.MethodNotAllowed(w, r, allowed)
+			return
+		}
+		sort.Strings(allowed)
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if rt.NotFound != nil {
+		rt.NotFound(w, r)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+// Routes lists registered "METHOD pattern" strings, sorted.
+func (rt *Router) Routes() []string {
+	out := make([]string, len(rt.routes))
+	for i, r := range rt.routes {
+		out[i] = r.method + " " + r.pattern
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Negotiate picks "json" or "xml" from the request's Accept header,
+// defaulting to JSON. An explicit format query parameter wins.
+func Negotiate(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f == "xml" || f == "json" {
+		return f
+	}
+	accept := r.Header.Get("Accept")
+	// First acceptable of our two supported types wins.
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/xml", "text/xml":
+			return "xml"
+		case "application/json":
+			return "json"
+		}
+	}
+	return "json"
+}
+
+// WriteResponse encodes v in the negotiated format with the given status.
+func WriteResponse(w http.ResponseWriter, r *http.Request, status int, v any) {
+	switch Negotiate(r) {
+	case "xml":
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.WriteHeader(status)
+		enc := xml.NewEncoder(w)
+		enc.Indent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			// Headers are gone; nothing more we can do but log-free
+			// best effort.
+			fmt.Fprintf(w, "<!-- encoding error: %v -->", err)
+		}
+	default:
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+}
+
+// Problem is the error document returned by WriteError.
+type Problem struct {
+	XMLName xml.Name `json:"-" xml:"problem"`
+	Status  int      `json:"status" xml:"status"`
+	Title   string   `json:"title" xml:"title"`
+	Detail  string   `json:"detail,omitempty" xml:"detail,omitempty"`
+}
+
+// WriteError writes a negotiated error document.
+func WriteError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	WriteResponse(w, r, status, Problem{
+		Status: status,
+		Title:  http.StatusText(status),
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReadJSON decodes the request body as JSON into v, limited to maxBytes
+// (0 means 1 MiB).
+func ReadJSON(r *http.Request, v any, maxBytes int64) error {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("rest: decoding body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package robot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The drop-down command language of the web robotics environment. A
+// program is a sequence of lines, one command each (case-insensitive):
+//
+//	FORWARD                  move one cell (collision faults the program)
+//	LEFT | RIGHT             turn 90°
+//	REPEAT n ... END         fixed repetition
+//	WHILE NOT_GOAL ... END   loop until the goal (bounded)
+//	IF <cond> ... [ELSE ...] END
+//
+// conditions: FRONT_OPEN, FRONT_BLOCKED, LEFT_OPEN, RIGHT_OPEN, AT_GOAL
+//
+// Lines starting with '#' are comments.
+
+// ErrProgram reports a parse error.
+var ErrProgram = errors.New("robot: invalid program")
+
+// ErrBudget reports a program exceeding its action budget.
+var ErrBudget = errors.New("robot: action budget exceeded")
+
+type stmt interface {
+	run(ctx context.Context, ex *executor) error
+}
+
+type actionStmt struct{ kind string }
+
+type repeatStmt struct {
+	n    int
+	body []stmt
+}
+
+type whileStmt struct{ body []stmt }
+
+type ifStmt struct {
+	cond     string
+	thenBody []stmt
+	elseBody []stmt
+}
+
+// Program is a parsed command program.
+type Program struct {
+	stmts []stmt
+	// Source preserves the original lines.
+	Source []string
+}
+
+// ParseProgram parses the drop-down command language.
+func ParseProgram(src string) (*Program, error) {
+	var lines []string
+	for _, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, strings.ToUpper(line))
+	}
+	p := &parser{lines: lines}
+	stmts, err := p.block(nil)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("%w: unexpected %q at line %d", ErrProgram, p.lines[p.pos], p.pos+1)
+	}
+	return &Program{stmts: stmts, Source: lines}, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+var conditions = map[string]bool{
+	"FRONT_OPEN": true, "FRONT_BLOCKED": true, "LEFT_OPEN": true,
+	"RIGHT_OPEN": true, "AT_GOAL": true,
+}
+
+// block parses until one of the terminators (or EOF when nil); the
+// terminator is not consumed.
+func (p *parser) block(terminators []string) ([]stmt, error) {
+	var out []stmt
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		for _, t := range terminators {
+			if line == t {
+				return out, nil
+			}
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "FORWARD", "LEFT", "RIGHT":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("%w: %q takes no argument", ErrProgram, fields[0])
+			}
+			out = append(out, &actionStmt{kind: fields[0]})
+			p.pos++
+		case "REPEAT":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: REPEAT needs a count", ErrProgram)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > 10000 {
+				return nil, fmt.Errorf("%w: bad REPEAT count %q", ErrProgram, fields[1])
+			}
+			p.pos++
+			body, err := p.block([]string{"END"})
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("END"); err != nil {
+				return nil, err
+			}
+			out = append(out, &repeatStmt{n: n, body: body})
+		case "WHILE":
+			if len(fields) != 2 || fields[1] != "NOT_GOAL" {
+				return nil, fmt.Errorf("%w: WHILE supports only NOT_GOAL", ErrProgram)
+			}
+			p.pos++
+			body, err := p.block([]string{"END"})
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("END"); err != nil {
+				return nil, err
+			}
+			out = append(out, &whileStmt{body: body})
+		case "IF":
+			if len(fields) != 2 || !conditions[fields[1]] {
+				return nil, fmt.Errorf("%w: bad IF condition %q", ErrProgram, line)
+			}
+			p.pos++
+			thenBody, err := p.block([]string{"ELSE", "END"})
+			if err != nil {
+				return nil, err
+			}
+			var elseBody []stmt
+			if p.pos < len(p.lines) && p.lines[p.pos] == "ELSE" {
+				p.pos++
+				elseBody, err = p.block([]string{"END"})
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expect("END"); err != nil {
+				return nil, err
+			}
+			out = append(out, &ifStmt{cond: fields[1], thenBody: thenBody, elseBody: elseBody})
+		default:
+			return nil, fmt.Errorf("%w: unknown command %q", ErrProgram, line)
+		}
+	}
+	if terminators != nil {
+		return nil, fmt.Errorf("%w: missing %s", ErrProgram, strings.Join(terminators, "/"))
+	}
+	return out, nil
+}
+
+func (p *parser) expect(tok string) error {
+	if p.pos >= len(p.lines) || p.lines[p.pos] != tok {
+		return fmt.Errorf("%w: expected %s", ErrProgram, tok)
+	}
+	p.pos++
+	return nil
+}
+
+type executor struct {
+	r       *Robot
+	actions int
+	budget  int
+}
+
+func (ex *executor) spend() error {
+	ex.actions++
+	if ex.actions > ex.budget {
+		return fmt.Errorf("%w: %d actions", ErrBudget, ex.budget)
+	}
+	return nil
+}
+
+func (a *actionStmt) run(ctx context.Context, ex *executor) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ex.spend(); err != nil {
+		return err
+	}
+	switch a.kind {
+	case "FORWARD":
+		return ex.r.Forward()
+	case "LEFT":
+		ex.r.TurnLeft()
+	case "RIGHT":
+		ex.r.TurnRight()
+	}
+	return nil
+}
+
+func runBody(ctx context.Context, body []stmt, ex *executor) error {
+	for _, s := range body {
+		if err := s.run(ctx, ex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *repeatStmt) run(ctx context.Context, ex *executor) error {
+	for i := 0; i < r.n; i++ {
+		if err := runBody(ctx, r.body, ex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *whileStmt) run(ctx context.Context, ex *executor) error {
+	for !ex.r.AtGoal() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ex.spend(); err != nil {
+			return err
+		}
+		if err := runBody(ctx, w.body, ex); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func evalCond(r *Robot, cond string) bool {
+	switch cond {
+	case "FRONT_OPEN":
+		return r.FrontDistance() > 0
+	case "FRONT_BLOCKED":
+		return r.FrontDistance() == 0
+	case "LEFT_OPEN":
+		return r.LeftDistance() > 0
+	case "RIGHT_OPEN":
+		return r.RightDistance() > 0
+	case "AT_GOAL":
+		return r.AtGoal()
+	}
+	return false
+}
+
+func (i *ifStmt) run(ctx context.Context, ex *executor) error {
+	if evalCond(ex.r, i.cond) {
+		return runBody(ctx, i.thenBody, ex)
+	}
+	return runBody(ctx, i.elseBody, ex)
+}
+
+// Run executes the program on the robot. budget bounds the total actions
+// and loop iterations (0 means 100000). Collisions abort the program, as
+// in the web environment.
+func (p *Program) Run(ctx context.Context, r *Robot, budget int) error {
+	if budget <= 0 {
+		budget = 100000
+	}
+	ex := &executor{r: r, budget: budget}
+	return runBody(ctx, p.stmts, ex)
+}

@@ -1,0 +1,175 @@
+// Package robot implements the CSE101 "Robot as a Service" environment
+// (Figure 1): a simulated maze robot with distance sensors and motion
+// actuators, an event stream for the event-driven programming model MRDS
+// teaches, a drop-down-command program interpreter matching the web
+// programming environment ("a maze navigation program can be written
+// using a few drop-down commands"), and a service facade exposing the
+// robot through soc/internal/core so it can be driven over REST or SOAP.
+package robot
+
+import (
+	"errors"
+	"fmt"
+
+	"soc/internal/maze"
+)
+
+// ErrCollision reports a commanded move into a wall.
+var ErrCollision = errors.New("robot: collision")
+
+// EventKind enumerates robot events.
+type EventKind string
+
+// Event kinds delivered to listeners.
+const (
+	EventMoved   EventKind = "moved"
+	EventTurned  EventKind = "turned"
+	EventBlocked EventKind = "blocked"
+	EventGoal    EventKind = "goal"
+)
+
+// Event is one notification from the robot.
+type Event struct {
+	Kind    EventKind
+	Cell    maze.Cell
+	Heading maze.Dir
+	Detail  string
+}
+
+// Listener receives robot events.
+type Listener func(Event)
+
+// Robot is a simulated maze robot.
+type Robot struct {
+	m        *maze.Maze
+	pos      maze.Cell
+	heading  maze.Dir
+	steps    int
+	turns    int
+	bumps    int
+	visited  map[maze.Cell]int
+	listener Listener
+}
+
+// New places a robot at the maze start, facing east.
+func New(m *maze.Maze) (*Robot, error) {
+	if m == nil {
+		return nil, errors.New("robot: nil maze")
+	}
+	r := &Robot{m: m, pos: m.Start, heading: maze.East, visited: map[maze.Cell]int{}}
+	r.visited[r.pos]++
+	return r, nil
+}
+
+// SetListener installs the event listener (nil clears it).
+func (r *Robot) SetListener(l Listener) { r.listener = l }
+
+func (r *Robot) emit(kind EventKind, detail string) {
+	if r.listener != nil {
+		r.listener(Event{Kind: kind, Cell: r.pos, Heading: r.heading, Detail: detail})
+	}
+}
+
+// Position returns the robot's cell.
+func (r *Robot) Position() maze.Cell { return r.pos }
+
+// Heading returns the robot's facing direction.
+func (r *Robot) Heading() maze.Dir { return r.heading }
+
+// Maze returns the robot's world.
+func (r *Robot) Maze() *maze.Maze { return r.m }
+
+// Steps returns the count of successful forward moves.
+func (r *Robot) Steps() int { return r.steps }
+
+// Turns returns the count of turns.
+func (r *Robot) Turns() int { return r.turns }
+
+// Bumps returns the count of blocked moves.
+func (r *Robot) Bumps() int { return r.bumps }
+
+// Visited returns how many distinct cells have been entered.
+func (r *Robot) Visited() int { return len(r.visited) }
+
+// VisitCount returns how many times the robot has entered c.
+func (r *Robot) VisitCount(c maze.Cell) int { return r.visited[c] }
+
+// AtGoal reports whether the robot stands on the goal cell.
+func (r *Robot) AtGoal() bool { return r.pos == r.m.Goal }
+
+// Forward advances one cell; a wall yields ErrCollision (and a "blocked"
+// event) without moving.
+func (r *Robot) Forward() error {
+	if !r.m.CanMove(r.pos, r.heading) {
+		r.bumps++
+		r.emit(EventBlocked, "wall ahead")
+		return fmt.Errorf("%w: at %v facing %s", ErrCollision, r.pos, r.heading)
+	}
+	r.pos = r.pos.Move(r.heading)
+	r.steps++
+	r.visited[r.pos]++
+	r.emit(EventMoved, "")
+	if r.AtGoal() {
+		r.emit(EventGoal, "goal reached")
+	}
+	return nil
+}
+
+// TurnLeft rotates 90° counterclockwise.
+func (r *Robot) TurnLeft() {
+	r.heading = r.heading.Left()
+	r.turns++
+	r.emit(EventTurned, "left")
+}
+
+// TurnRight rotates 90° clockwise.
+func (r *Robot) TurnRight() {
+	r.heading = r.heading.Right()
+	r.turns++
+	r.emit(EventTurned, "right")
+}
+
+// Face turns the robot (shortest way) to the given heading.
+func (r *Robot) Face(d maze.Dir) {
+	for r.heading != d {
+		// Turn the short way round.
+		if r.heading.Right() == d {
+			r.TurnRight()
+		} else {
+			r.TurnLeft()
+		}
+	}
+}
+
+// Distance returns the number of open cells from the robot in direction d
+// before a wall — the robot's range sensor.
+func (r *Robot) Distance(d maze.Dir) int {
+	n := 0
+	c := r.pos
+	for r.m.CanMove(c, d) {
+		c = c.Move(d)
+		n++
+	}
+	return n
+}
+
+// FrontDistance, LeftDistance and RightDistance are the three range
+// sensors of the simulated robot.
+func (r *Robot) FrontDistance() int { return r.Distance(r.heading) }
+func (r *Robot) LeftDistance() int  { return r.Distance(r.heading.Left()) }
+func (r *Robot) RightDistance() int { return r.Distance(r.heading.Right()) }
+
+// GoalDelta returns the (dx, dy) vector from the robot to the goal — the
+// "GPS" used by the greedy two-distance algorithm.
+func (r *Robot) GoalDelta() (int, int) {
+	return r.m.Goal.X - r.pos.X, r.m.Goal.Y - r.pos.Y
+}
+
+// Reset returns the robot to the start cell facing east and clears
+// counters.
+func (r *Robot) Reset() {
+	r.pos = r.m.Start
+	r.heading = maze.East
+	r.steps, r.turns, r.bumps = 0, 0, 0
+	r.visited = map[maze.Cell]int{r.pos: 1}
+}

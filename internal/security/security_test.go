@@ -1,0 +1,252 @@
+package security
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPBKDF2KnownVectors(t *testing.T) {
+	// RFC 7914 / common PBKDF2-HMAC-SHA256 test vectors.
+	cases := []struct {
+		password, salt string
+		iterations     int
+		keyLen         int
+		wantHex        string
+	}{
+		{"passwd", "salt", 1, 64,
+			"55ac046e56e3089fec1691c22544b605f94185216dde0465e68b9d57c20dacbc49ca9cccf179b645991664b39d77ef317c71b845b1e30bd509112041d3a19783"},
+		{"Password", "NaCl", 80000, 64,
+			"4ddcd8f60b98be21830cee5ef22701f9641a4418d04c0414aeff08876b34ab56a1d425a1225833549adb841b51c9b3176a272bdebba1d078478f62b397f33c8d"},
+	}
+	for _, c := range cases {
+		got := PBKDF2([]byte(c.password), []byte(c.salt), c.iterations, c.keyLen)
+		if hex.EncodeToString(got) != c.wantHex {
+			t.Errorf("PBKDF2(%q,%q,%d) = %x", c.password, c.salt, c.iterations, got)
+		}
+	}
+}
+
+func TestPBKDF2BadInputs(t *testing.T) {
+	if PBKDF2([]byte("p"), []byte("s"), 0, 32) != nil {
+		t.Error("zero iterations accepted")
+	}
+	if PBKDF2([]byte("p"), []byte("s"), 1, 0) != nil {
+		t.Error("zero keyLen accepted")
+	}
+}
+
+func TestHashVerifyPassword(t *testing.T) {
+	rec, err := HashPassword("s3cret-Pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPassword("s3cret-Pass", rec); err != nil {
+		t.Errorf("correct password rejected: %v", err)
+	}
+	if err := VerifyPassword("wrong", rec); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong password: %v", err)
+	}
+	// Distinct salts.
+	rec2, _ := HashPassword("s3cret-Pass")
+	if rec == rec2 {
+		t.Error("same salt reused")
+	}
+	for _, bad := range []string{"", "a$b", "x$!$!", "0$AA$AA"} {
+		if err := VerifyPassword("p", bad); !errors.Is(err, ErrAuth) {
+			t.Errorf("VerifyPassword(%q): %v", bad, err)
+		}
+	}
+}
+
+func TestPasswordPolicy(t *testing.T) {
+	p := DefaultPolicy
+	if err := p.Check("Str0ngpass"); err != nil {
+		t.Errorf("strong password rejected: %v", err)
+	}
+	weak := map[string]string{
+		"short":        "Ab1",
+		"no uppercase": "alllower1",
+		"no lowercase": "ALLUPPER1",
+		"no digit":     "NoDigitsHere",
+	}
+	for why, pw := range weak {
+		if err := p.Check(pw); err == nil {
+			t.Errorf("weak password (%s) accepted: %q", why, pw)
+		}
+	}
+	strict := PasswordPolicy{MinLength: 4, RequireSpecial: true}
+	if err := strict.Check("ab1!"); err != nil {
+		t.Errorf("special present but rejected: %v", err)
+	}
+	if err := strict.Check("abcd"); err == nil {
+		t.Error("missing special accepted")
+	}
+}
+
+func TestTokenServiceRoundTrip(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ts, err := NewTokenService([]byte("0123456789abcdef"), func() time.Time { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := ts.Issue("alice", []string{"admin", "user"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, roles, err := ts.Verify(tok)
+	if err != nil || sub != "alice" || len(roles) != 2 {
+		t.Errorf("verify = %q %v %v", sub, roles, err)
+	}
+	now = now.Add(2 * time.Hour)
+	if _, _, err := ts.Verify(tok); !errors.Is(err, ErrAuth) {
+		t.Errorf("expired token: %v", err)
+	}
+}
+
+func TestTokenServiceRejections(t *testing.T) {
+	ts, _ := NewTokenService([]byte("0123456789abcdef"), nil)
+	if _, err := ts.Issue("", nil, time.Hour); err == nil {
+		t.Error("empty subject accepted")
+	}
+	if _, err := ts.Issue("x", nil, 0); err == nil {
+		t.Error("zero ttl accepted")
+	}
+	tok, _ := ts.Issue("bob", nil, time.Hour)
+	other, _ := NewTokenService([]byte("fedcba9876543210"), nil)
+	if _, _, err := other.Verify(tok); !errors.Is(err, ErrAuth) {
+		t.Errorf("cross-key verify: %v", err)
+	}
+	for _, bad := range []string{"", "x", "a.b", "!!.!!"} {
+		if _, _, err := ts.Verify(bad); !errors.Is(err, ErrAuth) {
+			t.Errorf("Verify(%q): %v", bad, err)
+		}
+	}
+	if _, err := NewTokenService([]byte("short"), nil); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestRBAC(t *testing.T) {
+	r := NewRBAC()
+	r.GrantRole("admin", "*:*")
+	r.GrantRole("analyst", "reports:read", "reports:list")
+	r.GrantRole("operator", "services:*")
+	r.AssignRole("root", "admin")
+	r.AssignRole("ana", "analyst")
+	r.AssignRole("ops", "operator")
+
+	cases := []struct {
+		user, perm string
+		allow      bool
+	}{
+		{"root", "anything:whatever", true},
+		{"ana", "reports:read", true},
+		{"ana", "reports:write", false},
+		{"ana", "services:read", false},
+		{"ops", "services:restart", true},
+		{"ops", "reports:read", false},
+		{"nobody", "reports:read", false},
+	}
+	for _, c := range cases {
+		err := r.Check(c.user, c.perm)
+		if c.allow && err != nil {
+			t.Errorf("%s %s denied: %v", c.user, c.perm, err)
+		}
+		if !c.allow && !errors.Is(err, ErrDenied) {
+			t.Errorf("%s %s: %v", c.user, c.perm, err)
+		}
+	}
+	if roles := r.Roles("ana"); len(roles) != 1 || roles[0] != "analyst" {
+		t.Errorf("roles = %v", roles)
+	}
+	r.RevokeRole("ana", "analyst")
+	if err := r.Check("ana", "reports:read"); err == nil {
+		t.Error("revoked role still grants")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	plain := []byte("attack at dawn — service-oriented edition")
+	sealed, err := Encrypt("passphrase", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decrypt("passphrase", sealed)
+	if err != nil || !bytes.Equal(got, plain) {
+		t.Errorf("decrypt = %q %v", got, err)
+	}
+	if _, err := Decrypt("wrong", sealed); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong passphrase: %v", err)
+	}
+	if _, err := Decrypt("p", "!!!not-base64"); !errors.Is(err, ErrAuth) {
+		t.Errorf("bad encoding: %v", err)
+	}
+	if _, err := Decrypt("p", "aGk"); !errors.Is(err, ErrAuth) {
+		t.Errorf("short blob: %v", err)
+	}
+	// Nondeterministic sealing (fresh salt+nonce).
+	sealed2, _ := Encrypt("passphrase", plain)
+	if sealed == sealed2 {
+		t.Error("identical ciphertexts for identical plaintexts")
+	}
+}
+
+func TestEncryptRoundTripProperty(t *testing.T) {
+	prop := func(data []byte, pass string) bool {
+		if pass == "" {
+			pass = "x"
+		}
+		sealed, err := Encrypt(pass, data)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(pass, sealed)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomString(t *testing.T) {
+	s, err := RandomString(32, AlphabetAlnum)
+	if err != nil || len(s) != 32 {
+		t.Fatalf("RandomString: %q %v", s, err)
+	}
+	for _, r := range s {
+		if !strings.ContainsRune(AlphabetAlnum, r) {
+			t.Errorf("character %q outside alphabet", r)
+		}
+	}
+	s2, _ := RandomString(32, AlphabetAlnum)
+	if s == s2 {
+		t.Error("two random strings identical")
+	}
+	if _, err := RandomString(0, AlphabetAlnum); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RandomString(5, ""); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+}
+
+func TestAuditLog(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := NewAuditLog(3, func() time.Time { return now })
+	l.Record("alice", "read", "reports", true)
+	l.Record("bob", "write", "reports", false)
+	l.Record("eve", "read", "secrets", false)
+	l.Record("mallory", "delete", "all", false) // evicts alice's event
+	events := l.Events()
+	if len(events) != 3 || events[0].Actor != "bob" {
+		t.Errorf("events = %+v", events)
+	}
+	if l.Denials() != 3 {
+		t.Errorf("denials = %d", l.Denials())
+	}
+}

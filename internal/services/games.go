@@ -1,0 +1,114 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"soc/internal/core"
+)
+
+// guessGame is one random-number-guessing game instance.
+type guessGame struct {
+	lo, hi   int64 // inclusive bounds
+	secret   int64
+	attempts int64
+	done     bool
+}
+
+// GuessingGames holds game instances keyed by id.
+type GuessingGames struct {
+	mu     sync.Mutex
+	nextID int64
+	games  map[int64]*guessGame
+}
+
+// NewGuessingGames returns an empty game store.
+func NewGuessingGames() *GuessingGames {
+	return &GuessingGames{games: map[int64]*guessGame{}}
+}
+
+// NewGuessingGame builds the random number guessing game service of the
+// repository.
+func NewGuessingGame(store *GuessingGames) (*core.Service, error) {
+	if store == nil {
+		return nil, fmt.Errorf("services: nil game store")
+	}
+	svc, err := core.NewService("GuessingGame", NamespacePrefix+"guessinggame",
+		"stateful random-number guessing game")
+	if err != nil {
+		return nil, err
+	}
+	svc.Category = "games"
+	err = svc.AddOperation(core.Operation{
+		Name: "NewGame",
+		Doc:  "starts a game with a secret in [low, high]; seed makes it reproducible",
+		Input: []core.Param{
+			{Name: "low", Type: core.Int},
+			{Name: "high", Type: core.Int},
+			{Name: "seed", Type: core.Int, Optional: true},
+		},
+		Output: []core.Param{{Name: "game", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			lo, hi := in.Int("low"), in.Int("high")
+			if hi <= lo {
+				return nil, fmt.Errorf("need low < high, got [%d,%d]", lo, hi)
+			}
+			rng := rand.New(rand.NewSource(in.Int("seed")))
+			g := &guessGame{lo: lo, hi: hi, secret: lo + rng.Int63n(hi-lo+1)}
+			store.mu.Lock()
+			store.nextID++
+			id := store.nextID
+			store.games[id] = g
+			store.mu.Unlock()
+			return core.Values{"game": id}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = svc.AddOperation(core.Operation{
+		Name: "Guess",
+		Doc:  "submits a guess; hint is one of lower|higher|correct",
+		Input: []core.Param{
+			{Name: "game", Type: core.Int},
+			{Name: "guess", Type: core.Int},
+		},
+		Output: []core.Param{
+			{Name: "hint", Type: core.String},
+			{Name: "attempts", Type: core.Int},
+			{Name: "done", Type: core.Bool},
+		},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			store.mu.Lock()
+			defer store.mu.Unlock()
+			g, ok := store.games[in.Int("game")]
+			if !ok {
+				return nil, fmt.Errorf("no game %d", in.Int("game"))
+			}
+			if g.done {
+				return nil, fmt.Errorf("game %d is finished", in.Int("game"))
+			}
+			guess := in.Int("guess")
+			if guess < g.lo || guess > g.hi {
+				return nil, fmt.Errorf("guess %d outside [%d,%d]", guess, g.lo, g.hi)
+			}
+			g.attempts++
+			hint := "correct"
+			switch {
+			case guess < g.secret:
+				hint = "higher"
+			case guess > g.secret:
+				hint = "lower"
+			default:
+				g.done = true
+			}
+			return core.Values{"hint": hint, "attempts": g.attempts, "done": g.done}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
+}

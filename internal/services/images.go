@@ -1,0 +1,167 @@
+package services
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"strings"
+	"sync"
+
+	"soc/internal/core"
+	"soc/internal/security"
+	"soc/internal/webapp"
+)
+
+// NewDynamicImage builds the dynamic image generation service: labeled
+// values in, base64 PNG bar chart out.
+func NewDynamicImage() (*core.Service, error) {
+	svc, err := core.NewService("DynamicImage", NamespacePrefix+"dynamicimage",
+		"server-side chart rendering: labels and values in, base64 PNG out")
+	if err != nil {
+		return nil, err
+	}
+	svc.Category = "media/charts"
+	err = svc.AddOperation(core.Operation{
+		Name: "BarChart",
+		Doc:  "renders comma-separated labels and values as a bar chart PNG",
+		Input: []core.Param{
+			{Name: "title", Type: core.String},
+			{Name: "labels", Type: core.String, Doc: "comma-separated"},
+			{Name: "values", Type: core.String, Doc: "comma-separated floats"},
+			{Name: "width", Type: core.Int, Optional: true},
+			{Name: "height", Type: core.Int, Optional: true},
+		},
+		Output: []core.Param{{Name: "png", Type: core.String, Doc: "base64"}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			labels := splitCSV(in.Str("labels"))
+			var values []float64
+			for _, v := range splitCSV(in.Str("values")) {
+				var f float64
+				if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+					return nil, fmt.Errorf("bad value %q", v)
+				}
+				values = append(values, f)
+			}
+			w, h := int(in.Int("width")), int(in.Int("height"))
+			if w == 0 {
+				w = 400
+			}
+			if h == 0 {
+				h = 240
+			}
+			canvas, err := webapp.BarChart(in.Str("title"), labels, values, w, h)
+			if err != nil {
+				return nil, err
+			}
+			png, err := canvas.PNG()
+			if err != nil {
+				return nil, err
+			}
+			return core.Values{"png": base64.StdEncoding.EncodeToString(png)}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Challenges stores outstanding captcha challenges.
+type Challenges struct {
+	mu      sync.Mutex
+	nextID  int64
+	answers map[int64]string
+}
+
+// NewChallenges returns an empty challenge store.
+func NewChallenges() *Challenges { return &Challenges{answers: map[int64]string{}} }
+
+// NewImageVerifier builds the random-string-image (captcha) service.
+func NewImageVerifier(store *Challenges) (*core.Service, error) {
+	if store == nil {
+		return nil, fmt.Errorf("services: nil challenge store")
+	}
+	svc, err := core.NewService("ImageVerifier", NamespacePrefix+"imageverifier",
+		"captcha: random string rendered as a distorted image, verified once")
+	if err != nil {
+		return nil, err
+	}
+	svc.Category = "security/captcha"
+	err = svc.AddOperation(core.Operation{
+		Name:  "NewChallenge",
+		Doc:   "creates a challenge; returns its id and a base64 PNG",
+		Input: []core.Param{{Name: "length", Type: core.Int, Optional: true}},
+		Output: []core.Param{
+			{Name: "challenge", Type: core.Int},
+			{Name: "png", Type: core.String},
+		},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			n := in.Int("length")
+			if n == 0 {
+				n = 5
+			}
+			if n < 3 || n > 10 {
+				return nil, fmt.Errorf("length %d out of [3,10]", n)
+			}
+			// Unambiguous alphabet (no 0/O, 1/I).
+			text, err := security.RandomString(int(n), "ABCDEFGHJKLMNPQRSTUVWXYZ23456789")
+			if err != nil {
+				return nil, err
+			}
+			store.mu.Lock()
+			store.nextID++
+			id := store.nextID
+			store.answers[id] = text
+			store.mu.Unlock()
+			canvas, err := webapp.Captcha(text, id)
+			if err != nil {
+				return nil, err
+			}
+			png, err := canvas.PNG()
+			if err != nil {
+				return nil, err
+			}
+			return core.Values{
+				"challenge": id,
+				"png":       base64.StdEncoding.EncodeToString(png),
+			}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = svc.AddOperation(core.Operation{
+		Name: "Verify",
+		Doc:  "checks an answer; each challenge verifies at most once",
+		Input: []core.Param{
+			{Name: "challenge", Type: core.Int},
+			{Name: "answer", Type: core.String},
+		},
+		Output: []core.Param{{Name: "ok", Type: core.Bool}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			store.mu.Lock()
+			defer store.mu.Unlock()
+			want, ok := store.answers[in.Int("challenge")]
+			if !ok {
+				return nil, fmt.Errorf("no challenge %d", in.Int("challenge"))
+			}
+			delete(store.answers, in.Int("challenge"))
+			match := strings.EqualFold(strings.TrimSpace(in.Str("answer")), want)
+			return core.Values{"ok": match}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
+}

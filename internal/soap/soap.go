@@ -1,0 +1,353 @@
+// Package soap implements the SOAP 1.1 document-style message protocol of
+// CSE445 unit 3: envelope encoding and decoding, fault reporting, and the
+// HTTP binding (both the server handler and the client), with SOAPAction-
+// based operation dispatch.
+//
+// Messages are document/literal: the body carries a single operation
+// element in the service namespace whose children are the named
+// parameters. This mirrors what WSDL generation in soc/internal/wsdl
+// advertises.
+package soap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"soc/internal/xmlkit"
+)
+
+// Namespace constants for SOAP 1.1.
+const (
+	EnvelopeNS  = "http://schemas.xmlsoap.org/soap/envelope/"
+	ContentType = "text/xml; charset=utf-8"
+)
+
+// ErrProtocol reports a malformed SOAP message.
+var ErrProtocol = errors.New("soap: protocol error")
+
+// Fault is a SOAP fault. It implements error so handlers can return it
+// directly and clients can detect it with errors.As.
+type Fault struct {
+	// Code is the fault code: conventionally "Client" for caller errors
+	// and "Server" for service-side failures.
+	Code string
+	// String is the human-readable fault string.
+	String string
+	// Detail carries optional application-specific detail.
+	Detail string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
+}
+
+// ClientFault returns a Client fault (the caller's message was at fault).
+func ClientFault(format string, args ...any) *Fault {
+	return &Fault{Code: "Client", String: fmt.Sprintf(format, args...)}
+}
+
+// ServerFault returns a Server fault (the service failed).
+func ServerFault(format string, args ...any) *Fault {
+	return &Fault{Code: "Server", String: fmt.Sprintf(format, args...)}
+}
+
+// Message is a decoded SOAP request or response body: the operation
+// element name and its child parameter values.
+type Message struct {
+	// Operation is the local name of the body's single child element.
+	Operation string
+	// Namespace is the operation element's declared namespace URI (from
+	// its xmlns attribute), if any.
+	Namespace string
+	// Params maps parameter element names to their text content, in the
+	// order they appeared (ParamOrder preserves it).
+	Params map[string]string
+	// ParamOrder lists parameter names in document order.
+	ParamOrder []string
+	// Header holds SOAP header entries (name → text), if present.
+	Header map[string]string
+}
+
+// Encode renders the message as a SOAP envelope.
+func Encode(m Message) ([]byte, error) {
+	if m.Operation == "" {
+		return nil, fmt.Errorf("%w: empty operation", ErrProtocol)
+	}
+	env := xmlkit.NewElement("soap:Envelope")
+	env.SetAttr("xmlns:soap", EnvelopeNS)
+	if len(m.Header) > 0 {
+		hdr := env.AppendChild(xmlkit.NewElement("soap:Header"))
+		for _, name := range sortedKeys(m.Header) {
+			h := hdr.AppendChild(xmlkit.NewElement(name))
+			h.AppendChild(xmlkit.NewText(m.Header[name]))
+		}
+	}
+	body := env.AppendChild(xmlkit.NewElement("soap:Body"))
+	op := body.AppendChild(xmlkit.NewElement(m.Operation))
+	if m.Namespace != "" {
+		op.SetAttr("xmlns", m.Namespace)
+	}
+	order := m.ParamOrder
+	if order == nil {
+		order = sortedKeys(m.Params)
+	}
+	for _, name := range order {
+		v, ok := m.Params[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: ParamOrder names missing param %q", ErrProtocol, name)
+		}
+		p := op.AppendChild(xmlkit.NewElement(name))
+		p.AppendChild(xmlkit.NewText(v))
+	}
+	doc := &xmlkit.Document{Root: env}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeFault renders a fault envelope.
+func EncodeFault(f *Fault) ([]byte, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fault", ErrProtocol)
+	}
+	env := xmlkit.NewElement("soap:Envelope")
+	env.SetAttr("xmlns:soap", EnvelopeNS)
+	body := env.AppendChild(xmlkit.NewElement("soap:Body"))
+	fault := body.AppendChild(xmlkit.NewElement("soap:Fault"))
+	code := fault.AppendChild(xmlkit.NewElement("faultcode"))
+	code.AppendChild(xmlkit.NewText("soap:" + f.Code))
+	str := fault.AppendChild(xmlkit.NewElement("faultstring"))
+	str.AppendChild(xmlkit.NewText(f.String))
+	if f.Detail != "" {
+		det := fault.AppendChild(xmlkit.NewElement("detail"))
+		det.AppendChild(xmlkit.NewText(f.Detail))
+	}
+	doc := &xmlkit.Document{Root: env}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a SOAP envelope. A fault body decodes into a *Fault error.
+func Decode(r io.Reader) (Message, error) {
+	doc, err := xmlkit.ParseDocument(r)
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	root := doc.Root
+	if local(root.Name) != "Envelope" {
+		return Message{}, fmt.Errorf("%w: root is <%s>, want Envelope", ErrProtocol, root.Name)
+	}
+	var body *xmlkit.Node
+	header := map[string]string{}
+	for _, c := range root.Elements() {
+		switch local(c.Name) {
+		case "Body":
+			body = c
+		case "Header":
+			for _, h := range c.Elements() {
+				header[local(h.Name)] = h.Text()
+			}
+		}
+	}
+	if body == nil {
+		return Message{}, fmt.Errorf("%w: missing Body", ErrProtocol)
+	}
+	kids := body.Elements()
+	if len(kids) != 1 {
+		return Message{}, fmt.Errorf("%w: Body has %d children, want 1", ErrProtocol, len(kids))
+	}
+	op := kids[0]
+	if local(op.Name) == "Fault" {
+		f := &Fault{
+			Code:   strings.TrimPrefix(local(op.ChildText("faultcode")), "soap:"),
+			String: op.ChildText("faultstring"),
+			Detail: op.ChildText("detail"),
+		}
+		// faultcode text may carry a prefix; strip any prefix.
+		f.Code = local(f.Code)
+		return Message{}, f
+	}
+	m := Message{Operation: local(op.Name), Params: map[string]string{}, Header: header}
+	if ns, ok := op.Attr("xmlns"); ok {
+		m.Namespace = ns
+	}
+	for _, p := range op.Elements() {
+		name := local(p.Name)
+		if _, dup := m.Params[name]; !dup {
+			m.ParamOrder = append(m.ParamOrder, name)
+		}
+		m.Params[name] = p.Text()
+	}
+	return m, nil
+}
+
+func local(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: tiny maps
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// HandlerFunc processes one decoded request message and returns the
+// response message. Returning a *Fault (or any error) produces a SOAP
+// fault; other errors become Server faults.
+type HandlerFunc func(req Message) (Message, error)
+
+// Server is the HTTP binding of a SOAP endpoint. Operations are matched by
+// the body's operation element name; the SOAPAction header, when present,
+// must agree.
+type Server struct {
+	// Namespace is the service namespace advertised in responses.
+	Namespace string
+	handlers  map[string]HandlerFunc
+}
+
+// NewServer returns an empty SOAP endpoint for the namespace.
+func NewServer(namespace string) *Server {
+	return &Server{Namespace: namespace, handlers: make(map[string]HandlerFunc)}
+}
+
+// Handle registers a handler for the operation name. The response message
+// returned by h gets the operation's conventional "<op>Response" name and
+// the server namespace unless h set them.
+func (s *Server) Handle(operation string, h HandlerFunc) error {
+	if operation == "" || h == nil {
+		return fmt.Errorf("%w: invalid handler registration", ErrProtocol)
+	}
+	if _, dup := s.handlers[operation]; dup {
+		return fmt.Errorf("%w: duplicate operation %q", ErrProtocol, operation)
+	}
+	s.handlers[operation] = h
+	return nil
+}
+
+// Operations lists the registered operation names.
+func (s *Server) Operations() []string {
+	m := make(map[string]string, len(s.handlers))
+	for k := range s.handlers {
+		m[k] = ""
+	}
+	return sortedKeys(m)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeFault(w, http.StatusMethodNotAllowed, ClientFault("SOAP requires POST, got %s", r.Method))
+		return
+	}
+	req, err := Decode(r.Body)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, ClientFault("malformed envelope: %v", err))
+		return
+	}
+	if action := strings.Trim(r.Header.Get("SOAPAction"), `"`); action != "" {
+		// SOAPAction is conventionally namespace#operation or just the
+		// operation; the suffix must match the body operation.
+		if !strings.HasSuffix(action, req.Operation) {
+			writeFault(w, http.StatusBadRequest, ClientFault("SOAPAction %q does not match operation %q", action, req.Operation))
+			return
+		}
+	}
+	h, ok := s.handlers[req.Operation]
+	if !ok {
+		writeFault(w, http.StatusBadRequest, ClientFault("unknown operation %q", req.Operation))
+		return
+	}
+	resp, err := h(req)
+	if err != nil {
+		var f *Fault
+		if !errors.As(err, &f) {
+			f = ServerFault("%v", err)
+		}
+		writeFault(w, http.StatusInternalServerError, f)
+		return
+	}
+	if resp.Operation == "" {
+		resp.Operation = req.Operation + "Response"
+	}
+	if resp.Namespace == "" {
+		resp.Namespace = s.Namespace
+	}
+	out, err := Encode(resp)
+	if err != nil {
+		writeFault(w, http.StatusInternalServerError, ServerFault("response encoding: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	_, _ = w.Write(out)
+}
+
+func writeFault(w http.ResponseWriter, status int, f *Fault) {
+	out, err := EncodeFault(f)
+	if err != nil {
+		http.Error(w, f.String, status)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(out)
+}
+
+// Client invokes SOAP operations over HTTP.
+type Client struct {
+	// HTTPClient performs the requests; nil uses a client with a 30 s
+	// timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Call sends the message to url and decodes the response. SOAP faults are
+// returned as *Fault errors.
+func (c *Client) Call(url string, req Message) (Message, error) {
+	payload, err := Encode(req)
+	if err != nil {
+		return Message{}, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return Message{}, fmt.Errorf("soap: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", ContentType)
+	action := req.Operation
+	if req.Namespace != "" {
+		action = req.Namespace + "#" + req.Operation
+	}
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return Message{}, fmt.Errorf("soap: transport: %w", err)
+	}
+	defer httpResp.Body.Close()
+	return Decode(httpResp.Body)
+}

@@ -1,0 +1,175 @@
+// Package vtime is a deterministic virtual-time many-core executor. The
+// paper's Figure 3 measures Collatz validation on the Intel Manycore
+// Testing Lab from 1 to 32 physical cores; this host has far fewer, so we
+// reproduce the experiment's *shape* by scheduling cost-annotated tasks
+// onto P virtual cores with a greedy list scheduler and an explicit
+// synchronization-overhead model. Virtual makespan plays the role of wall
+// time: speedup = T(1)/T(P), efficiency = speedup/P, exactly the metrics
+// the figure plots.
+//
+// The model charges three costs, all in abstract "work units":
+//
+//   - the task's own cost;
+//   - a per-task dispatch overhead (lock handoff / queue pop), paid
+//     serially on the dispatching core's timeline, which caps scalability
+//     the way a shared work queue does;
+//   - a per-core startup cost (thread spawn), paid once per core.
+//
+// With zero overheads the executor reproduces ideal LPT-style scheduling;
+// with realistic overheads efficiency decays as core count grows, which is
+// the curve the paper reports.
+package vtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadConfig reports an invalid executor configuration.
+var ErrBadConfig = errors.New("vtime: invalid configuration")
+
+// Task is a unit of work with a known cost in abstract work units.
+type Task struct {
+	// ID identifies the task in traces.
+	ID int
+	// Cost is the task's execution cost; must be positive.
+	Cost int64
+}
+
+// Config tunes the cost model.
+type Config struct {
+	// DispatchOverhead is charged serially for every task handed to a
+	// core, modeling contention on a shared ready queue.
+	DispatchOverhead int64
+	// CoreStartup is charged once per core before it runs any task,
+	// modeling thread creation.
+	CoreStartup int64
+	// SerialWork is charged once per run regardless of core count,
+	// modeling the program's inherently sequential portion (input
+	// preparation, final reduction) — the Amdahl term.
+	SerialWork int64
+}
+
+// Result reports the outcome of a virtual execution.
+type Result struct {
+	// Cores is the number of virtual cores used.
+	Cores int
+	// Makespan is the virtual finish time of the last core.
+	Makespan int64
+	// PerCoreBusy is the busy time of each core (excluding idle tail).
+	PerCoreBusy []int64
+	// TasksPerCore counts tasks assigned to each core.
+	TasksPerCore []int
+}
+
+// Executor schedules tasks onto virtual cores.
+type Executor struct {
+	cfg Config
+}
+
+// NewExecutor returns an executor with the given cost model.
+func NewExecutor(cfg Config) (*Executor, error) {
+	if cfg.DispatchOverhead < 0 || cfg.CoreStartup < 0 || cfg.SerialWork < 0 {
+		return nil, fmt.Errorf("%w: negative overhead", ErrBadConfig)
+	}
+	return &Executor{cfg: cfg}, nil
+}
+
+// Run schedules tasks onto p virtual cores using a greedy earliest-
+// available-core policy over the task list in order, which models a shared
+// FIFO work queue: each dispatch serializes on the queue, then the task
+// runs on the core that becomes free first.
+func (e *Executor) Run(tasks []Task, p int) (Result, error) {
+	if p <= 0 {
+		return Result{}, fmt.Errorf("%w: cores=%d", ErrBadConfig, p)
+	}
+	for _, t := range tasks {
+		if t.Cost <= 0 {
+			return Result{}, fmt.Errorf("%w: task %d has cost %d", ErrBadConfig, t.ID, t.Cost)
+		}
+	}
+	coreFree := make([]int64, p)
+	busy := make([]int64, p)
+	counts := make([]int, p)
+	for i := range coreFree {
+		coreFree[i] = e.cfg.CoreStartup
+	}
+	// queueFree is the virtual time at which the shared dispatch queue
+	// next becomes available; every dispatch occupies it for
+	// DispatchOverhead units.
+	var queueFree int64
+	for _, t := range tasks {
+		// Pick the earliest-free core (ties to the lowest index).
+		best := 0
+		for c := 1; c < p; c++ {
+			if coreFree[c] < coreFree[best] {
+				best = c
+			}
+		}
+		start := coreFree[best]
+		if start < queueFree {
+			start = queueFree
+		}
+		queueFree = start + e.cfg.DispatchOverhead
+		end := start + e.cfg.DispatchOverhead + t.Cost
+		coreFree[best] = end
+		busy[best] += e.cfg.DispatchOverhead + t.Cost
+		counts[best]++
+	}
+	var makespan int64
+	for c := 0; c < p; c++ {
+		if coreFree[c] > makespan {
+			makespan = coreFree[c]
+		}
+	}
+	if len(tasks) == 0 {
+		makespan = 0
+	} else {
+		makespan += e.cfg.SerialWork
+	}
+	return Result{Cores: p, Makespan: makespan, PerCoreBusy: busy, TasksPerCore: counts}, nil
+}
+
+// RunLPT schedules tasks with the Longest-Processing-Time-first heuristic
+// (sorted by descending cost) — the "good static schedule" baseline taught
+// alongside dynamic scheduling.
+func (e *Executor) RunLPT(tasks []Task, p int) (Result, error) {
+	sorted := make([]Task, len(tasks))
+	copy(sorted, tasks)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Cost > sorted[j].Cost })
+	return e.Run(sorted, p)
+}
+
+// ScalingPoint is one (cores, makespan, speedup, efficiency) row.
+type ScalingPoint struct {
+	Cores      int
+	Makespan   int64
+	Speedup    float64
+	Efficiency float64
+}
+
+// Scaling runs the same task set at every core count and derives speedup
+// and efficiency relative to the 1-core makespan.
+func (e *Executor) Scaling(tasks []Task, cores []int) ([]ScalingPoint, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("%w: no core counts", ErrBadConfig)
+	}
+	base, err := e.Run(tasks, 1)
+	if err != nil {
+		return nil, err
+	}
+	if base.Makespan == 0 {
+		return nil, fmt.Errorf("%w: empty task set", ErrBadConfig)
+	}
+	points := make([]ScalingPoint, len(cores))
+	for i, p := range cores {
+		r, err := e.Run(tasks, p)
+		if err != nil {
+			return nil, err
+		}
+		s := float64(base.Makespan) / float64(r.Makespan)
+		points[i] = ScalingPoint{Cores: p, Makespan: r.Makespan, Speedup: s, Efficiency: s / float64(p)}
+	}
+	return points, nil
+}

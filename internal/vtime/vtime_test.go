@@ -1,0 +1,181 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func uniformTasks(n int, cost int64) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{ID: i, Cost: cost}
+	}
+	return ts
+}
+
+func TestSingleCoreMakespanIsTotalWork(t *testing.T) {
+	e, err := NewExecutor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(uniformTasks(10, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 50 {
+		t.Errorf("makespan = %d, want 50", r.Makespan)
+	}
+	if r.TasksPerCore[0] != 10 {
+		t.Errorf("tasks on core 0 = %d", r.TasksPerCore[0])
+	}
+}
+
+func TestIdealLinearSpeedupWithoutOverhead(t *testing.T) {
+	e, _ := NewExecutor(Config{})
+	pts, err := e.Scaling(uniformTasks(320, 10), []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Speedup != float64(pt.Cores) {
+			t.Errorf("cores=%d speedup=%v, want %d (uniform tasks divide evenly)", pt.Cores, pt.Speedup, pt.Cores)
+		}
+		if pt.Efficiency != 1 {
+			t.Errorf("cores=%d efficiency=%v, want 1", pt.Cores, pt.Efficiency)
+		}
+	}
+}
+
+func TestOverheadDegradesEfficiency(t *testing.T) {
+	e, _ := NewExecutor(Config{DispatchOverhead: 2, CoreStartup: 100})
+	pts, err := e.Scaling(uniformTasks(1000, 20), []int{1, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup must rise monotonically but efficiency must fall: the
+	// shape of the paper's Figure 3.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup < pts[i-1].Speedup {
+			t.Errorf("speedup not monotone: %v then %v", pts[i-1], pts[i])
+		}
+		if pts[i].Efficiency >= pts[i-1].Efficiency {
+			t.Errorf("efficiency not declining: %v then %v", pts[i-1], pts[i])
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Speedup >= float64(last.Cores) {
+		t.Errorf("32-core speedup %v should be sub-linear under overhead", last.Speedup)
+	}
+	if last.Speedup < 2 {
+		t.Errorf("32-core speedup %v collapsed entirely", last.Speedup)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	e, _ := NewExecutor(Config{})
+	if _, err := e.Run(uniformTasks(1, 1), 0); err == nil {
+		t.Error("cores=0 accepted")
+	}
+	if _, err := e.Run([]Task{{ID: 0, Cost: 0}}, 1); err == nil {
+		t.Error("zero-cost task accepted")
+	}
+	if _, err := NewExecutor(Config{DispatchOverhead: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestEmptyTaskSet(t *testing.T) {
+	e, _ := NewExecutor(Config{CoreStartup: 7})
+	r, err := e.Run(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 0 {
+		t.Errorf("empty makespan = %d", r.Makespan)
+	}
+	if _, err := e.Scaling(nil, []int{1, 2}); err == nil {
+		t.Error("Scaling on empty task set accepted")
+	}
+}
+
+func TestLPTNoWorseOnSkewedLoad(t *testing.T) {
+	e, _ := NewExecutor(Config{})
+	// One giant task plus many small ones: FIFO order with the giant
+	// task last produces a bad schedule; LPT fixes it.
+	tasks := uniformTasks(31, 10)
+	tasks = append(tasks, Task{ID: 99, Cost: 300})
+	fifo, err := e.Run(tasks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := e.RunLPT(tasks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan > fifo.Makespan {
+		t.Errorf("LPT makespan %d worse than FIFO %d", lpt.Makespan, fifo.Makespan)
+	}
+	if lpt.Makespan < 300 {
+		t.Errorf("LPT makespan %d below critical path 300", lpt.Makespan)
+	}
+}
+
+func TestMakespanLowerBoundProperty(t *testing.T) {
+	// Property: makespan >= total work / p and >= max task cost,
+	// for any task multiset (no overheads).
+	e, _ := NewExecutor(Config{})
+	prop := func(costs []uint8, pRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		var tasks []Task
+		var total, maxc int64
+		for i, c := range costs {
+			cost := int64(c%50) + 1
+			tasks = append(tasks, Task{ID: i, Cost: cost})
+			total += cost
+			if cost > maxc {
+				maxc = cost
+			}
+		}
+		r, err := e.Run(tasks, p)
+		if err != nil {
+			return false
+		}
+		if len(tasks) == 0 {
+			return r.Makespan == 0
+		}
+		lb := total / int64(p)
+		return r.Makespan >= lb && r.Makespan >= maxc && r.Makespan <= total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyConservationProperty(t *testing.T) {
+	// Property: sum of per-core busy time == total task cost + n*dispatch.
+	e, _ := NewExecutor(Config{DispatchOverhead: 3})
+	prop := func(costs []uint8, pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		var tasks []Task
+		var total int64
+		for i, c := range costs {
+			cost := int64(c%50) + 1
+			tasks = append(tasks, Task{ID: i, Cost: cost})
+			total += cost
+		}
+		r, err := e.Run(tasks, p)
+		if err != nil {
+			return false
+		}
+		var busy int64
+		var count int
+		for i := range r.PerCoreBusy {
+			busy += r.PerCoreBusy[i]
+			count += r.TasksPerCore[i]
+		}
+		return busy == total+int64(len(tasks))*3 && count == len(tasks)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

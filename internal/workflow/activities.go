@@ -1,0 +1,427 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Task is a leaf activity running an arbitrary function — the "code
+// activity" of VPL.
+type Task struct {
+	Label string
+	Fn    func(ctx context.Context, vars *Vars) error
+}
+
+// Name implements Activity.
+func (t *Task) Name() string { return t.Label }
+
+// Validate checks the definition.
+func (t *Task) Validate() error {
+	if t.Label == "" || t.Fn == nil {
+		return fmt.Errorf("%w: task needs label and fn", ErrDefinition)
+	}
+	return nil
+}
+
+// Execute implements Activity.
+func (t *Task) Execute(ctx context.Context, st *State) error { return t.Fn(ctx, st.Vars) }
+
+// Assign sets a variable from an expression over the scope.
+type Assign struct {
+	Label string
+	Var   string
+	Expr  func(vars *Vars) any
+}
+
+func (a *Assign) Name() string { return a.Label }
+
+func (a *Assign) Validate() error {
+	if a.Label == "" || a.Var == "" || a.Expr == nil {
+		return fmt.Errorf("%w: assign needs label, var and expr", ErrDefinition)
+	}
+	return nil
+}
+
+func (a *Assign) Execute(_ context.Context, st *State) error {
+	st.Vars.Set(a.Var, a.Expr(st.Vars))
+	return nil
+}
+
+// Invoker abstracts a service invocation target so the engine does not
+// depend on a specific client. soc/internal/host.Client satisfies it via
+// the InvokeAdapter below, and tests can stub it.
+type Invoker interface {
+	Invoke(ctx context.Context, service, operation string, args map[string]any) (map[string]any, error)
+}
+
+// InvokerFunc adapts a function to Invoker.
+type InvokerFunc func(ctx context.Context, service, operation string, args map[string]any) (map[string]any, error)
+
+// Invoke implements Invoker.
+func (f InvokerFunc) Invoke(ctx context.Context, service, operation string, args map[string]any) (map[string]any, error) {
+	return f(ctx, service, operation, args)
+}
+
+// Invoke calls a service operation: inputs are drawn from the scope by
+// the Inputs mapping (parameter name → variable name) and outputs are
+// written back by the Outputs mapping (result name → variable name).
+type Invoke struct {
+	Label     string
+	Service   string
+	Operation string
+	Invoker   Invoker
+	Inputs    map[string]string
+	Outputs   map[string]string
+}
+
+func (i *Invoke) Name() string { return i.Label }
+
+func (i *Invoke) Validate() error {
+	if i.Label == "" || i.Service == "" || i.Operation == "" || i.Invoker == nil {
+		return fmt.Errorf("%w: invoke needs label, service, operation and invoker", ErrDefinition)
+	}
+	return nil
+}
+
+func (i *Invoke) Execute(ctx context.Context, st *State) error {
+	args := map[string]any{}
+	for param, varName := range i.Inputs {
+		if v, ok := st.Vars.Get(varName); ok {
+			args[param] = v
+		}
+	}
+	out, err := i.Invoker.Invoke(ctx, i.Service, i.Operation, args)
+	if err != nil {
+		return fmt.Errorf("invoke %s.%s: %w", i.Service, i.Operation, err)
+	}
+	for result, varName := range i.Outputs {
+		if v, ok := out[result]; ok {
+			st.Vars.Set(varName, v)
+		}
+	}
+	return nil
+}
+
+// Sequence runs activities in order, stopping at the first fault.
+type Sequence struct {
+	Label string
+	Steps []Activity
+}
+
+func (s *Sequence) Name() string { return s.Label }
+
+// Children implements the validation walker.
+func (s *Sequence) Children() []Activity { return s.Steps }
+
+func (s *Sequence) Validate() error {
+	if s.Label == "" || len(s.Steps) == 0 {
+		return fmt.Errorf("%w: sequence needs label and steps", ErrDefinition)
+	}
+	return nil
+}
+
+func (s *Sequence) Execute(ctx context.Context, st *State) error {
+	for _, step := range s.Steps {
+		if err := exec(ctx, step, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parallel runs branches concurrently and joins them (AND-split/AND-join).
+// The first branch fault cancels the remaining branches' context.
+type Parallel struct {
+	Label    string
+	Branches []Activity
+}
+
+func (p *Parallel) Name() string { return p.Label }
+
+func (p *Parallel) Children() []Activity { return p.Branches }
+
+func (p *Parallel) Validate() error {
+	if p.Label == "" || len(p.Branches) == 0 {
+		return fmt.Errorf("%w: parallel needs label and branches", ErrDefinition)
+	}
+	return nil
+}
+
+func (p *Parallel) Execute(ctx context.Context, st *State) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make(chan error, len(p.Branches))
+	for _, b := range p.Branches {
+		go func(b Activity) {
+			errs <- exec(ctx, b, st)
+		}(b)
+	}
+	var first error
+	for range p.Branches {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			cancel()
+		}
+	}
+	return first
+}
+
+// If runs Then when the condition holds, Else (optional) otherwise.
+type If struct {
+	Label string
+	Cond  func(vars *Vars) bool
+	Then  Activity
+	Else  Activity
+}
+
+func (i *If) Name() string { return i.Label }
+
+func (i *If) Children() []Activity {
+	out := []Activity{i.Then}
+	if i.Else != nil {
+		out = append(out, i.Else)
+	}
+	return out
+}
+
+func (i *If) Validate() error {
+	if i.Label == "" || i.Cond == nil || i.Then == nil {
+		return fmt.Errorf("%w: if needs label, cond and then", ErrDefinition)
+	}
+	return nil
+}
+
+func (i *If) Execute(ctx context.Context, st *State) error {
+	if i.Cond(st.Vars) {
+		return exec(ctx, i.Then, st)
+	}
+	if i.Else != nil {
+		return exec(ctx, i.Else, st)
+	}
+	return nil
+}
+
+// While repeats Body while the condition holds, bounded by MaxIterations
+// (default 10000) to keep buggy compositions from spinning forever.
+type While struct {
+	Label         string
+	Cond          func(vars *Vars) bool
+	Body          Activity
+	MaxIterations int
+}
+
+func (w *While) Name() string { return w.Label }
+
+func (w *While) Children() []Activity { return []Activity{w.Body} }
+
+func (w *While) Validate() error {
+	if w.Label == "" || w.Cond == nil || w.Body == nil {
+		return fmt.Errorf("%w: while needs label, cond and body", ErrDefinition)
+	}
+	return nil
+}
+
+func (w *While) Execute(ctx context.Context, st *State) error {
+	max := w.MaxIterations
+	if max <= 0 {
+		max = 10000
+	}
+	for i := 0; w.Cond(st.Vars); i++ {
+		if i >= max {
+			return fmt.Errorf("while %q exceeded %d iterations", w.Label, max)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := exec(ctx, w.Body, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pick waits for the first of several events (the event-driven OR-join):
+// each branch has a guard channel; the first channel to deliver runs its
+// activity and the rest are abandoned. A timeout branch fires after
+// Timeout when no event arrives.
+type Pick struct {
+	Label   string
+	Events  []PickBranch
+	Timeout time.Duration
+	// OnExpire optionally runs when Timeout elapses with no event.
+	OnExpire Activity
+}
+
+// PickBranch couples an event source with its continuation.
+type PickBranch struct {
+	// Wait returns a channel that delivers when the event fires. It is
+	// called once per execution.
+	Wait func(ctx context.Context) <-chan any
+	// Var, when non-empty, receives the event payload.
+	Var string
+	// Then runs when this branch wins.
+	Then Activity
+}
+
+func (p *Pick) Name() string { return p.Label }
+
+func (p *Pick) Children() []Activity {
+	var out []Activity
+	for _, e := range p.Events {
+		out = append(out, e.Then)
+	}
+	if p.OnExpire != nil {
+		out = append(out, p.OnExpire)
+	}
+	return out
+}
+
+func (p *Pick) Validate() error {
+	if p.Label == "" || len(p.Events) == 0 {
+		return fmt.Errorf("%w: pick needs label and events", ErrDefinition)
+	}
+	for _, e := range p.Events {
+		if e.Wait == nil || e.Then == nil {
+			return fmt.Errorf("%w: pick branch needs wait and then", ErrDefinition)
+		}
+	}
+	return nil
+}
+
+func (p *Pick) Execute(ctx context.Context, st *State) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type fired struct {
+		idx     int
+		payload any
+	}
+	ch := make(chan fired, len(p.Events))
+	for idx, e := range p.Events {
+		go func(idx int, e PickBranch) {
+			select {
+			case v, ok := <-e.Wait(ctx):
+				if ok {
+					ch <- fired{idx, v}
+				}
+			case <-ctx.Done():
+			}
+		}(idx, e)
+	}
+	var timeout <-chan time.Time
+	if p.Timeout > 0 {
+		timer := time.NewTimer(p.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case f := <-ch:
+		br := p.Events[f.idx]
+		if br.Var != "" {
+			st.Vars.Set(br.Var, f.payload)
+		}
+		return exec(ctx, br.Then, st)
+	case <-timeout:
+		if p.OnExpire != nil {
+			return exec(ctx, p.OnExpire, st)
+		}
+		return fmt.Errorf("pick %q timed out after %v", p.Label, p.Timeout)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Scope runs Body with BPEL-style fault and compensation handling: when
+// Body faults, Compensation activities registered during execution run in
+// reverse order, then OnFault (if set) may absorb the fault.
+type Scope struct {
+	Label string
+	Body  Activity
+	// OnFault handles a fault from Body; if it executes without error
+	// the fault is considered handled.
+	OnFault Activity
+}
+
+func (s *Scope) Name() string { return s.Label }
+
+func (s *Scope) Children() []Activity {
+	out := []Activity{s.Body}
+	if s.OnFault != nil {
+		out = append(out, s.OnFault)
+	}
+	return out
+}
+
+func (s *Scope) Validate() error {
+	if s.Label == "" || s.Body == nil {
+		return fmt.Errorf("%w: scope needs label and body", ErrDefinition)
+	}
+	return nil
+}
+
+type compKey struct{ scope string }
+
+// RegisterCompensation records an undo action for the named enclosing
+// scope. Compensations run LIFO when the scope faults.
+func RegisterCompensation(vars *Vars, scope string, undo func(ctx context.Context) error) {
+	key := compKey{scope}
+	cur, _ := vars.Get(fmt.Sprint(key))
+	list, _ := cur.([]func(ctx context.Context) error)
+	vars.Set(fmt.Sprint(key), append(list, undo))
+}
+
+func (s *Scope) Execute(ctx context.Context, st *State) error {
+	err := exec(ctx, s.Body, st)
+	if err == nil {
+		return nil
+	}
+	// Run compensations LIFO. Compensation runs on a fresh context so a
+	// canceled workflow can still undo (bounded).
+	compCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	key := fmt.Sprint(compKey{s.Label})
+	if cur, ok := st.Vars.Get(key); ok {
+		if list, ok := cur.([]func(ctx context.Context) error); ok {
+			for i := len(list) - 1; i >= 0; i-- {
+				if cerr := list[i](compCtx); cerr != nil {
+					return fmt.Errorf("scope %q: fault %v; compensation also failed: %w", s.Label, err, cerr)
+				}
+			}
+			st.Vars.Set(key, []func(ctx context.Context) error(nil))
+		}
+	}
+	if s.OnFault != nil {
+		st.Vars.Set("fault."+s.Label, err.Error())
+		if herr := exec(ctx, s.OnFault, st); herr != nil {
+			return fmt.Errorf("scope %q: fault handler failed: %w", s.Label, herr)
+		}
+		return nil // fault handled
+	}
+	return err
+}
+
+// Delay pauses the workflow — the "wait" activity.
+type Delay struct {
+	Label string
+	D     time.Duration
+}
+
+func (d *Delay) Name() string { return d.Label }
+
+func (d *Delay) Validate() error {
+	if d.Label == "" || d.D < 0 {
+		return fmt.Errorf("%w: delay needs label and non-negative duration", ErrDefinition)
+	}
+	return nil
+}
+
+func (d *Delay) Execute(ctx context.Context, _ *State) error {
+	t := time.NewTimer(d.D)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,47 @@
+package workflow_test
+
+import (
+	"context"
+	"fmt"
+
+	"soc/internal/workflow"
+)
+
+// Example composes a small orchestration: an assignment, a conditional,
+// and a loop over a shared variable scope.
+func Example() {
+	wf, _ := workflow.New("countdown", &workflow.Sequence{Label: "main", Steps: []workflow.Activity{
+		&workflow.Assign{Label: "init", Var: "n", Expr: func(*workflow.Vars) any { return int64(3) }},
+		&workflow.While{
+			Label: "loop",
+			Cond:  func(v *workflow.Vars) bool { return v.GetInt("n") > 0 },
+			Body: &workflow.Assign{Label: "dec", Var: "n", Expr: func(v *workflow.Vars) any {
+				return v.GetInt("n") - 1
+			}},
+		},
+		&workflow.If{
+			Label: "check",
+			Cond:  func(v *workflow.Vars) bool { return v.GetInt("n") == 0 },
+			Then:  &workflow.Assign{Label: "done", Var: "msg", Expr: func(*workflow.Vars) any { return "liftoff" }},
+		},
+	}})
+	out, _, err := wf.Run(context.Background(), nil)
+	fmt.Println(out["msg"], err)
+	// Output: liftoff <nil>
+}
+
+// ExampleForEach fans a computation out over a list with isolated
+// parallel scopes and collects the results in order.
+func ExampleForEach() {
+	wf, _ := workflow.New("squares", &workflow.ForEach{
+		Label: "fan", Items: "nums", ItemVar: "n", Parallel: true, CollectVar: "sq",
+		Body: &workflow.Assign{Label: "square", Var: "sq", Expr: func(v *workflow.Vars) any {
+			return v.GetInt("n") * v.GetInt("n")
+		}},
+	})
+	out, _, _ := wf.Run(context.Background(), map[string]any{
+		"nums": []any{int64(2), int64(3), int64(4)},
+	})
+	fmt.Println(out["sq"])
+	// Output: [4 9 16]
+}

@@ -1,0 +1,208 @@
+// Package workflow is the service-composition engine corresponding to the
+// courses' VPL and BPEL units: applications are built by wiring existing
+// services into control-flow graphs (sequence, parallel split/join,
+// choice, loops, event picks) over a shared variable scope, with
+// fault and compensation handlers — "generating executables directly from
+// the flowchart", as the paper's keynote puts it.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrDefinition reports an invalid workflow definition.
+var ErrDefinition = errors.New("workflow: invalid definition")
+
+// ErrFaulted reports a workflow that ended in an unhandled fault.
+var ErrFaulted = errors.New("workflow: faulted")
+
+// Vars is the shared variable scope of a workflow instance. Access is
+// synchronized so parallel branches may read and write concurrently.
+type Vars struct {
+	mu sync.RWMutex
+	m  map[string]any
+}
+
+// NewVars returns a scope seeded with init (may be nil).
+func NewVars(init map[string]any) *Vars {
+	v := &Vars{m: make(map[string]any)}
+	for k, val := range init {
+		v.m[k] = val
+	}
+	return v
+}
+
+// Get reads a variable.
+func (v *Vars) Get(key string) (any, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	val, ok := v.m[key]
+	return val, ok
+}
+
+// GetString reads a variable as a string (zero value when absent).
+func (v *Vars) GetString(key string) string {
+	val, _ := v.Get(key)
+	s, _ := val.(string)
+	return s
+}
+
+// GetInt reads a variable as an int64, converting float64 and int.
+func (v *Vars) GetInt(key string) int64 {
+	val, _ := v.Get(key)
+	switch x := val.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+// GetBool reads a variable as a bool.
+func (v *Vars) GetBool(key string) bool {
+	val, _ := v.Get(key)
+	b, _ := val.(bool)
+	return b
+}
+
+// Set writes a variable.
+func (v *Vars) Set(key string, val any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.m[key] = val
+}
+
+// Snapshot copies the scope.
+func (v *Vars) Snapshot() map[string]any {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]any, len(v.m))
+	for k, val := range v.m {
+		out[k] = val
+	}
+	return out
+}
+
+// Activity is a node of the workflow graph.
+type Activity interface {
+	// Name identifies the activity in traces.
+	Name() string
+	// Execute runs the activity against the instance state.
+	Execute(ctx context.Context, st *State) error
+}
+
+// State is the execution state of one workflow instance.
+type State struct {
+	Vars  *Vars
+	trace *Trace
+}
+
+// Trace records executed activities in order.
+type Trace struct {
+	mu      sync.Mutex
+	Entries []TraceEntry
+}
+
+// TraceEntry is one trace record.
+type TraceEntry struct {
+	Activity string
+	Start    time.Time
+	Elapsed  time.Duration
+	Err      string
+}
+
+func (t *Trace) add(e TraceEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Entries = append(t.Entries, e)
+}
+
+// Names returns the executed activity names in order.
+func (t *Trace) Names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.Entries))
+	for i, e := range t.Entries {
+		out[i] = e.Activity
+	}
+	return out
+}
+
+// Workflow is a named, validated activity graph.
+type Workflow struct {
+	Name string
+	Root Activity
+}
+
+// New builds a workflow after validating the graph.
+func New(name string, root Activity) (*Workflow, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrDefinition)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: nil root", ErrDefinition)
+	}
+	if err := validate(root, map[Activity]bool{}); err != nil {
+		return nil, err
+	}
+	return &Workflow{Name: name, Root: root}, nil
+}
+
+type children interface{ Children() []Activity }
+
+func validate(a Activity, onPath map[Activity]bool) error {
+	if a == nil {
+		return fmt.Errorf("%w: nil activity", ErrDefinition)
+	}
+	if onPath[a] {
+		return fmt.Errorf("%w: cycle through %q", ErrDefinition, a.Name())
+	}
+	if v, ok := a.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
+	if c, ok := a.(children); ok {
+		onPath[a] = true
+		for _, child := range c.Children() {
+			if err := validate(child, onPath); err != nil {
+				return err
+			}
+		}
+		delete(onPath, a)
+	}
+	return nil
+}
+
+// Run executes the workflow with the given initial variables, returning
+// the final scope and the execution trace.
+func (w *Workflow) Run(ctx context.Context, init map[string]any) (map[string]any, *Trace, error) {
+	st := &State{Vars: NewVars(init), trace: &Trace{}}
+	err := exec(ctx, w.Root, st)
+	if err != nil {
+		return st.Vars.Snapshot(), st.trace, fmt.Errorf("%w: %v", ErrFaulted, err)
+	}
+	return st.Vars.Snapshot(), st.trace, nil
+}
+
+// exec runs one activity with tracing.
+func exec(ctx context.Context, a Activity, st *State) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	err := a.Execute(ctx, st)
+	entry := TraceEntry{Activity: a.Name(), Start: start, Elapsed: time.Since(start)}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	st.trace.add(entry)
+	return err
+}

@@ -1,0 +1,400 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func task(name string, fn func(v *Vars)) *Task {
+	return &Task{Label: name, Fn: func(_ context.Context, v *Vars) error {
+		if fn != nil {
+			fn(v)
+		}
+		return nil
+	}}
+}
+
+func failing(name, msg string) *Task {
+	return &Task{Label: name, Fn: func(context.Context, *Vars) error {
+		return errors.New(msg)
+	}}
+}
+
+func TestSequenceRunsInOrder(t *testing.T) {
+	var order []string
+	wf, err := New("seq", &Sequence{Label: "main", Steps: []Activity{
+		task("a", func(*Vars) { order = append(order, "a") }),
+		task("b", func(*Vars) { order = append(order, "b") }),
+		task("c", func(*Vars) { order = append(order, "c") }),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := wf.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, "") != "abc" {
+		t.Errorf("order = %v", order)
+	}
+	names := trace.Names()
+	if len(names) != 4 || names[3] != "main" {
+		t.Errorf("trace = %v", names)
+	}
+}
+
+func TestSequenceStopsOnFault(t *testing.T) {
+	ran := false
+	wf, _ := New("seq", &Sequence{Label: "main", Steps: []Activity{
+		failing("bad", "kaput"),
+		task("never", func(*Vars) { ran = true }),
+	}})
+	_, _, err := wf.Run(context.Background(), nil)
+	if !errors.Is(err, ErrFaulted) || !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("err = %v", err)
+	}
+	if ran {
+		t.Error("activity after fault ran")
+	}
+}
+
+func TestVarsAndAssign(t *testing.T) {
+	wf, _ := New("calc", &Sequence{Label: "main", Steps: []Activity{
+		&Assign{Label: "init", Var: "x", Expr: func(*Vars) any { return int64(10) }},
+		&Assign{Label: "double", Var: "x", Expr: func(v *Vars) any { return v.GetInt("x") * 2 }},
+		&Assign{Label: "msg", Var: "msg", Expr: func(v *Vars) any { return fmt.Sprintf("x=%d", v.GetInt("x")) }},
+	}})
+	out, _, err := wf.Run(context.Background(), map[string]any{"seed": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["x"] != int64(20) || out["msg"] != "x=20" || out["seed"] != true {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestParallelJoin(t *testing.T) {
+	var count int32
+	branches := make([]Activity, 8)
+	for i := range branches {
+		branches[i] = task(fmt.Sprintf("b%d", i), func(*Vars) { atomic.AddInt32(&count, 1) })
+	}
+	wf, _ := New("par", &Parallel{Label: "split", Branches: branches})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestParallelFaultCancelsSiblings(t *testing.T) {
+	slowCancelled := make(chan bool, 1)
+	wf, _ := New("par", &Parallel{Label: "split", Branches: []Activity{
+		failing("bad", "branch fault"),
+		&Task{Label: "slow", Fn: func(ctx context.Context, _ *Vars) error {
+			select {
+			case <-ctx.Done():
+				slowCancelled <- true
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				slowCancelled <- false
+				return nil
+			}
+		}},
+	}})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "branch fault") {
+		t.Errorf("err = %v", err)
+	}
+	if !<-slowCancelled {
+		t.Error("sibling branch not cancelled")
+	}
+}
+
+func TestIfBranches(t *testing.T) {
+	mk := func() *Workflow {
+		wf, _ := New("if", &If{
+			Label: "check",
+			Cond:  func(v *Vars) bool { return v.GetBool("flag") },
+			Then:  &Assign{Label: "t", Var: "result", Expr: func(*Vars) any { return "then" }},
+			Else:  &Assign{Label: "e", Var: "result", Expr: func(*Vars) any { return "else" }},
+		})
+		return wf
+	}
+	out, _, _ := mk().Run(context.Background(), map[string]any{"flag": true})
+	if out["result"] != "then" {
+		t.Errorf("then branch: %v", out["result"])
+	}
+	out, _, _ = mk().Run(context.Background(), map[string]any{"flag": false})
+	if out["result"] != "else" {
+		t.Errorf("else branch: %v", out["result"])
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	wf, _ := New("if", &If{
+		Label: "check",
+		Cond:  func(*Vars) bool { return false },
+		Then:  failing("no", "never"),
+	})
+	if _, _, err := wf.Run(context.Background(), nil); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	wf, _ := New("loop", &Sequence{Label: "main", Steps: []Activity{
+		&Assign{Label: "init", Var: "i", Expr: func(*Vars) any { return int64(0) }},
+		&While{
+			Label: "count",
+			Cond:  func(v *Vars) bool { return v.GetInt("i") < 5 },
+			Body:  &Assign{Label: "inc", Var: "i", Expr: func(v *Vars) any { return v.GetInt("i") + 1 }},
+		},
+	}})
+	out, _, err := wf.Run(context.Background(), nil)
+	if err != nil || out["i"] != int64(5) {
+		t.Errorf("i = %v err = %v", out["i"], err)
+	}
+}
+
+func TestWhileIterationBound(t *testing.T) {
+	wf, _ := New("loop", &While{
+		Label:         "forever",
+		Cond:          func(*Vars) bool { return true },
+		Body:          task("noop", nil),
+		MaxIterations: 10,
+	})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvokeMapsInputsAndOutputs(t *testing.T) {
+	var gotArgs map[string]any
+	inv := InvokerFunc(func(_ context.Context, svc, op string, args map[string]any) (map[string]any, error) {
+		gotArgs = args
+		if svc != "Calc" || op != "Add" {
+			return nil, fmt.Errorf("unexpected target %s.%s", svc, op)
+		}
+		return map[string]any{"sum": args["a"].(int64) + args["b"].(int64)}, nil
+	})
+	wf, _ := New("invoke", &Invoke{
+		Label: "add", Service: "Calc", Operation: "Add", Invoker: inv,
+		Inputs:  map[string]string{"a": "x", "b": "y"},
+		Outputs: map[string]string{"sum": "total"},
+	})
+	out, _, err := wf.Run(context.Background(), map[string]any{"x": int64(2), "y": int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["total"] != int64(5) {
+		t.Errorf("total = %v", out["total"])
+	}
+	if gotArgs["a"] != int64(2) {
+		t.Errorf("args = %v", gotArgs)
+	}
+}
+
+func TestInvokeFault(t *testing.T) {
+	inv := InvokerFunc(func(context.Context, string, string, map[string]any) (map[string]any, error) {
+		return nil, errors.New("remote down")
+	})
+	wf, _ := New("invoke", &Invoke{Label: "call", Service: "S", Operation: "Op", Invoker: inv})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "remote down") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPickFirstEventWins(t *testing.T) {
+	fast := func(ctx context.Context) <-chan any {
+		ch := make(chan any, 1)
+		ch <- "payload"
+		return ch
+	}
+	slow := func(ctx context.Context) <-chan any {
+		return make(chan any) // never fires
+	}
+	wf, _ := New("pick", &Pick{
+		Label: "race",
+		Events: []PickBranch{
+			{Wait: slow, Then: &Assign{Label: "s", Var: "winner", Expr: func(*Vars) any { return "slow" }}},
+			{Wait: fast, Var: "evt", Then: &Assign{Label: "f", Var: "winner", Expr: func(*Vars) any { return "fast" }}},
+		},
+	})
+	out, _, err := wf.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["winner"] != "fast" || out["evt"] != "payload" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestPickTimeout(t *testing.T) {
+	never := func(ctx context.Context) <-chan any { return make(chan any) }
+	wf, _ := New("pick", &Pick{
+		Label:    "wait",
+		Events:   []PickBranch{{Wait: never, Then: task("n", nil)}},
+		Timeout:  10 * time.Millisecond,
+		OnExpire: &Assign{Label: "to", Var: "expired", Expr: func(*Vars) any { return true }},
+	})
+	out, _, err := wf.Run(context.Background(), nil)
+	if err != nil || out["expired"] != true {
+		t.Errorf("out = %v err = %v", out, err)
+	}
+	// Without OnExpire a timeout is a fault.
+	wf2, _ := New("pick2", &Pick{
+		Label:   "wait2",
+		Events:  []PickBranch{{Wait: never, Then: task("n", nil)}},
+		Timeout: 10 * time.Millisecond,
+	})
+	if _, _, err := wf2.Run(context.Background(), nil); err == nil {
+		t.Error("timeout without handler did not fault")
+	}
+}
+
+func TestScopeFaultHandler(t *testing.T) {
+	wf, _ := New("scope", &Scope{
+		Label: "guarded",
+		Body:  failing("bad", "inner fault"),
+		OnFault: &Assign{Label: "handle", Var: "handled", Expr: func(v *Vars) any {
+			return v.GetString("fault.guarded")
+		}},
+	})
+	out, _, err := wf.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("handled fault escaped: %v", err)
+	}
+	if !strings.Contains(out["handled"].(string), "inner fault") {
+		t.Errorf("handled = %v", out["handled"])
+	}
+}
+
+func TestScopeCompensationLIFO(t *testing.T) {
+	var undone []string
+	body := &Sequence{Label: "book", Steps: []Activity{
+		task("reserveFlight", func(v *Vars) {
+			RegisterCompensation(v, "trip", func(context.Context) error {
+				undone = append(undone, "flight")
+				return nil
+			})
+		}),
+		task("reserveHotel", func(v *Vars) {
+			RegisterCompensation(v, "trip", func(context.Context) error {
+				undone = append(undone, "hotel")
+				return nil
+			})
+		}),
+		failing("payment", "card declined"),
+	}}
+	wf, _ := New("saga", &Scope{Label: "trip", Body: body})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "card declined") {
+		t.Errorf("err = %v", err)
+	}
+	if strings.Join(undone, ",") != "hotel,flight" {
+		t.Errorf("compensation order = %v", undone)
+	}
+}
+
+func TestScopeCompensationFailure(t *testing.T) {
+	body := &Sequence{Label: "b", Steps: []Activity{
+		task("step", func(v *Vars) {
+			RegisterCompensation(v, "sc", func(context.Context) error { return errors.New("undo broke") })
+		}),
+		failing("bad", "original"),
+	}}
+	wf, _ := New("saga", &Scope{Label: "sc", Body: body})
+	_, _, err := wf.Run(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "undo broke") || !strings.Contains(err.Error(), "original") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDefinitionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		root Activity
+	}{
+		{"nil root", nil},
+		{"unnamed task", &Task{Fn: func(context.Context, *Vars) error { return nil }}},
+		{"task without fn", &Task{Label: "x"}},
+		{"empty sequence", &Sequence{Label: "s"}},
+		{"if without cond", &If{Label: "i", Then: task("t", nil)}},
+		{"invoke without invoker", &Invoke{Label: "i", Service: "s", Operation: "o"}},
+		{"nested invalid", &Sequence{Label: "s", Steps: []Activity{&Task{Label: "bad"}}}},
+		{"pick empty", &Pick{Label: "p"}},
+		{"scope without body", &Scope{Label: "sc"}},
+		{"negative delay", &Delay{Label: "d", D: -1}},
+	}
+	for _, c := range cases {
+		if _, err := New("w", c.root); !errors.Is(err, ErrDefinition) {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+	if _, err := New("", task("t", nil)); !errors.Is(err, ErrDefinition) {
+		t.Error("empty workflow name accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	seq := &Sequence{Label: "loop"}
+	seq.Steps = []Activity{seq}
+	if _, err := New("w", seq); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSharedActivityIsNotACycle(t *testing.T) {
+	shared := task("shared", nil)
+	wf, err := New("w", &Sequence{Label: "main", Steps: []Activity{shared, shared}})
+	if err != nil {
+		t.Fatalf("diamond reuse rejected: %v", err)
+	}
+	if _, _, err := wf.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	wf, _ := New("w", task("t", nil))
+	if _, _, err := wf.Run(ctx, nil); err == nil {
+		t.Error("canceled run succeeded")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	wf, _ := New("w", &Delay{Label: "nap", D: 5 * time.Millisecond})
+	start := time.Now()
+	if _, _, err := wf.Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("delay too short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	wf2, _ := New("w2", &Delay{Label: "long", D: 5 * time.Second})
+	if _, _, err := wf2.Run(ctx, nil); err == nil {
+		t.Error("cancellation ignored")
+	}
+}
+
+func TestTraceRecordsErrors(t *testing.T) {
+	wf, _ := New("w", failing("bad", "oops"))
+	_, trace, _ := wf.Run(context.Background(), nil)
+	if len(trace.Entries) != 1 || trace.Entries[0].Err != "oops" {
+		t.Errorf("trace = %+v", trace.Entries)
+	}
+}

@@ -1,0 +1,292 @@
+// Package wsdl generates and parses WSDL 1.1 service descriptions for
+// soc/internal/core services — the "standard interfaces" of the paper's
+// SOA definition. Generation covers types (inline XSD), messages, portType
+// operations, a document/literal SOAP binding, and the service endpoint;
+// Parse recovers the operation signatures from such a document, which is
+// what the service broker and crawler use to understand a discovered
+// service.
+package wsdl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"soc/internal/core"
+	"soc/internal/xmlkit"
+)
+
+// Namespaces used in generated documents.
+const (
+	WSDLNS = "http://schemas.xmlsoap.org/wsdl/"
+	SOAPNS = "http://schemas.xmlsoap.org/wsdl/soap/"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema"
+)
+
+// ErrWSDL reports a malformed or unsupported WSDL document.
+var ErrWSDL = errors.New("wsdl: invalid document")
+
+func xsdType(t core.Type) string {
+	switch t {
+	case core.Int:
+		return "xsd:long"
+	case core.Float:
+		return "xsd:double"
+	case core.Bool:
+		return "xsd:boolean"
+	default:
+		return "xsd:string"
+	}
+}
+
+func coreType(xsd string) core.Type {
+	switch strings.TrimPrefix(xsd, "xsd:") {
+	case "long", "int", "integer", "short":
+		return core.Int
+	case "double", "float", "decimal":
+		return core.Float
+	case "boolean":
+		return core.Bool
+	default:
+		return core.String
+	}
+}
+
+// Generate renders the WSDL 1.1 description of svc bound at endpoint.
+func Generate(svc *core.Service, endpoint string) ([]byte, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("%w: nil service", ErrWSDL)
+	}
+	if endpoint == "" {
+		return nil, fmt.Errorf("%w: empty endpoint", ErrWSDL)
+	}
+	def := xmlkit.NewElement("wsdl:definitions")
+	def.SetAttr("xmlns:wsdl", WSDLNS)
+	def.SetAttr("xmlns:soap", SOAPNS)
+	def.SetAttr("xmlns:xsd", XSDNS)
+	def.SetAttr("xmlns:tns", svc.Namespace)
+	def.SetAttr("targetNamespace", svc.Namespace)
+	def.SetAttr("name", svc.Name)
+	if svc.Doc != "" {
+		d := def.AppendChild(xmlkit.NewElement("wsdl:documentation"))
+		d.AppendChild(xmlkit.NewText(svc.Doc))
+	}
+
+	// types: one request element per operation, one response element.
+	types := def.AppendChild(xmlkit.NewElement("wsdl:types"))
+	schema := types.AppendChild(xmlkit.NewElement("xsd:schema"))
+	schema.SetAttr("targetNamespace", svc.Namespace)
+	for _, op := range svc.Operations() {
+		schema.AppendChild(elementDecl(op.Name, op.Input))
+		schema.AppendChild(elementDecl(op.Name+"Response", op.Output))
+	}
+
+	// messages.
+	for _, op := range svc.Operations() {
+		in := def.AppendChild(xmlkit.NewElement("wsdl:message"))
+		in.SetAttr("name", op.Name+"Input")
+		part := in.AppendChild(xmlkit.NewElement("wsdl:part"))
+		part.SetAttr("name", "parameters")
+		part.SetAttr("element", "tns:"+op.Name)
+		out := def.AppendChild(xmlkit.NewElement("wsdl:message"))
+		out.SetAttr("name", op.Name+"Output")
+		part = out.AppendChild(xmlkit.NewElement("wsdl:part"))
+		part.SetAttr("name", "parameters")
+		part.SetAttr("element", "tns:"+op.Name+"Response")
+	}
+
+	// portType.
+	pt := def.AppendChild(xmlkit.NewElement("wsdl:portType"))
+	pt.SetAttr("name", svc.Name+"PortType")
+	for _, op := range svc.Operations() {
+		o := pt.AppendChild(xmlkit.NewElement("wsdl:operation"))
+		o.SetAttr("name", op.Name)
+		if op.Doc != "" {
+			d := o.AppendChild(xmlkit.NewElement("wsdl:documentation"))
+			d.AppendChild(xmlkit.NewText(op.Doc))
+		}
+		in := o.AppendChild(xmlkit.NewElement("wsdl:input"))
+		in.SetAttr("message", "tns:"+op.Name+"Input")
+		out := o.AppendChild(xmlkit.NewElement("wsdl:output"))
+		out.SetAttr("message", "tns:"+op.Name+"Output")
+	}
+
+	// binding (document/literal SOAP over HTTP).
+	bind := def.AppendChild(xmlkit.NewElement("wsdl:binding"))
+	bind.SetAttr("name", svc.Name+"Binding")
+	bind.SetAttr("type", "tns:"+svc.Name+"PortType")
+	sb := bind.AppendChild(xmlkit.NewElement("soap:binding"))
+	sb.SetAttr("style", "document")
+	sb.SetAttr("transport", "http://schemas.xmlsoap.org/soap/http")
+	for _, op := range svc.Operations() {
+		o := bind.AppendChild(xmlkit.NewElement("wsdl:operation"))
+		o.SetAttr("name", op.Name)
+		so := o.AppendChild(xmlkit.NewElement("soap:operation"))
+		so.SetAttr("soapAction", svc.Namespace+"#"+op.Name)
+		in := o.AppendChild(xmlkit.NewElement("wsdl:input"))
+		ib := in.AppendChild(xmlkit.NewElement("soap:body"))
+		ib.SetAttr("use", "literal")
+		out := o.AppendChild(xmlkit.NewElement("wsdl:output"))
+		ob := out.AppendChild(xmlkit.NewElement("soap:body"))
+		ob.SetAttr("use", "literal")
+	}
+
+	// service + port.
+	servEl := def.AppendChild(xmlkit.NewElement("wsdl:service"))
+	servEl.SetAttr("name", svc.Name)
+	port := servEl.AppendChild(xmlkit.NewElement("wsdl:port"))
+	port.SetAttr("name", svc.Name+"Port")
+	port.SetAttr("binding", "tns:"+svc.Name+"Binding")
+	addr := port.AppendChild(xmlkit.NewElement("soap:address"))
+	addr.SetAttr("location", endpoint)
+
+	doc := &xmlkit.Document{Root: def}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func elementDecl(name string, params []core.Param) *xmlkit.Node {
+	el := xmlkit.NewElement("xsd:element")
+	el.SetAttr("name", name)
+	ct := el.AppendChild(xmlkit.NewElement("xsd:complexType"))
+	seq := ct.AppendChild(xmlkit.NewElement("xsd:sequence"))
+	for _, p := range params {
+		pe := seq.AppendChild(xmlkit.NewElement("xsd:element"))
+		pe.SetAttr("name", p.Name)
+		pe.SetAttr("type", xsdType(p.Type))
+		if p.Optional {
+			pe.SetAttr("minOccurs", "0")
+		}
+	}
+	return el
+}
+
+// Description is the information recovered from a parsed WSDL document.
+type Description struct {
+	Name      string
+	Namespace string
+	Doc       string
+	Endpoint  string
+	Ops       []OpDescription
+}
+
+// OpDescription is a parsed operation signature.
+type OpDescription struct {
+	Name   string
+	Doc    string
+	Input  []core.Param
+	Output []core.Param
+}
+
+// Parse reads a WSDL document (one generated by this package, or any
+// single-service document/literal description following the same shape)
+// and recovers the service description.
+func Parse(r io.Reader) (*Description, error) {
+	doc, err := xmlkit.ParseDocument(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrWSDL, err)
+	}
+	root := doc.Root
+	if local(root.Name) != "definitions" {
+		return nil, fmt.Errorf("%w: root is <%s>", ErrWSDL, root.Name)
+	}
+	d := &Description{}
+	d.Name, _ = root.Attr("name")
+	d.Namespace, _ = root.Attr("targetNamespace")
+
+	// Element declarations by name.
+	elements := map[string][]core.Param{}
+	for _, types := range childrenByLocal(root, "types") {
+		for _, schema := range childrenByLocal(types, "schema") {
+			for _, el := range childrenByLocal(schema, "element") {
+				name, _ := el.Attr("name")
+				var params []core.Param
+				for _, ct := range childrenByLocal(el, "complexType") {
+					for _, seq := range childrenByLocal(ct, "sequence") {
+						for _, pe := range childrenByLocal(seq, "element") {
+							pn, _ := pe.Attr("name")
+							pt, _ := pe.Attr("type")
+							mo, _ := pe.Attr("minOccurs")
+							params = append(params, core.Param{
+								Name:     pn,
+								Type:     coreType(stripPrefix(pt)),
+								Optional: mo == "0",
+							})
+						}
+					}
+				}
+				elements[name] = params
+			}
+		}
+	}
+
+	// Messages: name → element name.
+	messages := map[string]string{}
+	for _, msg := range childrenByLocal(root, "message") {
+		name, _ := msg.Attr("name")
+		for _, part := range childrenByLocal(msg, "part") {
+			el, _ := part.Attr("element")
+			messages[name] = stripPrefix(el)
+		}
+	}
+
+	// portType operations.
+	for _, pt := range childrenByLocal(root, "portType") {
+		for _, op := range childrenByLocal(pt, "operation") {
+			name, _ := op.Attr("name")
+			od := OpDescription{Name: name}
+			for _, docEl := range childrenByLocal(op, "documentation") {
+				od.Doc = docEl.Text()
+			}
+			for _, in := range childrenByLocal(op, "input") {
+				msg, _ := in.Attr("message")
+				od.Input = elements[messages[stripPrefix(msg)]]
+			}
+			for _, out := range childrenByLocal(op, "output") {
+				msg, _ := out.Attr("message")
+				od.Output = elements[messages[stripPrefix(msg)]]
+			}
+			d.Ops = append(d.Ops, od)
+		}
+	}
+
+	// service endpoint.
+	for _, svc := range childrenByLocal(root, "service") {
+		for _, port := range childrenByLocal(svc, "port") {
+			for _, addr := range childrenByLocal(port, "address") {
+				d.Endpoint, _ = addr.Attr("location")
+			}
+		}
+	}
+	for _, docEl := range childrenByLocal(root, "documentation") {
+		d.Doc = docEl.Text()
+	}
+	if len(d.Ops) == 0 {
+		return nil, fmt.Errorf("%w: no operations", ErrWSDL)
+	}
+	return d, nil
+}
+
+func childrenByLocal(n *xmlkit.Node, localName string) []*xmlkit.Node {
+	var out []*xmlkit.Node
+	for _, c := range n.Elements() {
+		if local(c.Name) == localName {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func local(name string) string {
+	if i := strings.LastIndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func stripPrefix(name string) string { return local(name) }

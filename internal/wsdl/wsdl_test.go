@@ -1,0 +1,130 @@
+package wsdl
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"soc/internal/core"
+)
+
+func calcService(t *testing.T) *core.Service {
+	t.Helper()
+	svc, err := core.NewService("Calc", "http://soc.example/calc", "arithmetic service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(context.Context, core.Values) (core.Values, error) { return core.Values{}, nil }
+	svc.MustAddOperation(core.Operation{
+		Name:    "Add",
+		Doc:     "adds",
+		Input:   []core.Param{{Name: "a", Type: core.Int}, {Name: "b", Type: core.Int}},
+		Output:  []core.Param{{Name: "sum", Type: core.Int}},
+		Handler: h,
+	})
+	svc.MustAddOperation(core.Operation{
+		Name:    "Describe",
+		Input:   []core.Param{{Name: "verbose", Type: core.Bool, Optional: true}},
+		Output:  []core.Param{{Name: "text", Type: core.String}, {Name: "version", Type: core.Float}},
+		Handler: h,
+	})
+	return svc
+}
+
+func TestGenerateStructure(t *testing.T) {
+	doc, err := Generate(calcService(t), "http://127.0.0.1/services/Calc/soap")
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s := string(doc)
+	for _, want := range []string{
+		"wsdl:definitions", "targetNamespace=\"http://soc.example/calc\"",
+		"wsdl:portType", "wsdl:binding", "soap:address",
+		"location=\"http://127.0.0.1/services/Calc/soap\"",
+		"soapAction=\"http://soc.example/calc#Add\"",
+		"xsd:long", "xsd:boolean", "xsd:double",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("WSDL missing %q", want)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(nil, "x"); err == nil {
+		t.Error("nil service accepted")
+	}
+	if _, err := Generate(calcService(t), ""); err == nil {
+		t.Error("empty endpoint accepted")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	svc := calcService(t)
+	doc, err := Generate(svc, "http://h/services/Calc/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Name != "Calc" || d.Namespace != "http://soc.example/calc" {
+		t.Errorf("identity = %q %q", d.Name, d.Namespace)
+	}
+	if d.Endpoint != "http://h/services/Calc/soap" {
+		t.Errorf("endpoint = %q", d.Endpoint)
+	}
+	if d.Doc != "arithmetic service" {
+		t.Errorf("doc = %q", d.Doc)
+	}
+	if len(d.Ops) != 2 {
+		t.Fatalf("ops = %d", len(d.Ops))
+	}
+	add := d.Ops[0]
+	if add.Name != "Add" || add.Doc != "adds" {
+		t.Errorf("op[0] = %+v", add)
+	}
+	if len(add.Input) != 2 || add.Input[0].Name != "a" || add.Input[0].Type != core.Int {
+		t.Errorf("Add input = %+v", add.Input)
+	}
+	if len(add.Output) != 1 || add.Output[0].Name != "sum" || add.Output[0].Type != core.Int {
+		t.Errorf("Add output = %+v", add.Output)
+	}
+	desc := d.Ops[1]
+	if len(desc.Input) != 1 || !desc.Input[0].Optional {
+		t.Errorf("optional lost: %+v", desc.Input)
+	}
+	if desc.Output[1].Type != core.Float {
+		t.Errorf("float type lost: %+v", desc.Output)
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		"not xml",
+		"<other/>",
+		`<wsdl:definitions xmlns:wsdl="` + WSDLNS + `" name="x"/>`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestCoreTypeMapping(t *testing.T) {
+	pairs := []struct {
+		xsd  string
+		want core.Type
+	}{
+		{"xsd:long", core.Int}, {"xsd:int", core.Int}, {"xsd:double", core.Float},
+		{"xsd:boolean", core.Bool}, {"xsd:string", core.String}, {"xsd:anyURI", core.String},
+	}
+	for _, p := range pairs {
+		if got := coreType(p.xsd); got != p.want {
+			t.Errorf("coreType(%s) = %s, want %s", p.xsd, got, p.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package xmlkit
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchDoc(services int) string {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < services; i++ {
+		fmt.Fprintf(&b, `<service id="s%d" kind="rest"><name>Svc%d</name><endpoint>http://venus/s%d</endpoint></service>`, i, i, i)
+	}
+	b.WriteString("</catalog>")
+	return b.String()
+}
+
+func BenchmarkSAXParse(b *testing.B) {
+	doc := benchDoc(200)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		c := NewCountingHandler()
+		if err := ParseString(doc, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDOMParse(b *testing.B) {
+	doc := benchDoc(200)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseDocumentString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXPathQuery(b *testing.B) {
+	doc, err := ParseDocumentString(benchDoc(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes, err := Query(doc.Root, "/catalog/service[@kind='rest']/name")
+		if err != nil || len(nodes) != 200 {
+			b.Fatalf("%d %v", len(nodes), err)
+		}
+	}
+}
+
+func BenchmarkSchemaValidate(b *testing.B) {
+	s, err := NewSchema("catalog",
+		ElementDecl{Name: "catalog", Children: []ChildDecl{{Name: "service", Min: 1, Max: -1}}},
+		ElementDecl{Name: "service",
+			Attrs:    []AttrDecl{{Name: "id", Required: true}, {Name: "kind", Required: true}},
+			Children: []ChildDecl{{Name: "name", Min: 1, Max: 1}, {Name: "endpoint", Min: 1, Max: 1}}},
+		ElementDecl{Name: "name"},
+		ElementDecl{Name: "endpoint"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := ParseDocumentString(benchDoc(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

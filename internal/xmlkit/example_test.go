@@ -1,0 +1,49 @@
+package xmlkit_test
+
+import (
+	"fmt"
+
+	"soc/internal/xmlkit"
+)
+
+// ExampleQuery shows XPath-subset selection over a parsed document.
+func ExampleQuery() {
+	doc, _ := xmlkit.ParseDocumentString(`<repo>
+	  <service kind="rest"><name>Cart</name></service>
+	  <service kind="soap"><name>Enc</name></service>
+	</repo>`)
+	nodes, _ := xmlkit.Query(doc.Root, "/repo/service[@kind='rest']/name")
+	for _, n := range nodes {
+		fmt.Println(n.Text())
+	}
+	// Output: Cart
+}
+
+// ExampleStylesheet_Transform shows the XSLT-subset processor turning a
+// service catalog into an HTML list.
+func ExampleStylesheet_Transform() {
+	xsl, _ := xmlkit.ParseStylesheet(`<stylesheet>
+	  <template match="repo"><ul><apply-templates select="service"/></ul></template>
+	  <template match="service"><li><value-of select="name"/></li></template>
+	</stylesheet>`)
+	doc, _ := xmlkit.ParseDocumentString(`<repo>
+	  <service><name>Cart</name></service>
+	  <service><name>Enc</name></service>
+	</repo>`)
+	out, _ := xsl.Transform(doc)
+	items, _ := xmlkit.Query(out.Root, "li")
+	fmt.Println(len(items), items[0].Text(), items[1].Text())
+	// Output: 2 Cart Enc
+}
+
+// ExampleSchema_Validate shows schema validation catching a bad document.
+func ExampleSchema_Validate() {
+	schema, _ := xmlkit.NewSchema("order",
+		xmlkit.ElementDecl{Name: "order", Children: []xmlkit.ChildDecl{{Name: "qty", Min: 1, Max: 1}}},
+		xmlkit.ElementDecl{Name: "qty", Text: xmlkit.TypeInt},
+	)
+	good, _ := xmlkit.ParseDocumentString(`<order><qty>3</qty></order>`)
+	bad, _ := xmlkit.ParseDocumentString(`<order><qty>three</qty></order>`)
+	fmt.Println(schema.Validate(good) == nil, schema.Validate(bad) == nil)
+	// Output: true false
+}

@@ -1,0 +1,162 @@
+// Package xmlkit is the XML data representation and processing substrate
+// of CSE445 unit 4: SAX-style streaming parsing, a DOM tree model, an
+// XPath-subset evaluator, a lightweight schema validator, and an
+// XSLT-subset stylesheet processor. It is built
+// on encoding/xml's tokenizer so the wire-level parsing is battle-tested
+// while the three processing models (SAX, DOM, XPath) taught in the course
+// are implemented here.
+package xmlkit
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrParse reports malformed XML.
+var ErrParse = errors.New("xmlkit: parse error")
+
+// Attr is a name/value attribute pair.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Handler receives SAX events. Any method may return an error to abort
+// the parse.
+type Handler interface {
+	// StartDocument is called once before any other event.
+	StartDocument() error
+	// EndDocument is called once after all other events.
+	EndDocument() error
+	// StartElement is called for each opening tag.
+	StartElement(name string, attrs []Attr) error
+	// EndElement is called for each closing tag.
+	EndElement(name string) error
+	// Characters is called for text content (may be called multiple
+	// times per text node).
+	Characters(text string) error
+	// ProcessingInstruction is called for <?target data?>.
+	ProcessingInstruction(target, data string) error
+	// Comment is called for <!-- ... -->.
+	Comment(text string) error
+}
+
+// BaseHandler is a no-op Handler; embed it to implement only the events
+// you care about.
+type BaseHandler struct{}
+
+func (BaseHandler) StartDocument() error                            { return nil }
+func (BaseHandler) EndDocument() error                              { return nil }
+func (BaseHandler) StartElement(string, []Attr) error               { return nil }
+func (BaseHandler) EndElement(string) error                         { return nil }
+func (BaseHandler) Characters(string) error                         { return nil }
+func (BaseHandler) ProcessingInstruction(target, data string) error { return nil }
+func (BaseHandler) Comment(string) error                            { return nil }
+
+var _ Handler = BaseHandler{}
+
+// Parse streams the document from r, pushing events into h. It verifies
+// well-formedness (every start tag closed, single root element).
+func Parse(r io.Reader, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("%w: nil handler", ErrParse)
+	}
+	dec := xml.NewDecoder(r)
+	if err := h.StartDocument(); err != nil {
+		return err
+	}
+	depth := 0
+	roots := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrParse, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 {
+				roots++
+				if roots > 1 {
+					return fmt.Errorf("%w: multiple root elements", ErrParse)
+				}
+			}
+			depth++
+			attrs := make([]Attr, len(t.Attr))
+			for i, a := range t.Attr {
+				attrs[i] = Attr{Name: a.Name.Local, Value: a.Value}
+			}
+			if err := h.StartElement(t.Name.Local, attrs); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			depth--
+			if err := h.EndElement(t.Name.Local); err != nil {
+				return err
+			}
+		case xml.CharData:
+			if err := h.Characters(string(t)); err != nil {
+				return err
+			}
+		case xml.ProcInst:
+			if err := h.ProcessingInstruction(t.Target, string(t.Inst)); err != nil {
+				return err
+			}
+		case xml.Comment:
+			if err := h.Comment(string(t)); err != nil {
+				return err
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("%w: %d unclosed elements", ErrParse, depth)
+	}
+	if roots == 0 {
+		return fmt.Errorf("%w: no root element", ErrParse)
+	}
+	return h.EndDocument()
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(doc string, h Handler) error {
+	return Parse(strings.NewReader(doc), h)
+}
+
+// CountingHandler tallies SAX events — useful both as an example handler
+// and for cheap document statistics without building a tree.
+type CountingHandler struct {
+	BaseHandler
+	Elements map[string]int
+	Chars    int
+	MaxDepth int
+	depth    int
+}
+
+// NewCountingHandler returns a ready-to-use CountingHandler.
+func NewCountingHandler() *CountingHandler {
+	return &CountingHandler{Elements: make(map[string]int)}
+}
+
+func (c *CountingHandler) StartElement(name string, _ []Attr) error {
+	c.Elements[name]++
+	c.depth++
+	if c.depth > c.MaxDepth {
+		c.MaxDepth = c.depth
+	}
+	return nil
+}
+
+func (c *CountingHandler) EndElement(string) error {
+	c.depth--
+	return nil
+}
+
+func (c *CountingHandler) Characters(text string) error {
+	c.Chars += len(strings.TrimSpace(text))
+	return nil
+}

@@ -1,0 +1,254 @@
+package xmlkit
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrSchema reports a schema definition problem; validation failures are
+// returned as *ValidationError.
+var ErrSchema = errors.New("xmlkit: invalid schema")
+
+// DataType enumerates the simple types the validator checks, mirroring the
+// XSD simple types the course covers.
+type DataType string
+
+const (
+	TypeString DataType = "string"
+	TypeInt    DataType = "int"
+	TypeFloat  DataType = "float"
+	TypeBool   DataType = "bool"
+	TypeDate   DataType = "date" // YYYY-MM-DD
+)
+
+// CheckValue validates a lexical value against the data type.
+func CheckValue(t DataType, v string) error {
+	switch t {
+	case TypeString, "":
+		return nil
+	case TypeInt:
+		if _, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err != nil {
+			return fmt.Errorf("%q is not an int", v)
+		}
+	case TypeFloat:
+		if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err != nil {
+			return fmt.Errorf("%q is not a float", v)
+		}
+	case TypeBool:
+		s := strings.TrimSpace(v)
+		if s != "true" && s != "false" && s != "0" && s != "1" {
+			return fmt.Errorf("%q is not a bool", v)
+		}
+	case TypeDate:
+		if _, err := time.Parse("2006-01-02", strings.TrimSpace(v)); err != nil {
+			return fmt.Errorf("%q is not a date (want YYYY-MM-DD)", v)
+		}
+	default:
+		return fmt.Errorf("unknown type %q", t)
+	}
+	return nil
+}
+
+// AttrDecl declares an attribute of an element.
+type AttrDecl struct {
+	Name     string
+	Type     DataType
+	Required bool
+	// Pattern, when non-empty, is a regular expression the whole value
+	// must match.
+	Pattern string
+	pattern *regexp.Regexp
+}
+
+// ChildDecl declares an allowed child element with occurrence bounds.
+type ChildDecl struct {
+	Name string
+	// Min and Max bound the occurrence count; Max < 0 means unbounded.
+	Min, Max int
+}
+
+// ElementDecl declares an element: its attributes, allowed children, and
+// (for leaf elements) its text content type.
+type ElementDecl struct {
+	Name     string
+	Attrs    []AttrDecl
+	Children []ChildDecl
+	// Text is the content type checked when the element has no child
+	// declarations. Empty means unconstrained.
+	Text DataType
+	// TextPattern, when non-empty, constrains the text content.
+	TextPattern string
+	textPattern *regexp.Regexp
+	// Ordered requires children to appear in declaration order.
+	Ordered bool
+}
+
+// Schema is a set of element declarations plus the expected root.
+type Schema struct {
+	Root     string
+	elements map[string]*ElementDecl
+}
+
+// NewSchema compiles element declarations into a validator. Every child
+// referenced by a declaration must itself be declared.
+func NewSchema(root string, decls ...ElementDecl) (*Schema, error) {
+	if root == "" {
+		return nil, fmt.Errorf("%w: empty root", ErrSchema)
+	}
+	s := &Schema{Root: root, elements: make(map[string]*ElementDecl, len(decls))}
+	for i := range decls {
+		d := decls[i]
+		if d.Name == "" {
+			return nil, fmt.Errorf("%w: unnamed element declaration", ErrSchema)
+		}
+		if _, dup := s.elements[d.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate declaration %q", ErrSchema, d.Name)
+		}
+		if d.TextPattern != "" {
+			re, err := regexp.Compile("^(?:" + d.TextPattern + ")$")
+			if err != nil {
+				return nil, fmt.Errorf("%w: element %q text pattern: %v", ErrSchema, d.Name, err)
+			}
+			d.textPattern = re
+		}
+		for j := range d.Attrs {
+			if d.Attrs[j].Pattern != "" {
+				re, err := regexp.Compile("^(?:" + d.Attrs[j].Pattern + ")$")
+				if err != nil {
+					return nil, fmt.Errorf("%w: element %q attr %q pattern: %v", ErrSchema, d.Name, d.Attrs[j].Name, err)
+				}
+				d.Attrs[j].pattern = re
+			}
+		}
+		s.elements[d.Name] = &d
+	}
+	if _, ok := s.elements[root]; !ok {
+		return nil, fmt.Errorf("%w: root %q not declared", ErrSchema, root)
+	}
+	for _, d := range s.elements {
+		for _, c := range d.Children {
+			if _, ok := s.elements[c.Name]; !ok {
+				return nil, fmt.Errorf("%w: %q references undeclared child %q", ErrSchema, d.Name, c.Name)
+			}
+			if c.Min < 0 || (c.Max >= 0 && c.Max < c.Min) {
+				return nil, fmt.Errorf("%w: %q child %q has bounds [%d,%d]", ErrSchema, d.Name, c.Name, c.Min, c.Max)
+			}
+		}
+	}
+	return s, nil
+}
+
+// ValidationError collects every violation found in a document.
+type ValidationError struct {
+	Violations []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("xmlkit: %d schema violations: %s", len(e.Violations), strings.Join(e.Violations, "; "))
+}
+
+// Validate checks the document against the schema and returns a
+// *ValidationError listing every violation, or nil when valid.
+func (s *Schema) Validate(doc *Document) error {
+	ve := &ValidationError{}
+	if doc == nil || doc.Root == nil {
+		ve.Violations = append(ve.Violations, "empty document")
+		return ve
+	}
+	if doc.Root.Name != s.Root {
+		ve.Violations = append(ve.Violations, fmt.Sprintf("root is <%s>, want <%s>", doc.Root.Name, s.Root))
+		return ve
+	}
+	s.validateElement(doc.Root, "/"+doc.Root.Name, ve)
+	if len(ve.Violations) > 0 {
+		return ve
+	}
+	return nil
+}
+
+func (s *Schema) validateElement(n *Node, path string, ve *ValidationError) {
+	decl, ok := s.elements[n.Name]
+	if !ok {
+		ve.Violations = append(ve.Violations, fmt.Sprintf("%s: undeclared element", path))
+		return
+	}
+	// Attributes.
+	declared := map[string]*AttrDecl{}
+	for i := range decl.Attrs {
+		declared[decl.Attrs[i].Name] = &decl.Attrs[i]
+	}
+	for _, a := range n.Attrs {
+		ad, ok := declared[a.Name]
+		if !ok {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: undeclared attribute %q", path, a.Name))
+			continue
+		}
+		if err := CheckValue(ad.Type, a.Value); err != nil {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s/@%s: %v", path, a.Name, err))
+		}
+		if ad.pattern != nil && !ad.pattern.MatchString(a.Value) {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s/@%s: %q does not match pattern %s", path, a.Name, a.Value, ad.Pattern))
+		}
+	}
+	for name, ad := range declared {
+		if !ad.Required {
+			continue
+		}
+		if _, ok := n.Attr(name); !ok {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: missing required attribute %q", path, name))
+		}
+	}
+	// Children.
+	kids := n.Elements()
+	if len(decl.Children) == 0 {
+		if len(kids) > 0 {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: unexpected child <%s>", path, kids[0].Name))
+		}
+		text := n.Text()
+		if decl.Text != "" {
+			if err := CheckValue(decl.Text, text); err != nil {
+				ve.Violations = append(ve.Violations, fmt.Sprintf("%s: %v", path, err))
+			}
+		}
+		if decl.textPattern != nil && !decl.textPattern.MatchString(text) {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: text %q does not match pattern %s", path, text, decl.TextPattern))
+		}
+		return
+	}
+	counts := map[string]int{}
+	allowed := map[string]int{}
+	order := map[string]int{}
+	for i, c := range decl.Children {
+		allowed[c.Name]++
+		order[c.Name] = i
+	}
+	lastOrder := -1
+	for _, k := range kids {
+		if _, ok := allowed[k.Name]; !ok {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: unexpected child <%s>", path, k.Name))
+			continue
+		}
+		if decl.Ordered {
+			if o := order[k.Name]; o < lastOrder {
+				ve.Violations = append(ve.Violations, fmt.Sprintf("%s: child <%s> out of order", path, k.Name))
+			} else {
+				lastOrder = o
+			}
+		}
+		counts[k.Name]++
+		s.validateElement(k, path+"/"+k.Name, ve)
+	}
+	for _, c := range decl.Children {
+		got := counts[c.Name]
+		if got < c.Min {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: child <%s> occurs %d times, min %d", path, c.Name, got, c.Min))
+		}
+		if c.Max >= 0 && got > c.Max {
+			ve.Violations = append(ve.Violations, fmt.Sprintf("%s: child <%s> occurs %d times, max %d", path, c.Name, got, c.Max))
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package xmlkit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrStylesheet reports an invalid stylesheet or transformation failure.
+var ErrStylesheet = errors.New("xmlkit: invalid stylesheet")
+
+// The XSLT-subset processor covering what CSE445 unit 4 teaches ("XML
+// Stylesheet language"): template rules matched by element name, literal
+// result elements, <value-of select="..."/> and
+// <apply-templates select="..."/>, with the standard built-in rule
+// (recurse into children) when no template matches.
+//
+// A stylesheet is itself an XML document:
+//
+//	<stylesheet>
+//	  <template match="catalog">
+//	    <ul><apply-templates select="service"/></ul>
+//	  </template>
+//	  <template match="service">
+//	    <li><value-of select="name"/> (<value-of select="@id"/>)</li>
+//	  </template>
+//	</stylesheet>
+
+// Stylesheet is a compiled set of template rules.
+type Stylesheet struct {
+	templates map[string]*Node // match name → template element
+	maxDepth  int
+}
+
+// ParseStylesheet compiles a stylesheet document.
+func ParseStylesheet(src string) (*Stylesheet, error) {
+	doc, err := ParseDocumentString(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStylesheet, err)
+	}
+	if doc.Root.Name != "stylesheet" {
+		return nil, fmt.Errorf("%w: root is <%s>, want <stylesheet>", ErrStylesheet, doc.Root.Name)
+	}
+	s := &Stylesheet{templates: map[string]*Node{}, maxDepth: 64}
+	for _, t := range doc.Root.Elements() {
+		if t.Name != "template" {
+			return nil, fmt.Errorf("%w: unexpected <%s>", ErrStylesheet, t.Name)
+		}
+		match, ok := t.Attr("match")
+		if !ok || match == "" {
+			return nil, fmt.Errorf("%w: template without match", ErrStylesheet)
+		}
+		if _, dup := s.templates[match]; dup {
+			return nil, fmt.Errorf("%w: duplicate template for %q", ErrStylesheet, match)
+		}
+		s.templates[match] = t
+	}
+	if len(s.templates) == 0 {
+		return nil, fmt.Errorf("%w: no templates", ErrStylesheet)
+	}
+	return s, nil
+}
+
+// Transform applies the stylesheet to the document, returning the result
+// document. The root result must be a single element.
+func (s *Stylesheet) Transform(doc *Document) (*Document, error) {
+	if doc == nil || doc.Root == nil {
+		return nil, fmt.Errorf("%w: empty input document", ErrStylesheet)
+	}
+	nodes, err := s.apply(doc.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rootEl *Node
+	for _, n := range nodes {
+		if n.Type == ElementNode {
+			if rootEl != nil {
+				return nil, fmt.Errorf("%w: transformation produced multiple root elements", ErrStylesheet)
+			}
+			rootEl = n
+		}
+	}
+	if rootEl == nil {
+		return nil, fmt.Errorf("%w: transformation produced no element", ErrStylesheet)
+	}
+	return &Document{Root: rootEl}, nil
+}
+
+// apply processes one source node: a matching template instantiates its
+// body; otherwise the built-in rule applies templates to child elements.
+func (s *Stylesheet) apply(src *Node, depth int) ([]*Node, error) {
+	if depth > s.maxDepth {
+		return nil, fmt.Errorf("%w: recursion deeper than %d (template loop?)", ErrStylesheet, s.maxDepth)
+	}
+	if tmpl, ok := s.templates[src.Name]; ok {
+		return s.instantiate(tmpl.Children, src, depth)
+	}
+	// Built-in rule: process child elements, concatenating results.
+	var out []*Node
+	for _, c := range src.Elements() {
+		nodes, err := s.apply(c, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nodes...)
+	}
+	return out, nil
+}
+
+// instantiate renders template body nodes against the current source node.
+func (s *Stylesheet) instantiate(body []*Node, src *Node, depth int) ([]*Node, error) {
+	var out []*Node
+	for _, n := range body {
+		switch {
+		case n.Type == TextNode:
+			if strings.TrimSpace(n.Data) != "" {
+				out = append(out, NewText(n.Data))
+			}
+		case n.Type != ElementNode:
+			// comments in templates are dropped
+		case n.Name == "value-of":
+			sel, _ := n.Attr("select")
+			if sel == "" {
+				return nil, fmt.Errorf("%w: value-of without select", ErrStylesheet)
+			}
+			vals, err := QueryStrings(src, sel)
+			if err != nil {
+				return nil, fmt.Errorf("%w: value-of select %q: %v", ErrStylesheet, sel, err)
+			}
+			if len(vals) > 0 {
+				out = append(out, NewText(vals[0]))
+			}
+		case n.Name == "apply-templates":
+			sel, _ := n.Attr("select")
+			var targets []*Node
+			if sel == "" {
+				targets = src.Elements()
+			} else {
+				var err error
+				targets, err = Query(src, sel)
+				if err != nil {
+					return nil, fmt.Errorf("%w: apply-templates select %q: %v", ErrStylesheet, sel, err)
+				}
+			}
+			for _, t := range targets {
+				nodes, err := s.apply(t, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, nodes...)
+			}
+		default:
+			// Literal result element: copy, recursing into its body.
+			el := NewElement(n.Name)
+			for _, a := range n.Attrs {
+				el.SetAttr(a.Name, a.Value)
+			}
+			kids, err := s.instantiate(n.Children, src, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range kids {
+				el.AppendChild(k)
+			}
+			out = append(out, el)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package xmlkit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const catalogXSL = `<stylesheet>
+  <template match="catalog">
+    <html>
+      <h1>Service Repository</h1>
+      <ul><apply-templates select="service"/></ul>
+    </html>
+  </template>
+  <template match="service">
+    <li class="svc"><value-of select="name"/> [<value-of select="@kind"/>] at <value-of select="endpoint"/></li>
+  </template>
+</stylesheet>`
+
+func TestTransformCatalogToHTML(t *testing.T) {
+	xsl, err := ParseStylesheet(catalogXSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseDocumentString(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := xsl.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Name != "html" {
+		t.Fatalf("root = %s", out.Root.Name)
+	}
+	rendered := out.String()
+	for _, want := range []string{
+		"Service Repository", "<ul>", `class="svc"`,
+		"Encryption", "ShoppingCart", "http://venus/mortgage",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("output missing %q:\n%s", want, rendered)
+		}
+	}
+	items, err := Query(out.Root, "//li")
+	if err != nil || len(items) != 3 {
+		t.Fatalf("li count = %d %v", len(items), err)
+	}
+	// Text content of each rendered item interleaves literals and
+	// value-of results (whitespace-insensitive comparison).
+	flat := strings.Join(strings.Fields(items[0].Text()), " ")
+	if flat != "Encryption [rest] at http://venus/enc" {
+		t.Errorf("li[0] text = %q", flat)
+	}
+	flat = strings.Join(strings.Fields(items[1].Text()), " ")
+	if !strings.Contains(flat, "soap") || !strings.Contains(flat, "ShoppingCart") {
+		t.Errorf("li[1] text = %q", flat)
+	}
+}
+
+func TestTransformBuiltInRuleRecurses(t *testing.T) {
+	// No template for the root: the built-in rule descends to children.
+	xsl, err := ParseStylesheet(`<stylesheet>
+	  <template match="service"><s><value-of select="name"/></s></template>
+	</stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := ParseDocumentString(`<catalog><group><service><name>A</name></service></group></catalog>`)
+	out, err := xsl.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Name != "s" || out.Root.Text() != "A" {
+		t.Errorf("out = %s", out.String())
+	}
+}
+
+func TestTransformApplyAllChildren(t *testing.T) {
+	// apply-templates without select processes every child element.
+	xsl, err := ParseStylesheet(`<stylesheet>
+	  <template match="root"><r><apply-templates/></r></template>
+	  <template match="a"><x>1</x></template>
+	  <template match="b"><y>2</y></template>
+	</stylesheet>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := ParseDocumentString(`<root><a/><b/><a/></root>`)
+	out, err := xsl.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, _ := Query(out.Root, "x")
+	ys, _ := Query(out.Root, "y")
+	if len(xs) != 2 || len(ys) != 1 {
+		t.Errorf("out = %s", out.String())
+	}
+}
+
+func TestTransformValueOfMissingSelectsNothing(t *testing.T) {
+	xsl, _ := ParseStylesheet(`<stylesheet>
+	  <template match="a"><out><value-of select="ghost"/></out></template>
+	</stylesheet>`)
+	doc, _ := ParseDocumentString(`<a><b>x</b></a>`)
+	out, err := xsl.Transform(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Root.Text() != "" {
+		t.Errorf("text = %q", out.Root.Text())
+	}
+}
+
+func TestParseStylesheetErrors(t *testing.T) {
+	cases := []string{
+		"not xml",
+		"<wrong/>",
+		"<stylesheet/>",
+		"<stylesheet><other/></stylesheet>",
+		"<stylesheet><template/></stylesheet>",
+		`<stylesheet><template match="a"/><template match="a"/></stylesheet>`,
+	}
+	for _, c := range cases {
+		if _, err := ParseStylesheet(c); !errors.Is(err, ErrStylesheet) {
+			t.Errorf("ParseStylesheet(%q) = %v", c, err)
+		}
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	xsl, _ := ParseStylesheet(`<stylesheet><template match="a"><out/></template></stylesheet>`)
+	if _, err := xsl.Transform(nil); !errors.Is(err, ErrStylesheet) {
+		t.Errorf("nil doc: %v", err)
+	}
+	// A document whose transformation yields nothing.
+	doc, _ := ParseDocumentString(`<unmatched><deep/></unmatched>`)
+	if _, err := xsl.Transform(doc); !errors.Is(err, ErrStylesheet) {
+		t.Errorf("empty result: %v", err)
+	}
+	// Multiple root results.
+	multi, _ := ParseStylesheet(`<stylesheet><template match="a"><x/><y/></template></stylesheet>`)
+	docA, _ := ParseDocumentString(`<a/>`)
+	if _, err := multi.Transform(docA); !errors.Is(err, ErrStylesheet) {
+		t.Errorf("multi-root: %v", err)
+	}
+	// value-of without select.
+	bad, _ := ParseStylesheet(`<stylesheet><template match="a"><out><value-of/></out></template></stylesheet>`)
+	if _, err := bad.Transform(docA); !errors.Is(err, ErrStylesheet) {
+		t.Errorf("value-of without select: %v", err)
+	}
+}
+
+func TestTransformRecursionGuard(t *testing.T) {
+	// A template that applies itself to its own element loops; the depth
+	// guard must catch it. <a> containing <a> with a self-recursive rule:
+	xsl, _ := ParseStylesheet(`<stylesheet>
+	  <template match="a"><wrap><apply-templates select="."/></wrap></template>
+	</stylesheet>`)
+	doc, _ := ParseDocumentString(`<a/>`)
+	if _, err := xsl.Transform(doc); !errors.Is(err, ErrStylesheet) {
+		t.Errorf("recursion guard: %v", err)
+	}
+}

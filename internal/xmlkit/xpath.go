@@ -1,0 +1,357 @@
+package xmlkit
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrXPath reports an unsupported or malformed path expression.
+var ErrXPath = errors.New("xmlkit: invalid xpath")
+
+// The XPath subset implemented here covers the forms CSE445 exercises use:
+//
+//	/a/b/c          absolute child path
+//	//c             descendant-or-self search
+//	a/b             relative path
+//	*               any element
+//	.               self
+//	..              parent
+//	a[3]            positional predicate (1-based)
+//	a[last()]       last element
+//	a[@id]          attribute-existence predicate
+//	a[@id='x']      attribute-value predicate
+//	a[b='x']        child-text predicate
+//	a/@id           attribute value selection (string result)
+//	a/text()        text selection (string result)
+
+type step struct {
+	axis       string // "child" or "descendant"
+	name       string // element name, "*", ".", "..", "@attr", "text()"
+	predicates []predicate
+}
+
+type predicate struct {
+	kind  string // "pos", "last", "attr", "attrEq", "child", "childEq"
+	name  string
+	value string
+	pos   int
+}
+
+func parsePath(expr string) (steps []step, absolute bool, err error) {
+	if expr == "" {
+		return nil, false, fmt.Errorf("%w: empty expression", ErrXPath)
+	}
+	rest := expr
+	if strings.HasPrefix(rest, "//") {
+		absolute = true
+		rest = rest[2:]
+		steps = append(steps, step{axis: "descendant"})
+	} else if strings.HasPrefix(rest, "/") {
+		absolute = true
+		rest = rest[1:]
+	}
+	if rest == "" {
+		return nil, false, fmt.Errorf("%w: %q has no steps", ErrXPath, expr)
+	}
+	// Split on '/', honoring '//' as a descendant marker. Predicates
+	// never contain '/' in our subset.
+	parts := strings.Split(rest, "/")
+	for i := 0; i < len(parts); i++ {
+		p := parts[i]
+		if p == "" {
+			// came from '//' in the middle: next step is descendant
+			if i+1 >= len(parts) || parts[i+1] == "" {
+				return nil, false, fmt.Errorf("%w: %q", ErrXPath, expr)
+			}
+			st, err := parseStep(parts[i+1], "descendant")
+			if err != nil {
+				return nil, false, err
+			}
+			steps = append(steps, st)
+			i++
+			continue
+		}
+		axis := "child"
+		if len(steps) > 0 && steps[len(steps)-1].axis == "descendant" && steps[len(steps)-1].name == "" {
+			// the leading '//' placeholder: fold into this step
+			steps = steps[:len(steps)-1]
+			axis = "descendant"
+		}
+		st, err := parseStep(p, axis)
+		if err != nil {
+			return nil, false, err
+		}
+		steps = append(steps, st)
+	}
+	return steps, absolute, nil
+}
+
+func parseStep(s, axis string) (step, error) {
+	st := step{axis: axis}
+	name := s
+	for {
+		open := strings.IndexByte(name, '[')
+		if open < 0 {
+			break
+		}
+		close_ := strings.IndexByte(name, ']')
+		if close_ < open {
+			return st, fmt.Errorf("%w: unbalanced predicate in %q", ErrXPath, s)
+		}
+		pred, err := parsePredicate(name[open+1 : close_])
+		if err != nil {
+			return st, err
+		}
+		st.predicates = append(st.predicates, pred)
+		name = name[:open] + name[close_+1:]
+	}
+	if name == "" {
+		return st, fmt.Errorf("%w: empty step in %q", ErrXPath, s)
+	}
+	st.name = name
+	return st, nil
+}
+
+func parsePredicate(p string) (predicate, error) {
+	p = strings.TrimSpace(p)
+	if p == "" {
+		return predicate{}, fmt.Errorf("%w: empty predicate", ErrXPath)
+	}
+	if p == "last()" {
+		return predicate{kind: "last"}, nil
+	}
+	if n, err := strconv.Atoi(p); err == nil {
+		if n < 1 {
+			return predicate{}, fmt.Errorf("%w: position %d", ErrXPath, n)
+		}
+		return predicate{kind: "pos", pos: n}, nil
+	}
+	if eq := strings.Index(p, "="); eq >= 0 {
+		name := strings.TrimSpace(p[:eq])
+		val := strings.TrimSpace(p[eq+1:])
+		if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+			return predicate{}, fmt.Errorf("%w: predicate value %q must be quoted", ErrXPath, val)
+		}
+		val = val[1 : len(val)-1]
+		if strings.HasPrefix(name, "@") {
+			return predicate{kind: "attrEq", name: name[1:], value: val}, nil
+		}
+		return predicate{kind: "childEq", name: name, value: val}, nil
+	}
+	if strings.HasPrefix(p, "@") {
+		return predicate{kind: "attr", name: p[1:]}, nil
+	}
+	return predicate{kind: "child", name: p}, nil
+}
+
+func matchPredicates(nodes []*Node, preds []predicate) []*Node {
+	for _, pr := range preds {
+		var kept []*Node
+		switch pr.kind {
+		case "pos":
+			if pr.pos <= len(nodes) {
+				kept = []*Node{nodes[pr.pos-1]}
+			}
+		case "last":
+			if len(nodes) > 0 {
+				kept = []*Node{nodes[len(nodes)-1]}
+			}
+		default:
+			for _, n := range nodes {
+				ok := false
+				switch pr.kind {
+				case "attr":
+					_, ok = n.Attr(pr.name)
+				case "attrEq":
+					v, has := n.Attr(pr.name)
+					ok = has && v == pr.value
+				case "child":
+					ok = n.Child(pr.name) != nil
+				case "childEq":
+					c := n.Child(pr.name)
+					ok = c != nil && c.Text() == pr.value
+				}
+				if ok {
+					kept = append(kept, n)
+				}
+			}
+		}
+		nodes = kept
+	}
+	return nodes
+}
+
+func childElements(n *Node, name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Type == ElementNode && (name == "*" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func descendantElements(n *Node, name string) []*Node {
+	var out []*Node
+	_ = n.Walk(func(x *Node) error {
+		if x != n && x.Type == ElementNode && (name == "*" || x.Name == name) {
+			out = append(out, x)
+		}
+		return nil
+	})
+	return out
+}
+
+// Query evaluates the path expression against n and returns matching
+// element nodes. Expressions ending in @attr or text() are rejected here;
+// use QueryStrings for those.
+func Query(n *Node, expr string) ([]*Node, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: nil context node", ErrXPath)
+	}
+	steps, absolute, err := parsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	last := steps[len(steps)-1]
+	if strings.HasPrefix(last.name, "@") || last.name == "text()" {
+		return nil, fmt.Errorf("%w: %q selects strings; use QueryStrings", ErrXPath, expr)
+	}
+	return eval(n, steps, absolute)
+}
+
+// QueryStrings evaluates the expression and returns string results: the
+// attribute values for @attr steps, text for text() steps, and Text() of
+// matched elements otherwise.
+func QueryStrings(n *Node, expr string) ([]string, error) {
+	if n == nil {
+		return nil, fmt.Errorf("%w: nil context node", ErrXPath)
+	}
+	steps, absolute, err := parsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	last := steps[len(steps)-1]
+	if strings.HasPrefix(last.name, "@") {
+		parents, err := eval(n, steps[:len(steps)-1], absolute)
+		if err != nil {
+			return nil, err
+		}
+		if len(steps) == 1 {
+			parents = []*Node{contextRoot(n, absolute)}
+		}
+		var out []string
+		attr := last.name[1:]
+		for _, p := range parents {
+			if v, ok := p.Attr(attr); ok {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	if last.name == "text()" {
+		parents, err := eval(n, steps[:len(steps)-1], absolute)
+		if err != nil {
+			return nil, err
+		}
+		if len(steps) == 1 {
+			parents = []*Node{contextRoot(n, absolute)}
+		}
+		var out []string
+		for _, p := range parents {
+			for _, c := range p.Children {
+				if c.Type == TextNode {
+					if s := strings.TrimSpace(c.Data); s != "" {
+						out = append(out, s)
+					}
+				}
+			}
+		}
+		return out, nil
+	}
+	nodes, err := eval(n, steps, absolute)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(nodes))
+	for i, m := range nodes {
+		out[i] = m.Text()
+	}
+	return out, nil
+}
+
+// QueryOne returns the first match of Query, or nil when nothing matches.
+func QueryOne(n *Node, expr string) (*Node, error) {
+	nodes, err := Query(n, expr)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	return nodes[0], nil
+}
+
+func contextRoot(n *Node, absolute bool) *Node {
+	if !absolute {
+		return n
+	}
+	root := n
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	return root
+}
+
+func eval(ctx *Node, steps []step, absolute bool) ([]*Node, error) {
+	start := contextRoot(ctx, absolute)
+	current := []*Node{start}
+	if absolute && len(steps) > 0 && steps[0].axis == "child" {
+		// An absolute path's first step names the root itself:
+		// /root/a means root element "root", then child a.
+		first := steps[0]
+		var kept []*Node
+		if first.name == "*" || first.name == start.Name {
+			kept = matchPredicates([]*Node{start}, first.predicates)
+		}
+		current = kept
+		steps = steps[1:]
+	}
+	for _, st := range steps {
+		var next []*Node
+		for _, c := range current {
+			switch st.name {
+			case ".":
+				next = append(next, matchPredicates([]*Node{c}, st.predicates)...)
+			case "..":
+				if c.Parent != nil {
+					next = append(next, matchPredicates([]*Node{c.Parent}, st.predicates)...)
+				}
+			default:
+				var cands []*Node
+				if st.axis == "descendant" {
+					cands = descendantElements(c, st.name)
+				} else {
+					cands = childElements(c, st.name)
+				}
+				next = append(next, matchPredicates(cands, st.predicates)...)
+			}
+		}
+		current = dedup(next)
+	}
+	return current, nil
+}
+
+func dedup(nodes []*Node) []*Node {
+	seen := make(map[*Node]bool, len(nodes))
+	var out []*Node
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+// Package xmlstore is the XML-file record store behind the Figure 4 web
+// application, whose provider explicitly persists accounts to an
+// "account.xml" file: typed records as XML elements, atomic file rewrites
+// (write-temp-then-rename), concurrent access via an RW mutex, and simple
+// field matching. It is deliberately a file-backed store, not a database —
+// matching what the course project actually uses.
+package xmlstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"soc/internal/xmlkit"
+)
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("xmlstore: not found")
+
+// ErrDuplicate reports an insert with an existing id.
+var ErrDuplicate = errors.New("xmlstore: duplicate id")
+
+// Record is one stored entity: an id plus flat string fields.
+type Record struct {
+	ID     string
+	Fields map[string]string
+}
+
+// Store is an XML-file-backed record collection.
+type Store struct {
+	mu   sync.RWMutex
+	path string
+	root string // root element name, e.g. "accounts"
+	item string // record element name, e.g. "account"
+	recs map[string]Record
+}
+
+// Open loads (or initializes) a store at path with the given root and
+// record element names.
+func Open(path, root, item string) (*Store, error) {
+	if path == "" || root == "" || item == "" {
+		return nil, errors.New("xmlstore: path, root and item are required")
+	}
+	s := &Store{path: path, root: root, item: item, recs: map[string]Record{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return s, nil
+	case err != nil:
+		return nil, fmt.Errorf("xmlstore: reading %s: %w", path, err)
+	}
+	doc, err := xmlkit.ParseDocumentString(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("xmlstore: parsing %s: %w", path, err)
+	}
+	if doc.Root.Name != root {
+		return nil, fmt.Errorf("xmlstore: %s has root <%s>, want <%s>", path, doc.Root.Name, root)
+	}
+	for _, el := range doc.Root.Elements() {
+		if el.Name != item {
+			continue
+		}
+		id, _ := el.Attr("id")
+		if id == "" {
+			return nil, fmt.Errorf("xmlstore: %s contains <%s> without id", path, item)
+		}
+		rec := Record{ID: id, Fields: map[string]string{}}
+		for _, f := range el.Elements() {
+			rec.Fields[f.Name] = f.Text()
+		}
+		s.recs[id] = rec
+	}
+	return s, nil
+}
+
+// flushLocked writes the store atomically (temp file + rename). Callers
+// hold the write lock.
+func (s *Store) flushLocked() error {
+	root := xmlkit.NewElement(s.root)
+	ids := make([]string, 0, len(s.recs))
+	for id := range s.recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := s.recs[id]
+		el := root.AppendChild(xmlkit.NewElement(s.item))
+		el.SetAttr("id", rec.ID)
+		fields := make([]string, 0, len(rec.Fields))
+		for f := range rec.Fields {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			fe := el.AppendChild(xmlkit.NewElement(f))
+			fe.AppendChild(xmlkit.NewText(rec.Fields[f]))
+		}
+	}
+	doc := &xmlkit.Document{Root: root}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".xmlstore-*")
+	if err != nil {
+		return fmt.Errorf("xmlstore: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := doc.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("xmlstore: writing: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("xmlstore: replacing %s: %w", s.path, err)
+	}
+	return nil
+}
+
+func copyRecord(r Record) Record {
+	out := Record{ID: r.ID, Fields: make(map[string]string, len(r.Fields))}
+	for k, v := range r.Fields {
+		out.Fields[k] = v
+	}
+	return out
+}
+
+// Insert adds a new record.
+func (s *Store) Insert(rec Record) error {
+	if rec.ID == "" {
+		return errors.New("xmlstore: record needs an id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.recs[rec.ID]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, rec.ID)
+	}
+	s.recs[rec.ID] = copyRecord(rec)
+	return s.flushLocked()
+}
+
+// Update replaces an existing record.
+func (s *Store) Update(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[rec.ID]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, rec.ID)
+	}
+	s.recs[rec.ID] = copyRecord(rec)
+	return s.flushLocked()
+}
+
+// Get fetches a record by id.
+func (s *Store) Get(id string) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return copyRecord(rec), nil
+}
+
+// Delete removes a record by id.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(s.recs, id)
+	return s.flushLocked()
+}
+
+// Find returns records whose field equals value, sorted by id.
+func (s *Store) Find(field, value string) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, rec := range s.recs {
+		if rec.Fields[field] == value {
+			out = append(out, copyRecord(rec))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// All returns every record sorted by id.
+func (s *Store) All() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, rec := range s.recs {
+		out = append(out, copyRecord(rec))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the record count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}

@@ -1,0 +1,179 @@
+package xmlstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func tempStore(t *testing.T) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "account.xml")
+	s, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	s := tempStore(t)
+	rec := Record{ID: "u1", Fields: map[string]string{"name": "Ada", "ssn": "123-45-6789"}}
+	if err := s.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(rec); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate insert: %v", err)
+	}
+	got, err := s.Get("u1")
+	if err != nil || got.Fields["name"] != "Ada" {
+		t.Errorf("Get: %+v %v", got, err)
+	}
+	got.Fields["name"] = "Ada L."
+	if err := s.Update(got); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := s.Get("u1")
+	if got2.Fields["name"] != "Ada L." {
+		t.Errorf("update lost: %+v", got2)
+	}
+	if err := s.Update(Record{ID: "ghost"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update missing: %v", err)
+	}
+	if err := s.Delete("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("u1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if _, err := s.Get("u1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "account.xml")
+	s, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Insert(Record{ID: "u1", Fields: map[string]string{"name": "Ada"}})
+	_ = s.Insert(Record{ID: "u2", Fields: map[string]string{"name": "Grace"}})
+
+	reopened, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 2 {
+		t.Fatalf("len = %d", reopened.Len())
+	}
+	rec, err := reopened.Get("u2")
+	if err != nil || rec.Fields["name"] != "Grace" {
+		t.Errorf("reopened record: %+v %v", rec, err)
+	}
+	// The on-disk format is real XML with the expected element names.
+	data, _ := os.ReadFile(path)
+	for _, want := range []string{"<accounts>", `<account id="u1">`, "<name>Ada</name>"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("file missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", "r", "i"); err == nil {
+		t.Error("empty path accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xml")
+	_ = os.WriteFile(bad, []byte("not xml"), 0o644)
+	if _, err := Open(bad, "accounts", "account"); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	wrongRoot := filepath.Join(dir, "wrong.xml")
+	_ = os.WriteFile(wrongRoot, []byte("<other/>"), 0o644)
+	if _, err := Open(wrongRoot, "accounts", "account"); err == nil {
+		t.Error("wrong root accepted")
+	}
+	noID := filepath.Join(dir, "noid.xml")
+	_ = os.WriteFile(noID, []byte("<accounts><account><name>x</name></account></accounts>"), 0o644)
+	if _, err := Open(noID, "accounts", "account"); err == nil {
+		t.Error("record without id accepted")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := tempStore(t)
+	if err := s.Insert(Record{}); err == nil {
+		t.Error("record without id accepted")
+	}
+}
+
+func TestFindAndAll(t *testing.T) {
+	s := tempStore(t)
+	_ = s.Insert(Record{ID: "b", Fields: map[string]string{"state": "approved"}})
+	_ = s.Insert(Record{ID: "a", Fields: map[string]string{"state": "approved"}})
+	_ = s.Insert(Record{ID: "c", Fields: map[string]string{"state": "pending"}})
+	got := s.Find("state", "approved")
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Errorf("Find = %+v", got)
+	}
+	if len(s.Find("state", "rejected")) != 0 {
+		t.Error("phantom find")
+	}
+	all := s.All()
+	if len(all) != 3 || all[0].ID != "a" || all[2].ID != "c" {
+		t.Errorf("All = %+v", all)
+	}
+}
+
+func TestRecordIsolation(t *testing.T) {
+	s := tempStore(t)
+	orig := Record{ID: "u", Fields: map[string]string{"k": "v"}}
+	_ = s.Insert(orig)
+	orig.Fields["k"] = "mutated-after-insert"
+	got, _ := s.Get("u")
+	if got.Fields["k"] != "v" {
+		t.Error("insert did not copy the record")
+	}
+	got.Fields["k"] = "mutated-after-get"
+	again, _ := s.Get("u")
+	if again.Fields["k"] != "v" {
+		t.Error("get returned aliased record")
+	}
+}
+
+func TestEscapedContent(t *testing.T) {
+	s := tempStore(t)
+	_ = s.Insert(Record{ID: "x", Fields: map[string]string{"note": `a<b & "c"`}})
+	got, err := s.Get("x")
+	if err != nil || got.Fields["note"] != `a<b & "c"` {
+		t.Errorf("escaped round trip: %+v %v", got, err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := tempStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := string(rune('a' + i))
+			if err := s.Insert(Record{ID: id, Fields: map[string]string{"n": id}}); err != nil {
+				t.Errorf("Insert %s: %v", id, err)
+			}
+			for j := 0; j < 20; j++ {
+				_, _ = s.Get(id)
+				s.Find("n", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
