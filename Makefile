@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: ci build vet test race chaos short
+
+## ci: the full gate — build, vet, race-enabled tests (chaos included)
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## test: tier-1 suite (fast; chaos suite included unless -short)
+test:
+	$(GO) test ./...
+
+## short: tier-1 only — the chaos suite honors -short and skips itself
+short:
+	$(GO) test -short ./...
+
+## race: everything under the race detector
+race:
+	$(GO) test -race ./...
+
+## chaos: just the fault-injection chaos suite, verbosely
+chaos:
+	$(GO) test -race -v -run TestIntegrationChaos .

@@ -90,6 +90,7 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/services", h)
 	mux.Handle("/services/", h)
+	mux.Handle("/healthz", h)
 	mux.Handle("/registry/", registry.NewAPI(reg))
 	mux.Handle("/app/", http.StripPrefix("/app", app))
 	mux.HandleFunc("/robot/", robotPageHandler)
@@ -100,7 +101,8 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ASU-style service repository (Go reproduction)\n\n")
-		fmt.Fprintf(w, "  GET  /services                      hosted services\n")
+		fmt.Fprintf(w, "  GET  /healthz                       per-service health report\n")
+	fmt.Fprintf(w, "  GET  /services                      hosted services\n")
 		fmt.Fprintf(w, "  GET  /services/{name}?wsdl          WSDL 1.1\n")
 		fmt.Fprintf(w, "  POST /services/{name}/soap          SOAP endpoint\n")
 		fmt.Fprintf(w, "  POST /services/{name}/invoke/{op}   REST invocation\n")

@@ -1,0 +1,253 @@
+package soc
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/faultinject"
+	"soc/internal/host"
+	"soc/internal/registry"
+	"soc/internal/reliability"
+)
+
+// chaosSeed fixes the fault sequence; changing it changes which calls
+// fail, never whether the suite passes (the margins are wide).
+const chaosSeed = 445
+
+// chaosPlan is the acceptance scenario: 30% transient errors, latency
+// spikes on a fifth of calls, and a sprinkle of payload corruption on
+// the Target.Work operation.
+func chaosPlan(seed int64) faultinject.Plan {
+	return faultinject.Plan{
+		Seed: seed,
+		Rules: map[string]faultinject.Rule{
+			"Target.Work": {
+				ErrorRate:     0.30,
+				LatencyRate:   0.20,
+				Latency:       10 * time.Millisecond,
+				LatencyJitter: 10 * time.Millisecond,
+				CorruptRate:   0.05,
+			},
+		},
+	}
+}
+
+// newTargetHost builds a host serving Target.Work wrapped in a fault
+// injector, and returns both.
+func newTargetHost(t *testing.T, seed int64) (*host.Host, *faultinject.Injector) {
+	t.Helper()
+	svc, err := core.NewService("Target", "http://soc.example/target", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustAddOperation(core.Operation{
+		Name:   "Work",
+		Input:  []core.Param{{Name: "x", Type: core.Int}},
+		Output: []core.Param{{Name: "y", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			return core.Values{"y": in.Int("x") * 2}, nil
+		},
+	})
+	inj, err := faultinject.New(chaosPlan(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := host.New()
+	h.Use(inj.Middleware())
+	h.MustMount(svc)
+	return h, inj
+}
+
+// TestIntegrationChaosResilientVsNaive is the chaos acceptance suite:
+// three replicas of a real service — two injected with 30% transient
+// errors plus latency spikes, one fully down — behind a ResilientClient
+// with health-aware failover, versus a bare host.Client against a single
+// faulty replica. The resilient stack must sustain >= 99% success while
+// the naive client fails >= 20% of its calls, deterministically per seed.
+func TestIntegrationChaosResilientVsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is tier-2; skipped with -short")
+	}
+	const calls = 300
+	ctx := context.Background()
+
+	// --- Naive baseline: one faulty replica, no resilience. ---
+	naiveHost, _ := newTargetHost(t, chaosSeed)
+	naiveSrv := httptest.NewServer(naiveHost)
+	defer naiveSrv.Close()
+	naive := host.NewClient(naiveSrv.URL)
+	naiveFailures := 0
+	for i := 0; i < calls; i++ {
+		if _, err := naive.Call(ctx, "Target", "Work", core.Values{"x": i}); err != nil {
+			naiveFailures++
+		}
+	}
+	if min := calls * 20 / 100; naiveFailures < min {
+		t.Errorf("naive client failed %d/%d calls, want >= %d under 30%% fault rate",
+			naiveFailures, calls, min)
+	}
+
+	// --- Resilient stack: 2 faulty live replicas + 1 fully down. ---
+	hostA, injA := newTargetHost(t, chaosSeed+1)
+	srvA := httptest.NewServer(hostA)
+	defer srvA.Close()
+	hostC, injC := newTargetHost(t, chaosSeed+2)
+	srvC := httptest.NewServer(hostC)
+	defer srvC.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // connection refused from the first byte
+
+	// Discovery side: each replica is a registry entry; health probes
+	// feed observed QoS so search prefers live endpoints.
+	qr := registry.NewQoS(registry.New())
+	replicaEntry := map[string]string{
+		srvA.URL: "TargetA",
+		down.URL: "TargetB",
+		srvC.URL: "TargetC",
+	}
+	for url, name := range replicaEntry {
+		if err := qr.Publish(registry.Entry{Name: name, Doc: "chaos target replica", Endpoint: url}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	policy := host.Policy{
+		Timeout: 2 * time.Second,
+		Retry: reliability.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    10 * time.Millisecond,
+		},
+		BreakerThreshold: 8,
+		BreakerCooldown:  50 * time.Millisecond,
+		MaxConcurrent:    32,
+	}
+	// Down replica in the middle so failover hops across it and the
+	// demotion skip is observable.
+	rc, err := host.NewResilientClient(policy, srvA.URL, down.URL, srvC.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	if err := rc.StartHealth(hctx, reliability.HealthCheckerConfig{
+		Interval: 25 * time.Millisecond,
+		OnProbe: func(replica string, up bool, rtt time.Duration) {
+			_ = qr.ObserveProbe(replicaEntry[replica], up, rtt)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer rc.StopHealth()
+	rc.Health().CheckNow(ctx) // deterministic: demote the dead replica up front
+
+	successes := 0
+	for i := 0; i < calls; i++ {
+		out, err := rc.Call(ctx, "Target", "Work", core.Values{"x": i})
+		if err != nil {
+			continue
+		}
+		if out["y"] != float64(2*i) {
+			t.Fatalf("call %d: wrong answer %v (corruption leaked through)", i, out["y"])
+		}
+		successes++
+	}
+	if min := calls * 99 / 100; successes < min {
+		t.Errorf("resilient client: %d/%d successes, want >= %d (injected: A=%s C=%s)",
+			successes, calls, min, injA, injC)
+	}
+
+	// The reliability stack must actually have been exercised.
+	attempts, failovers, skipped, _ := rc.Counters()
+	if attempts <= calls {
+		t.Errorf("attempts = %d over %d calls: faults were never retried", attempts, calls)
+	}
+	if failovers == 0 {
+		t.Error("failover never hopped replicas under 30% faults")
+	}
+	if skipped == 0 {
+		t.Error("demoted dead replica was never skipped")
+	}
+	probes, demotions, _ := rc.Health().Counters()
+	if probes == 0 || demotions == 0 {
+		t.Errorf("health counters: probes=%d demotions=%d, want both > 0", probes, demotions)
+	}
+	if rc.Health().IsHealthy(down.URL) {
+		t.Error("dead replica still classified healthy")
+	}
+
+	// Discovery prefers live endpoints after the QoS feed.
+	dependable := qr.Dependable(0.9)
+	names := map[string]bool{}
+	for _, m := range dependable {
+		names[m.Entry.Name] = true
+	}
+	if !names["TargetA"] || !names["TargetC"] || names["TargetB"] {
+		t.Errorf("Dependable(0.9) = %v, want live replicas only", names)
+	}
+
+	// And the healthz endpoint the checker probes is real JSON with
+	// per-service status.
+	resp, err := http.Get(srvA.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+	var report struct {
+		Status   string                     `json:"status"`
+		Services map[string]json.RawMessage `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if report.Status != "ok" || report.Services["Target"] == nil {
+		t.Errorf("healthz report = %+v", report)
+	}
+}
+
+// TestIntegrationChaosGracefulDegradation drives every replica into the
+// ground and checks the fallback keeps answering with a degraded result.
+func TestIntegrationChaosGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is tier-2; skipped with -short")
+	}
+	down1 := httptest.NewServer(http.NotFoundHandler())
+	down1.Close()
+	down2 := httptest.NewServer(http.NotFoundHandler())
+	down2.Close()
+
+	cache := core.Values{"y": float64(-1), "cached": true}
+	policy := host.Policy{
+		Timeout: time.Second,
+		Retry: reliability.RetryPolicy{
+			MaxAttempts: 2,
+			Sleep:       func(context.Context, time.Duration) error { return nil },
+		},
+		Fallback: func(context.Context, string, string, core.Values) (core.Values, error) {
+			return cache, nil
+		},
+	}
+	rc, err := host.NewResilientClient(policy, down1.URL, down2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rc.Call(context.Background(), "Target", "Work", core.Values{"x": 1})
+	if err != nil {
+		t.Fatalf("fallback did not mask total outage: %v", err)
+	}
+	if out["cached"] != true {
+		t.Errorf("out = %v, want the cached degraded answer", out)
+	}
+	_, _, _, fallbacks := rc.Counters()
+	if fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", fallbacks)
+	}
+}

@@ -87,26 +87,11 @@ func (c *Client) CallSOAP(ctx context.Context, service, op, namespace string, ar
 	}
 	sc := &soap.Client{HTTPClient: c.httpClient()}
 	url := fmt.Sprintf("%s/services/%s/soap", c.BaseURL, service)
-	// The soap package has no context plumbing of its own; honor
-	// cancellation by binding it to the request timeout path.
-	type result struct {
-		msg soap.Message
-		err error
+	resp, err := sc.Call(ctx, url, msg)
+	if err != nil {
+		return nil, err
 	}
-	done := make(chan result, 1)
-	go func() {
-		m, err := sc.Call(url, msg)
-		done <- result{m, err}
-	}()
-	select {
-	case r := <-done:
-		if r.err != nil {
-			return nil, r.err
-		}
-		return r.msg.Params, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return resp.Params, nil
 }
 
 // Describe fetches the WSDL for a service and parses it.

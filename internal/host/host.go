@@ -58,6 +58,7 @@ func New() *Host {
 			panic(err) // static routes; failure is a programming bug
 		}
 	}
+	must(h.router.GET("/healthz", h.handleHealthz))
 	must(h.router.GET("/services", h.handleList))
 	must(h.router.GET("/services/{name}/stats", h.handleStats))
 	must(h.router.GET("/services/{name}", h.handleDescribe))
@@ -66,6 +67,12 @@ func New() *Host {
 	must(h.router.GET("/services/{name}/invoke/{op}", h.handleInvoke))
 	return h
 }
+
+// Use appends middleware to the host's router (applied to every route,
+// first registered outermost) — the hook that lets a chaos harness wrap
+// request handling with fault injection, or deployments add logging,
+// auth and rate limiting.
+func (h *Host) Use(mw ...rest.Middleware) { h.router.Use(mw...) }
 
 // Mount adds a service to the host.
 func (h *Host) Mount(svc *core.Service) error {
@@ -237,6 +244,45 @@ func toParamDescs(ps []core.Param) []paramDesc {
 		out[i] = paramDesc{Name: p.Name, Type: string(p.Type), Optional: p.Optional, Doc: p.Doc}
 	}
 	return out
+}
+
+// serviceHealth is one service's entry in the healthz report.
+type serviceHealth struct {
+	Status     string `json:"status"`
+	Operations int    `json:"operations"`
+	Calls      uint64 `json:"calls"`
+	Errors     uint64 `json:"errors"`
+}
+
+// healthReport is the GET /healthz document.
+type healthReport struct {
+	Status   string                   `json:"status"`
+	Services map[string]serviceHealth `json:"services"`
+}
+
+// handleHealthz answers 200 with per-service status — the probe target
+// of reliability.HealthChecker. A service is "degraded" once a majority
+// of a meaningful sample of its calls failed; the host itself is "ok"
+// whenever it can answer at all (a dead host can't).
+func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Params) {
+	stats := h.Stats()
+	h.mu.RLock()
+	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(h.services))}
+	for name, svc := range h.services {
+		sh := serviceHealth{Status: "ok", Operations: len(svc.Operations())}
+		for _, op := range svc.Operations() {
+			if st, ok := stats[name+"."+op.Name]; ok {
+				sh.Calls += st.Calls
+				sh.Errors += st.Errors
+			}
+		}
+		if sh.Calls >= 10 && sh.Errors*2 > sh.Calls {
+			sh.Status = "degraded"
+		}
+		report.Services[name] = sh
+	}
+	h.mu.RUnlock()
+	rest.WriteResponse(w, r, http.StatusOK, report)
 }
 
 // statsEntry is the wire form of one operation's statistics.

@@ -1,0 +1,210 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/reliability"
+)
+
+// ErrReplicaUnhealthy marks a replica skipped because the health checker
+// currently classifies it down; failover moves on to the next replica.
+var ErrReplicaUnhealthy = errors.New("host: replica demoted by health checker")
+
+// Fallback produces a degraded-mode answer (cached, default, or
+// approximate) when every replica has failed.
+type Fallback func(ctx context.Context, service, op string, args core.Values) (core.Values, error)
+
+// Policy configures a ResilientClient. The zero value gets sensible
+// defaults: 3 attempts with 10 ms base backoff, 5-failure breakers with a
+// 1 s cooldown, a 10 s per-attempt timeout, and a 64-call bulkhead.
+type Policy struct {
+	// Timeout bounds each individual attempt; 0 means 10 s.
+	Timeout time.Duration
+	// Retry wraps the whole failover pass; a zero MaxAttempts means 3.
+	Retry reliability.RetryPolicy
+	// BreakerThreshold consecutive failures open one replica's breaker;
+	// 0 means 5.
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open delay; 0 means 1 s.
+	BreakerCooldown time.Duration
+	// MaxConcurrent caps in-flight calls (bulkhead); 0 means 64.
+	MaxConcurrent int
+	// Fallback, when set, serves a degraded answer after all replicas
+	// (and retries) failed — graceful degradation instead of an error.
+	Fallback Fallback
+	// HTTPClient is used by every replica client; nil uses each client's
+	// default. Tests inject fault transports here.
+	HTTPClient *http.Client
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Second
+	}
+	if p.Retry.MaxAttempts <= 0 {
+		p.Retry.MaxAttempts = 3
+		if p.Retry.BaseDelay <= 0 {
+			p.Retry.BaseDelay = 10 * time.Millisecond
+		}
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = time.Second
+	}
+	if p.MaxConcurrent <= 0 {
+		p.MaxConcurrent = 64
+	}
+	return p
+}
+
+// replica is one backend: its client and its private circuit breaker, so
+// one bad replica can't open the circuit for its siblings.
+type replica struct {
+	url     string
+	client  *Client
+	breaker *reliability.Breaker
+}
+
+// ResilientClient composes the unit-6 reliability primitives around
+// host.Client: per-attempt timeout inside a per-replica circuit breaker,
+// inside health-aware multi-replica failover, inside retry with backoff,
+// inside a bulkhead — with an optional fallback for graceful degradation
+// when everything is down. Safe for concurrent use.
+type ResilientClient struct {
+	policy   Policy
+	replicas []*replica
+	failover *reliability.Failover[*replica]
+	bulkhead *reliability.Bulkhead
+	health   *reliability.HealthChecker
+
+	attempts  atomic.Uint64 // individual replica attempts
+	failovers atomic.Uint64 // attempts beyond the first within one pass
+	skipped   atomic.Uint64 // replicas skipped while demoted
+	fallbacks atomic.Uint64 // degraded answers served
+}
+
+// NewResilientClient returns a client over the replica base URLs.
+func NewResilientClient(policy Policy, baseURLs ...string) (*ResilientClient, error) {
+	if len(baseURLs) == 0 {
+		return nil, errors.New("host: resilient client needs at least one replica")
+	}
+	policy = policy.withDefaults()
+	rc := &ResilientClient{policy: policy}
+	for _, u := range baseURLs {
+		br, err := reliability.NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown, nil)
+		if err != nil {
+			return nil, err
+		}
+		c := NewClient(u)
+		c.HTTPClient = policy.HTTPClient
+		rc.replicas = append(rc.replicas, &replica{url: u, client: c, breaker: br})
+	}
+	fo, err := reliability.NewFailover(rc.replicas...)
+	if err != nil {
+		return nil, err
+	}
+	rc.failover = fo
+	bh, err := reliability.NewBulkhead(policy.MaxConcurrent)
+	if err != nil {
+		return nil, err
+	}
+	rc.bulkhead = bh
+	return rc, nil
+}
+
+// StartHealth creates and starts a health checker probing each replica's
+// GET /healthz, demoting replicas before failover tries them. A nil
+// cfg.Probe uses a direct HTTP probe (not the policy's HTTPClient, so
+// fault-injecting transports don't blind the health view). Callers stop
+// it with StopHealth.
+func (rc *ResilientClient) StartHealth(ctx context.Context, cfg reliability.HealthCheckerConfig) error {
+	if rc.health != nil {
+		return errors.New("host: health checker already started")
+	}
+	urls := make([]string, len(rc.replicas))
+	for i, r := range rc.replicas {
+		urls[i] = r.url
+	}
+	hc, err := reliability.NewHealthChecker(cfg, urls...)
+	if err != nil {
+		return err
+	}
+	rc.health = hc
+	hc.Start(ctx)
+	return nil
+}
+
+// StopHealth halts the health checker, if started.
+func (rc *ResilientClient) StopHealth() {
+	if rc.health != nil {
+		rc.health.Stop()
+	}
+}
+
+// Health exposes the checker (nil before StartHealth) for observability.
+func (rc *ResilientClient) Health() *reliability.HealthChecker { return rc.health }
+
+// Replicas lists the replica base URLs in registration order.
+func (rc *ResilientClient) Replicas() []string {
+	out := make([]string, len(rc.replicas))
+	for i, r := range rc.replicas {
+		out[i] = r.url
+	}
+	return out
+}
+
+// Counters reports attempts issued, failover hops, unhealthy skips and
+// fallback answers served.
+func (rc *ResilientClient) Counters() (attempts, failovers, skipped, fallbacks uint64) {
+	return rc.attempts.Load(), rc.failovers.Load(), rc.skipped.Load(), rc.fallbacks.Load()
+}
+
+// Call invokes service.op over the REST binding with the full resilience
+// stack. When all replicas fail and a Fallback is configured, its answer
+// (and error) is returned instead.
+func (rc *ResilientClient) Call(ctx context.Context, service, op string, args core.Values) (core.Values, error) {
+	var out core.Values
+	err := rc.bulkhead.Do(ctx, func(ctx context.Context) error {
+		return reliability.Retry(ctx, rc.policy.Retry, func(ctx context.Context) error {
+			// One failover pass: healthy replicas first; when the checker
+			// says nothing is healthy, try everything (the checker may be
+			// stale, and a long-shot beats a guaranteed failure).
+			allDemoted := rc.health != nil && len(rc.health.Healthy()) == 0
+			first := true
+			return rc.failover.Do(ctx, func(ctx context.Context, rep *replica) error {
+				if !first {
+					rc.failovers.Add(1)
+				}
+				first = false
+				if rc.health != nil && !allDemoted && !rc.health.IsHealthy(rep.url) {
+					rc.skipped.Add(1)
+					return fmt.Errorf("%w: %s", ErrReplicaUnhealthy, rep.url)
+				}
+				rc.attempts.Add(1)
+				return rep.breaker.Do(ctx, func(ctx context.Context) error {
+					actx, cancel := context.WithTimeout(ctx, rc.policy.Timeout)
+					defer cancel()
+					res, err := rep.client.Call(actx, service, op, args)
+					if err != nil {
+						return err
+					}
+					out = res
+					return nil
+				})
+			})
+		})
+	})
+	if err != nil && rc.policy.Fallback != nil {
+		rc.fallbacks.Add(1)
+		return rc.policy.Fallback(ctx, service, op, args)
+	}
+	return out, err
+}

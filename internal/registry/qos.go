@@ -53,6 +53,45 @@ func (r *QoSRegistry) ReportQoS(name string, q QoS) error {
 	return nil
 }
 
+// ObserveProbe folds one health-probe outcome into the service's QoS
+// record incrementally: uptime becomes the running success ratio and
+// MeanRTT the running mean of successful-probe round trips. This is the
+// bridge from reliability.HealthChecker's OnProbe hook into discovery —
+// replicas observed down sink in SearchQoS and drop out of Dependable.
+func (r *QoSRegistry) ObserveProbe(name string, up bool, rtt time.Duration) error {
+	if rtt < 0 {
+		return fmt.Errorf("%w: negative rtt %v", ErrInvalid, rtt)
+	}
+	if _, err := r.Get(name); err != nil {
+		return err
+	}
+	r.qos.mu.Lock()
+	defer r.qos.mu.Unlock()
+	q := r.qos.m[name]
+	n := float64(q.Samples)
+	upVal := 0.0
+	if up {
+		upVal = 1
+		// Only successful probes measure a real round trip; failures are
+		// often instant (connection refused) and would flatter the mean.
+		succ := q.Uptime * n // successful samples so far
+		q.MeanRTT = time.Duration((float64(q.MeanRTT)*succ + float64(rtt)) / (succ + 1))
+	}
+	q.Uptime = (q.Uptime*n + upVal) / (n + 1)
+	q.Samples++
+	r.qos.m[name] = q
+	return nil
+}
+
+// ProbeFeed adapts ObserveProbe to reliability.HealthChecker's OnProbe
+// signature for a fixed service name, ignoring the replica URL (the
+// registry tracks the service, the checker tracks its replicas).
+func (r *QoSRegistry) ProbeFeed(name string) func(replica string, up bool, rtt time.Duration) {
+	return func(_ string, up bool, rtt time.Duration) {
+		_ = r.ObserveProbe(name, up, rtt)
+	}
+}
+
 // QoSOf returns the recorded QoS and whether one exists.
 func (r *QoSRegistry) QoSOf(name string) (QoS, bool) {
 	r.qos.mu.RLock()

@@ -117,3 +117,64 @@ func TestDependable(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveProbeAccumulates(t *testing.T) {
+	r := NewQoS(New())
+	if err := r.Publish(Entry{Name: "Live", Doc: "probe target", Endpoint: "http://x/live"}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 successes at 10ms, 1 failure.
+	for i := 0; i < 3; i++ {
+		if err := r.ObserveProbe("Live", true, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.ObserveProbe("Live", false, 0); err != nil {
+		t.Fatal(err)
+	}
+	q, ok := r.QoSOf("Live")
+	if !ok {
+		t.Fatal("no QoS record after probes")
+	}
+	if q.Samples != 4 {
+		t.Errorf("samples = %d, want 4", q.Samples)
+	}
+	if q.Uptime < 0.74 || q.Uptime > 0.76 {
+		t.Errorf("uptime = %v, want 0.75", q.Uptime)
+	}
+	if q.MeanRTT != 10*time.Millisecond {
+		t.Errorf("meanRTT = %v, want 10ms (failures must not dilute it)", q.MeanRTT)
+	}
+
+	if err := r.ObserveProbe("Ghost", true, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown service: %v", err)
+	}
+	if err := r.ObserveProbe("Live", true, -time.Second); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative rtt: %v", err)
+	}
+}
+
+func TestObserveProbeFeedsDiscovery(t *testing.T) {
+	r := NewQoS(New())
+	for _, name := range []string{"EchoUp", "EchoDown"} {
+		if err := r.Publish(Entry{Name: name, Doc: "echo probe service", Endpoint: "http://x/" + name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feedUp, feedDown := r.ProbeFeed("EchoUp"), r.ProbeFeed("EchoDown")
+	for i := 0; i < 20; i++ {
+		feedUp("http://replica-a", true, 5*time.Millisecond)
+		feedDown("http://replica-b", false, 0)
+	}
+	matches, err := r.SearchQoS("echo probe", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 || matches[0].Entry.Name != "EchoUp" {
+		t.Fatalf("discovery order = %+v, want EchoUp first", matches)
+	}
+	dependable := r.Dependable(0.9)
+	if len(dependable) != 1 || dependable[0].Entry.Name != "EchoUp" {
+		t.Errorf("dependable = %+v, want only EchoUp", dependable)
+	}
+}

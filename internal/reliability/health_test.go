@@ -1,0 +1,189 @@
+package reliability
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedProbe fails replicas present in the fail set.
+type scriptedProbe struct {
+	mu   sync.Mutex
+	fail map[string]bool
+}
+
+func (p *scriptedProbe) set(replica string, failing bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fail[replica] = failing
+}
+
+func (p *scriptedProbe) probe(_ context.Context, replica string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fail[replica] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+func TestHealthCheckerDemotesAndPromotes(t *testing.T) {
+	sp := &scriptedProbe{fail: map[string]bool{"b": true}}
+	hc, err := NewHealthChecker(HealthCheckerConfig{
+		Interval:      time.Hour, // driven manually via CheckNow
+		FallThreshold: 2,
+		RiseThreshold: 2,
+		Probe:         sp.probe,
+	}, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Optimistic start: everything healthy before the first probe.
+	if got := hc.Healthy(); len(got) != 2 {
+		t.Fatalf("initial healthy = %v", got)
+	}
+
+	hc.CheckNow(ctx) // b fails once: below FallThreshold, still healthy
+	if !hc.IsHealthy("b") {
+		t.Fatal("single failure demoted b below the fall threshold")
+	}
+	hc.CheckNow(ctx) // second consecutive failure demotes
+	if hc.IsHealthy("b") {
+		t.Fatal("b not demoted after FallThreshold failures")
+	}
+	if got := hc.Healthy(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("healthy = %v, want [a]", got)
+	}
+	if hc.LastError("b") == nil {
+		t.Error("LastError(b) = nil for failing replica")
+	}
+
+	sp.set("b", false)
+	hc.CheckNow(ctx) // one success: below RiseThreshold
+	if hc.IsHealthy("b") {
+		t.Fatal("single success promoted b below the rise threshold")
+	}
+	hc.CheckNow(ctx) // second success promotes
+	if !hc.IsHealthy("b") {
+		t.Fatal("b not promoted after RiseThreshold successes")
+	}
+
+	probes, demotions, promotions := hc.Counters()
+	if probes != 8 || demotions != 1 || promotions != 1 {
+		t.Errorf("counters = (%d probes, %d demotions, %d promotions), want (8, 1, 1)", probes, demotions, promotions)
+	}
+}
+
+func TestHealthCheckerHTTPProbeAndLoop(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	var transitions int32
+	hc, err := NewHealthChecker(HealthCheckerConfig{
+		Interval: 5 * time.Millisecond,
+		OnTransition: func(string, bool) {
+			atomic.AddInt32(&transitions, 1)
+		},
+	}, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hc.Start(ctx)
+	defer hc.Stop()
+
+	waitFor := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if hc.IsHealthy(srv.URL) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("replica never became healthy=%v", want)
+	}
+
+	waitFor(true)
+	healthy.Store(false)
+	waitFor(false)
+	healthy.Store(true)
+	waitFor(true)
+	if n := atomic.LoadInt32(&transitions); n < 2 {
+		t.Errorf("observed %d transitions, want >= 2", n)
+	}
+}
+
+func TestHealthCheckerOnProbeFeed(t *testing.T) {
+	var mu sync.Mutex
+	type obs struct {
+		up  bool
+		rtt time.Duration
+	}
+	feed := map[string][]obs{}
+	sp := &scriptedProbe{fail: map[string]bool{"down": true}}
+	hc, err := NewHealthChecker(HealthCheckerConfig{
+		Interval: time.Hour,
+		Probe:    sp.probe,
+		OnProbe: func(replica string, up bool, rtt time.Duration) {
+			mu.Lock()
+			feed[replica] = append(feed[replica], obs{up, rtt})
+			mu.Unlock()
+		},
+	}, "up", "down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.CheckNow(context.Background())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(feed["up"]) != 1 || !feed["up"][0].up {
+		t.Errorf("feed[up] = %v", feed["up"])
+	}
+	if len(feed["down"]) != 1 || feed["down"][0].up {
+		t.Errorf("feed[down] = %v", feed["down"])
+	}
+}
+
+func TestHealthCheckerValidation(t *testing.T) {
+	if _, err := NewHealthChecker(HealthCheckerConfig{Interval: time.Second}); err == nil {
+		t.Error("no replicas accepted")
+	}
+	if _, err := NewHealthChecker(HealthCheckerConfig{}, "a"); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewHealthChecker(HealthCheckerConfig{Interval: time.Second}, "a", "a"); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+}
+
+func TestHealthCheckerStopBeforeStart(t *testing.T) {
+	hc, err := NewHealthChecker(HealthCheckerConfig{Interval: time.Hour,
+		Probe: func(context.Context, string) error { return nil }}, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Start(context.Background())
+	hc.Stop()
+	hc.Stop() // idempotent
+}

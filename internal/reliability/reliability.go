@@ -1,8 +1,9 @@
 // Package reliability implements the dependability-reliability mechanisms
 // of CSE445 unit 6 for service consumers: retry with exponential backoff,
 // circuit breaking, call timeouts, bulkhead isolation, replica failover,
-// health checking, and the series/parallel availability arithmetic used to
-// reason about composed services.
+// active health checking (HealthChecker probes replica health endpoints
+// and demotes/promotes replicas for failover), and the series/parallel
+// availability arithmetic used to reason about composed services.
 package reliability
 
 import (
@@ -27,7 +28,9 @@ var ErrAllReplicasFailed = errors.New("reliability: all replicas failed")
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries (≥ 1).
 	MaxAttempts int
-	// BaseDelay is the first backoff; doubles each retry.
+	// BaseDelay is the first backoff; doubles each retry. A zero
+	// BaseDelay retries the second attempt immediately but still backs
+	// off from minBackoff afterwards — it never hot-loops.
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (0 = uncapped).
 	MaxDelay time.Duration
@@ -37,6 +40,10 @@ type RetryPolicy struct {
 	// sleep is the wait function; tests replace it.
 	Sleep func(ctx context.Context, d time.Duration) error
 }
+
+// minBackoff floors the doubled retry delay so BaseDelay == 0 cannot
+// produce a zero-backoff hot loop.
+const minBackoff = time.Millisecond
 
 func defaultSleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
@@ -83,6 +90,11 @@ func Retry(ctx context.Context, p RetryPolicy, fn func(ctx context.Context) erro
 			return err
 		}
 		delay *= 2
+		// 0×2 = 0 would never back off; floor the doubling so a zero
+		// BaseDelay can't degenerate into a hot retry loop.
+		if delay < minBackoff {
+			delay = minBackoff
+		}
 		if p.MaxDelay > 0 && delay > p.MaxDelay {
 			delay = p.MaxDelay
 		}

@@ -2,6 +2,7 @@ package rest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -11,11 +12,16 @@ import (
 
 // Recovery converts handler panics into 500 responses instead of crashing
 // the server — the first dependability mechanism unit 6 teaches.
+// http.ErrAbortHandler is re-panicked so deliberate connection aborts
+// (e.g. fault injection dropping a request) keep their net/http meaning.
 func Recovery() Middleware {
 	return func(next HandlerFunc) HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request, p Params) {
 			defer func() {
 				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+						panic(rec)
+					}
 					WriteError(w, r, http.StatusInternalServerError, "internal error: %v", rec)
 				}
 			}()

@@ -1,0 +1,177 @@
+package rest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRateLimitConcurrentLoad hammers the token bucket from many
+// goroutines and checks the two properties that matter under load: no
+// lost updates (admitted + rejected == issued) and the admission count
+// stays within the bucket's arithmetic bounds.
+func TestRateLimitConcurrentLoad(t *testing.T) {
+	const (
+		burst   = 25
+		rate    = 50.0 // tokens per second
+		workers = 16
+		perW    = 50
+	)
+	var admitted, rejected atomic.Int64
+	h := RateLimit(burst, rate)(func(w http.ResponseWriter, r *http.Request, p Params) {
+		admitted.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodGet, "/x", nil)
+				h(rec, req, nil)
+				switch rec.Code {
+				case http.StatusOK:
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					t.Errorf("unexpected status %d", rec.Code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := admitted.Load() + rejected.Load()
+	if total != workers*perW {
+		t.Fatalf("lost requests under load: %d admitted + %d rejected != %d issued",
+			admitted.Load(), rejected.Load(), workers*perW)
+	}
+	// Upper bound: the initial burst plus whatever refilled while the
+	// load ran (generous +burst slack for timing jitter).
+	maxAdmit := int64(burst) + int64(elapsed.Seconds()*rate) + burst
+	if admitted.Load() > maxAdmit {
+		t.Errorf("admitted %d calls, bucket arithmetic allows at most ~%d", admitted.Load(), maxAdmit)
+	}
+	if admitted.Load() < burst {
+		t.Errorf("admitted %d calls, the %d-token burst alone guarantees more", admitted.Load(), burst)
+	}
+	if rejected.Load() == 0 {
+		t.Error("no rejections: load did not exhaust the bucket, test proves nothing")
+	}
+}
+
+// TestTimeoutConcurrentLoad runs a mix of fast handlers and handlers that
+// outlive the deadline, concurrently, and checks every slow request gets
+// a 503 while every fast one succeeds — with no write races between the
+// handler goroutine and the timeout writer (run under -race).
+func TestTimeoutConcurrentLoad(t *testing.T) {
+	const workers = 24
+	mw := Timeout(30 * time.Millisecond)
+	var fast, slow atomic.Int64
+	h := mw(func(w http.ResponseWriter, r *http.Request, p Params) {
+		if r.URL.Query().Get("slow") == "1" {
+			select {
+			case <-r.Context().Done():
+				return // honor cancellation, never write
+			case <-time.After(10 * time.Second):
+			}
+		}
+		WriteResponse(w, r, http.StatusOK, map[string]string{"ok": "1"})
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := "/x"
+			if i%2 == 1 {
+				url = "/x?slow=1"
+			}
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodGet, url, nil)
+			h(rec, req, nil)
+			switch {
+			case i%2 == 0 && rec.Code == http.StatusOK:
+				fast.Add(1)
+			case i%2 == 1 && rec.Code == http.StatusServiceUnavailable:
+				slow.Add(1)
+			default:
+				t.Errorf("request %d (%s): status %d", i, url, rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if fast.Load() != workers/2 || slow.Load() != workers/2 {
+		t.Errorf("fast=%d slow=%d, want %d each", fast.Load(), slow.Load(), workers/2)
+	}
+}
+
+// TestTimeoutHandlerWinsRace pins the ordering contract: a handler that
+// writes before the deadline is never clobbered by the 503 path even
+// when the deadline fires immediately afterwards.
+func TestTimeoutHandlerWinsRace(t *testing.T) {
+	mw := Timeout(20 * time.Millisecond)
+	h := mw(func(w http.ResponseWriter, r *http.Request, p Params) {
+		WriteResponse(w, r, http.StatusOK, map[string]string{"ok": "1"})
+		// Keep running past the deadline after writing.
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodGet, "/x", nil)
+			h(rec, req, nil)
+			if rec.Code != http.StatusOK {
+				t.Errorf("handler wrote 200 first but client saw %d", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRateLimitRefillUnderLoad verifies tokens refill while concurrent
+// traffic is being rejected: drain the bucket, wait one refill period,
+// and observe new admissions.
+func TestRateLimitRefillUnderLoad(t *testing.T) {
+	h := RateLimit(2, 100)(func(w http.ResponseWriter, r *http.Request, p Params) {
+		w.WriteHeader(http.StatusOK)
+	})
+	issue := func() int {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/x", nil), nil)
+		return rec.Code
+	}
+	for i := 0; i < 2; i++ {
+		if got := issue(); got != http.StatusOK {
+			t.Fatalf("drain call %d: %d", i, got)
+		}
+	}
+	if got := issue(); got != http.StatusTooManyRequests {
+		t.Fatalf("bucket not exhausted: %d", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if issue() == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

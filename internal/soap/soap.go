@@ -11,6 +11,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -328,13 +329,14 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // Call sends the message to url and decodes the response. SOAP faults are
-// returned as *Fault errors.
-func (c *Client) Call(url string, req Message) (Message, error) {
+// returned as *Fault errors. The context cancels the in-flight HTTP
+// request, not just the wait for it.
+func (c *Client) Call(ctx context.Context, url string, req Message) (Message, error) {
 	payload, err := Encode(req)
 	if err != nil {
 		return Message{}, err
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return Message{}, fmt.Errorf("soap: building request: %w", err)
 	}

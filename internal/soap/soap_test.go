@@ -2,11 +2,14 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -109,7 +112,7 @@ func TestServerClientRoundTrip(t *testing.T) {
 	ts := httptest.NewServer(newEchoServer(t))
 	defer ts.Close()
 	c := &Client{}
-	resp, err := c.Call(ts.URL, Message{
+	resp, err := c.Call(context.Background(), ts.URL, Message{
 		Operation: "Echo",
 		Namespace: "http://soc.example/echo",
 		Params:    map[string]string{"text": "ping"},
@@ -132,12 +135,12 @@ func TestServerFaultPropagation(t *testing.T) {
 	ts := httptest.NewServer(newEchoServer(t))
 	defer ts.Close()
 	c := &Client{}
-	_, err := c.Call(ts.URL, Message{Operation: "Fail"})
+	_, err := c.Call(context.Background(), ts.URL, Message{Operation: "Fail"})
 	var f *Fault
 	if !errors.As(err, &f) || f.Code != "Client" {
 		t.Errorf("err = %v, want Client fault", err)
 	}
-	_, err = c.Call(ts.URL, Message{Operation: "Crash"})
+	_, err = c.Call(context.Background(), ts.URL, Message{Operation: "Crash"})
 	if !errors.As(err, &f) || f.Code != "Server" || !strings.Contains(f.String, "internal breakage") {
 		t.Errorf("err = %v, want Server fault", err)
 	}
@@ -147,7 +150,7 @@ func TestServerUnknownOperation(t *testing.T) {
 	ts := httptest.NewServer(newEchoServer(t))
 	defer ts.Close()
 	c := &Client{}
-	_, err := c.Call(ts.URL, Message{Operation: "Nope"})
+	_, err := c.Call(context.Background(), ts.URL, Message{Operation: "Nope"})
 	var f *Fault
 	if !errors.As(err, &f) || !strings.Contains(f.String, "unknown operation") {
 		t.Errorf("err = %v", err)
@@ -206,8 +209,39 @@ func TestServerHandleValidation(t *testing.T) {
 
 func TestClientTransportError(t *testing.T) {
 	c := &Client{}
-	if _, err := c.Call("http://127.0.0.1:1/closed", Message{Operation: "Op"}); err == nil {
+	if _, err := c.Call(context.Background(), "http://127.0.0.1:1/closed", Message{Operation: "Op"}); err == nil {
 		t.Error("transport error not reported")
+	}
+}
+
+// TestClientCallContextCancel proves cancellation aborts the in-flight
+// HTTP request itself: the stalled server handler observes its request
+// context dying, so no goroutine is left holding a live connection.
+func TestClientCallContextCancel(t *testing.T) {
+	released := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so net/http starts its background read —
+		// that's what lets the server notice the client went away.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // stall until the client gives up
+		close(released)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := &Client{}
+	start := time.Now()
+	_, err := c.Call(ctx, ts.URL, Message{Operation: "Slow"})
+	if err == nil {
+		t.Fatal("cancelled call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server handler never saw the request die: request not cancelled")
 	}
 }
 
