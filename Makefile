@@ -1,15 +1,29 @@
 GO ?= go
 
-.PHONY: ci build vet test race chaos short
+.PHONY: ci build vet lint soclint contracts test race chaos short
 
-## ci: the full gate — build, vet, race-enabled tests (chaos included)
-ci: build vet race
+## ci: the full gate — build, lint (vet + soclint), race-enabled tests
+ci: build lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: the static-analysis gate — go vet plus the repo's own soclint
+## analyzers (contract drift, context propagation, body closing, lock
+## discipline, client timeouts, error discards)
+lint: vet soclint
+
+soclint:
+	$(GO) run ./cmd/soclint ./...
+
+## contracts: regenerate the golden WSDL contracts that contractcheck
+## verifies registrations against; run after changing any service
+## signature and commit the result
+contracts:
+	$(GO) run ./cmd/contractgen -out contracts
 
 ## test: tier-1 suite (fast; chaos suite included unless -short)
 test:

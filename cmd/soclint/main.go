@@ -1,0 +1,191 @@
+// Soclint is the repository's static-analysis driver: it loads every
+// requested package of this module from source (stdlib go/parser +
+// go/types only), runs the soc/internal/lint analyzer registry over each
+// one, and prints findings as file:line:col diagnostics. It exits 0 when
+// the tree is clean, 1 when any finding (or malformed ignore directive)
+// is reported, and 2 when loading or analysis itself fails.
+//
+// Usage:
+//
+//	soclint [flags] [packages]
+//
+// Packages follow `go build` conventions relative to the module root:
+// `./...` (the default) analyzes the whole module, `./internal/...` a
+// subtree, `./internal/soap` a single package.
+//
+//	-contracts dir   golden WSDL directory for contractcheck
+//	                 (default <module>/contracts)
+//	-only a,b        run only the named analyzers
+//	-list            print the registered analyzers and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("soclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	contractsDir := fs.String("contracts", "", "golden WSDL contract directory (default <module>/contracts)")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var selected []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := lint.AnalyzerByName(name)
+			if !ok {
+				fmt.Fprintf(stderr, "soclint: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "soclint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "soclint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expandPatterns(loader, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "soclint: %v\n", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig(moduleDir)
+	if *contractsDir != "" {
+		cfg.ContractsDir = *contractsDir
+	}
+	runner := &lint.Runner{Analyzers: analyzers, Config: cfg}
+
+	var all []lint.Finding
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "soclint: %v\n", err)
+			return 2
+		}
+		findings, err := runner.RunPackage(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "soclint: %v\n", err)
+			return 2
+		}
+		all = append(all, findings...)
+	}
+	lint.SortFindings(all)
+	for _, f := range all {
+		pos := f.Pos
+		if rel, err := filepath.Rel(moduleDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "soclint: %d finding(s) in %d package(s)\n", len(all), len(paths))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves go-style package patterns against the module.
+func expandPatterns(loader *lint.Loader, patterns []string) ([]string, error) {
+	modulePkgs, err := loader.ModulePackages()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range modulePkgs {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			prefix = strings.TrimPrefix(prefix, "./")
+			full := loader.ModulePath
+			if prefix != "" && prefix != "." {
+				full = loader.ModulePath + "/" + prefix
+			}
+			matched := false
+			for _, p := range modulePkgs {
+				if p == full || strings.HasPrefix(p, full+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no packages", pat)
+			}
+		default:
+			p := strings.TrimPrefix(pat, "./")
+			if p == "" || p == "." {
+				p = loader.ModulePath
+			} else if !strings.HasPrefix(p, loader.ModulePath) {
+				p = loader.ModulePath + "/" + p
+			}
+			add(p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"os"
+	"time"
 
 	"soc/internal/mortgageapp"
 	"soc/internal/services"
@@ -32,7 +33,7 @@ func main() {
 	server := httptest.NewServer(app)
 	defer server.Close()
 	jar, _ := cookiejar.New(nil)
-	client := &http.Client{Jar: jar}
+	client := &http.Client{Jar: jar, Timeout: 30 * time.Second}
 	fmt.Println("provider:", server.URL)
 
 	// Find an SSN the synthetic bureau approves.

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"time"
 
 	"soc/internal/mortgageapp"
 	"soc/internal/services"
@@ -29,7 +30,7 @@ func Figure4(dataDir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	client := &http.Client{Jar: jar}
+	client := &http.Client{Jar: jar, Timeout: 30 * time.Second}
 
 	var b strings.Builder
 	b.WriteString("Figure 4 — web application project (client + provider over HTTP)\n\n")

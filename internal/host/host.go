@@ -87,13 +87,13 @@ func (h *Host) Mount(svc *core.Service) error {
 	ss := soap.NewServer(svc.Namespace)
 	for _, op := range svc.Operations() {
 		opName := op.Name
-		err := ss.Handle(opName, func(req soap.Message) (soap.Message, error) {
+		err := ss.Handle(opName, func(ctx context.Context, req soap.Message) (soap.Message, error) {
 			args := core.Values{}
 			for k, v := range req.Params {
 				args[k] = v
 			}
 			start := time.Now()
-			out, err := h.invokeLocked(svc, opName, args)
+			out, err := h.invoke(ctx, svc, opName, args)
 			h.metrics.record(svc.Name+"."+opName, time.Since(start), err != nil)
 			if err != nil {
 				if errors.Is(err, core.ErrBadRequest) || errors.Is(err, core.ErrNotFound) {
@@ -123,10 +123,11 @@ func (h *Host) MustMount(svc *core.Service) {
 	}
 }
 
-func (h *Host) invokeLocked(svc *core.Service, op string, args core.Values) (core.Values, error) {
+func (h *Host) invoke(ctx context.Context, svc *core.Service, op string, args core.Values) (core.Values, error) {
 	// Service invocation itself is lock-free; the host lock only guards
-	// the service maps.
-	return svc.Invoke(context.Background(), op, args)
+	// the service maps. The transport's request context flows through so
+	// client cancellation reaches the handler.
+	return svc.Invoke(ctx, op, args)
 }
 
 // Service returns a mounted service by name.

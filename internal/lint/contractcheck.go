@@ -1,0 +1,509 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soc/internal/core"
+	"soc/internal/wsdl"
+)
+
+// ContractCheck statically enforces the paper's "standard interface"
+// requirement: the operations a service registers in code must match the
+// WSDL contract published for it. It recovers core.Service registrations
+// from the AST — core.NewService calls plus the AddOperation /
+// MustAddOperation calls on the returned value, including the common
+// `ops := []core.Operation{...}` + range-loop and shared-parameter-slice
+// patterns — and compares operation names, parameter names, types and
+// optionality against the golden WSDL documents in Config.ContractsDir
+// (regenerated with `make contracts`). A handler that drifts from its
+// contract therefore fails the build, not the first client.
+//
+// Services in Config.ContractBound packages must have a contract; other
+// statically visible services (examples, scratch code) are checked only
+// when a contract of the same name exists.
+var ContractCheck = &Analyzer{
+	Name: "contractcheck",
+	Doc:  "cross-checks core.Service registrations against their golden WSDL contracts",
+	Run:  runContractCheck,
+}
+
+// staticParam is one parameter recovered from a core.Param literal.
+type staticParam struct {
+	name     string
+	typ      string // lexical core.Type value: "string", "int", ...
+	optional bool
+}
+
+// staticOp is one operation recovered from an AddOperation call.
+type staticOp struct {
+	name     string
+	pos      token.Pos
+	input    []staticParam
+	output   []staticParam
+	resolved bool // false when a field could not be statically evaluated
+}
+
+// staticService is one statically recovered service registration.
+type staticService struct {
+	name     string
+	pos      token.Pos
+	ops      []staticOp
+	complete bool // false when some registrations could not be recovered
+}
+
+func runContractCheck(pass *Pass) error {
+	if pass.Config.ContractsDir == "" {
+		return nil
+	}
+	var services []staticService
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			services = append(services, collectServices(pass, fd.Body)...)
+		}
+	}
+	if len(services) == 0 {
+		return nil
+	}
+	contracts, err := loadContracts(pass.Config.ContractsDir)
+	if err != nil {
+		return fmt.Errorf("contractcheck: %w", err)
+	}
+	bound := InScope(pass.Path, pass.Config.ContractBound)
+	for _, svc := range services {
+		desc, ok := contracts[svc.name]
+		if !ok {
+			if bound {
+				pass.Reportf(svc.pos, "service %q has no contract in %s; run `make contracts` and commit the result", svc.name, pass.Config.ContractsDir)
+			}
+			continue
+		}
+		compareContract(pass, svc, desc)
+	}
+	return nil
+}
+
+// loadContracts parses every .wsdl document in dir, keyed by service name.
+func loadContracts(dir string) (map[string]*wsdl.Description, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*wsdl.Description{}, nil
+		}
+		return nil, err
+	}
+	out := map[string]*wsdl.Description{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wsdl") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		desc, err := wsdl.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("contract %s: %w", e.Name(), err)
+		}
+		out[desc.Name] = desc
+	}
+	return out, nil
+}
+
+// compareContract reports every drift between the static registration
+// and the golden contract.
+func compareContract(pass *Pass, svc staticService, desc *wsdl.Description) {
+	contractOps := map[string]wsdl.OpDescription{}
+	for _, op := range desc.Ops {
+		contractOps[op.Name] = op
+	}
+	seen := map[string]bool{}
+	for _, op := range svc.ops {
+		seen[op.name] = true
+		cop, ok := contractOps[op.name]
+		if !ok {
+			pass.Reportf(op.pos, "service %q registers operation %q absent from its contract; run `make contracts` to republish the interface", svc.name, op.name)
+			continue
+		}
+		if !op.resolved {
+			continue // cannot compare parameters we could not evaluate
+		}
+		compareParams(pass, svc.name, op, "input", op.input, cop.Input)
+		compareParams(pass, svc.name, op, "output", op.output, cop.Output)
+	}
+	if !svc.complete {
+		return // dynamic registrations may cover the rest
+	}
+	var missing []string
+	for name := range contractOps {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(svc.pos, "contract for service %q declares operation %q that the code no longer registers", svc.name, name)
+	}
+}
+
+// compareParams checks the recovered parameter list of one direction
+// (input or output) against the contract's, in order: WSDL sequences are
+// ordered, and registration order is what wsdl.Generate publishes.
+func compareParams(pass *Pass, svcName string, op staticOp, dir string, got []staticParam, want []core.Param) {
+	if len(got) != len(want) {
+		pass.Reportf(op.pos, "service %q operation %q: %s has %d parameter(s) but its contract declares %d; run `make contracts` if the code is right", svcName, op.name, dir, len(got), len(want))
+		return
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		switch {
+		case g.name != w.Name:
+			pass.Reportf(op.pos, "service %q operation %q: %s parameter %d is %q in code but %q in the contract", svcName, op.name, dir, i+1, g.name, w.Name)
+		case g.typ != string(w.Type):
+			pass.Reportf(op.pos, "service %q operation %q: %s parameter %q is %s in code but %s in the contract", svcName, op.name, dir, g.name, g.typ, w.Type)
+		case g.optional != w.Optional:
+			pass.Reportf(op.pos, "service %q operation %q: %s parameter %q optionality drifted from its contract", svcName, op.name, dir, g.name)
+		}
+	}
+}
+
+// collectServices recovers the service registrations made in one
+// function body.
+func collectServices(pass *Pass, body *ast.BlockStmt) []staticService {
+	// Map the local object created by core.NewService to its service.
+	byObj := map[types.Object]*staticService{}
+	var order []types.Object
+	inspectShallowStmts(body, func(n ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) < 1 {
+			return
+		}
+		fn := CalleeFunc(pass.Info, call)
+		if !IsPkgFunc(fn, "soc/internal/core", "NewService") {
+			return
+		}
+		name, ok := constString(pass, call.Args[0])
+		if !ok {
+			return
+		}
+		id, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		byObj[obj] = &staticService{name: name, pos: call.Pos(), complete: true}
+		order = append(order, obj)
+	})
+	if len(byObj) == 0 {
+		return nil
+	}
+
+	// Walk registrations: svc.AddOperation(...) / svc.MustAddOperation.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(pass.Info, call)
+		if fn == nil || (fn.Name() != "AddOperation" && fn.Name() != "MustAddOperation") {
+			return true
+		}
+		if !IsMethod(fn, "soc/internal/core", "Service", fn.Name()) {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		svc := byObj[pass.Info.Uses[recv]]
+		if svc == nil || len(call.Args) != 1 {
+			return true
+		}
+		ops, resolvedAll := resolveOperations(pass, body, call.Args[0])
+		if !resolvedAll {
+			svc.complete = false
+		}
+		svc.ops = append(svc.ops, ops...)
+		return true
+	})
+
+	out := make([]staticService, 0, len(byObj))
+	for _, obj := range order {
+		out = append(out, *byObj[obj])
+	}
+	return out
+}
+
+// resolveOperations evaluates the argument of an AddOperation call to
+// zero or more operation literals. Handled shapes: a core.Operation
+// composite literal; an identifier bound (once, locally) to one; and an
+// identifier that is the range variable over a local []core.Operation
+// literal.
+func resolveOperations(pass *Pass, body *ast.BlockStmt, arg ast.Expr) ([]staticOp, bool) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CompositeLit:
+		op, ok := operationFromLit(pass, body, e)
+		if !ok {
+			return nil, false
+		}
+		return []staticOp{op}, true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolveOperations(pass, body, e.X)
+		}
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return nil, false
+		}
+		// Single local assignment to a composite literal?
+		if lit := localCompositeOf(pass, body, obj); lit != nil {
+			op, ok := operationFromLit(pass, body, lit)
+			if !ok {
+				return nil, false
+			}
+			return []staticOp{op}, true
+		}
+		// Range variable over a local []core.Operation literal?
+		if lit := rangeSourceLit(pass, body, obj); lit != nil {
+			var ops []staticOp
+			all := true
+			for _, elt := range lit.Elts {
+				el, ok := ast.Unparen(elt).(*ast.CompositeLit)
+				if !ok {
+					all = false
+					continue
+				}
+				op, ok := operationFromLit(pass, body, el)
+				if !ok {
+					all = false
+					continue
+				}
+				ops = append(ops, op)
+			}
+			return ops, all
+		}
+	}
+	return nil, false
+}
+
+// localCompositeOf finds the unique `obj := <composite literal>`
+// assignment in body, requiring that obj is never reassigned.
+func localCompositeOf(pass *Pass, body *ast.BlockStmt, obj types.Object) *ast.CompositeLit {
+	var lit *ast.CompositeLit
+	assigns := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			def := pass.Info.Defs[id]
+			if def == nil {
+				def = pass.Info.Uses[id]
+			}
+			if def != obj {
+				continue
+			}
+			assigns++
+			if l, ok := ast.Unparen(assign.Rhs[i]).(*ast.CompositeLit); ok {
+				lit = l
+			}
+		}
+		return true
+	})
+	if assigns != 1 {
+		return nil
+	}
+	return lit
+}
+
+// rangeSourceLit resolves obj as the value variable of a range statement
+// whose X is (an identifier for) a slice composite literal.
+func rangeSourceLit(pass *Pass, body *ast.BlockStmt, obj types.Object) *ast.CompositeLit {
+	var lit *ast.CompositeLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.Value == nil {
+			return true
+		}
+		id, ok := rng.Value.(*ast.Ident)
+		if !ok || pass.Info.Defs[id] != obj {
+			return true
+		}
+		switch x := ast.Unparen(rng.X).(type) {
+		case *ast.CompositeLit:
+			lit = x
+		case *ast.Ident:
+			if src := pass.Info.Uses[x]; src != nil {
+				lit = localCompositeOf(pass, body, src)
+			}
+		}
+		return false
+	})
+	return lit
+}
+
+// operationFromLit evaluates a core.Operation composite literal.
+func operationFromLit(pass *Pass, body *ast.BlockStmt, lit *ast.CompositeLit) (staticOp, bool) {
+	if !IsNamedType(pass.Info.TypeOf(lit), "soc/internal/core", "Operation") {
+		return staticOp{}, false
+	}
+	op := staticOp{pos: lit.Pos(), resolved: true}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return staticOp{}, false // positional Operation literals unsupported
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return staticOp{}, false
+		}
+		switch key.Name {
+		case "Name":
+			name, ok := constString(pass, kv.Value)
+			if !ok {
+				return staticOp{}, false
+			}
+			op.name = name
+		case "Input", "Output":
+			params, ok := paramsFromExpr(pass, body, kv.Value)
+			if !ok {
+				op.resolved = false
+				continue
+			}
+			if key.Name == "Input" {
+				op.input = params
+			} else {
+				op.output = params
+			}
+		}
+	}
+	if op.name == "" {
+		return staticOp{}, false
+	}
+	return op, true
+}
+
+// paramsFromExpr evaluates a []core.Param expression: a composite
+// literal, or an identifier bound locally to one.
+func paramsFromExpr(pass *Pass, body *ast.BlockStmt, expr ast.Expr) ([]staticParam, bool) {
+	var lit *ast.CompositeLit
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		lit = e
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return nil, true
+		}
+		if obj := pass.Info.Uses[e]; obj != nil {
+			lit = localCompositeOf(pass, body, obj)
+		}
+	}
+	if lit == nil {
+		return nil, false
+	}
+	var params []staticParam
+	for _, elt := range lit.Elts {
+		el, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		var p staticParam
+		p.typ = "string" // core.Param zero value renders as xsd:string
+		for _, f := range el.Elts {
+			kv, ok := f.(*ast.KeyValueExpr)
+			if !ok {
+				return nil, false
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			switch key.Name {
+			case "Name":
+				name, ok := constString(pass, kv.Value)
+				if !ok {
+					return nil, false
+				}
+				p.name = name
+			case "Type":
+				typ, ok := constString(pass, kv.Value)
+				if !ok {
+					return nil, false
+				}
+				p.typ = typ
+			case "Optional":
+				b, ok := constBool(pass, kv.Value)
+				if !ok {
+					return nil, false
+				}
+				p.optional = b
+			}
+		}
+		if p.name == "" {
+			return nil, false
+		}
+		params = append(params, p)
+	}
+	return params, true
+}
+
+func constString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constBool(pass *Pass, expr ast.Expr) (bool, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Bool {
+		return false, false
+	}
+	return constant.BoolVal(tv.Value), true
+}
+
+// inspectShallowStmts walks body without entering function literals.
+func inspectShallowStmts(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,341 @@
+// Package lint is a self-contained static-analysis framework for this
+// repository, built only on the standard library's go/ast, go/parser,
+// go/token and go/types (no golang.org/x/tools dependency). It exists
+// because the paper's dependability unit teaches that trustworthy service
+// composition requires *verifying* services against their standard
+// interfaces, not just testing them: the analyzers here enforce, at build
+// time, the contracts and concurrency disciplines the runtime layers
+// (soc/internal/host, soc/internal/reliability) assume.
+//
+// The framework is deliberately small: an Analyzer is a named Run
+// function over a typechecked Pass; the Runner applies a registry of
+// analyzers to one loaded package and collects positioned Findings.
+// Findings can be suppressed, one line at a time, with an explanatory
+// directive:
+//
+//	//soclint:ignore analyzer1,analyzer2 reason for the exception
+//
+// placed either on the offending line or alone on the line above it. A
+// directive without a reason is itself reported: every exception must
+// say why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Config carries the repository-specific policy knobs shared by the
+// analyzers. Zero values disable the corresponding checks.
+type Config struct {
+	// ContractsDir is the directory of golden WSDL contracts checked by
+	// the contractcheck analyzer. Empty disables contract checking.
+	ContractsDir string
+	// ContractBound lists import-path prefixes whose statically
+	// registered services MUST have a contract file (a missing contract
+	// is a finding, not just a drifted one).
+	ContractBound []string
+	// LockBlockScope lists import-path prefixes subject to the
+	// lock-held-across-blocking-call analysis of locksafe.
+	LockBlockScope []string
+	// ErrDiscardScope lists import-path prefixes (service/handler code)
+	// subject to the errdiscard analyzer.
+	ErrDiscardScope []string
+}
+
+// DefaultConfig is the policy soclint applies to this module: contracts
+// live in <moduleDir>/contracts, the service catalog and robot service
+// are contract-bound, all internal packages get the lock-blocking check,
+// and the service/handler packages get the error-discard check.
+func DefaultConfig(moduleDir string) Config {
+	return Config{
+		ContractsDir:  moduleDir + "/contracts",
+		ContractBound: []string{"soc/internal/services", "soc/internal/robot"},
+		LockBlockScope: []string{
+			"soc/internal/",
+		},
+		ErrDiscardScope: []string{
+			"soc/internal/core",
+			"soc/internal/crawler",
+			"soc/internal/eventbus",
+			"soc/internal/faultinject",
+			"soc/internal/host",
+			"soc/internal/mortgageapp",
+			"soc/internal/registry",
+			"soc/internal/reliability",
+			"soc/internal/rest",
+			"soc/internal/security",
+			"soc/internal/services",
+			"soc/internal/session",
+			"soc/internal/soap",
+			"soc/internal/wsdl",
+			"soc/internal/workflow",
+			"soc/internal/xmlstore",
+			"soc/cmd/",
+		},
+	}
+}
+
+// InScope reports whether path falls under any of the listed prefixes.
+// A prefix matches exactly or at a path-segment boundary, so
+// "soc/internal/host" covers "soc/internal/host/sub" but not
+// "soc/internal/hostile"; prefixes ending in "/" match any extension.
+func InScope(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p == "" {
+			continue
+		}
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(path, p) {
+				return true
+			}
+			continue
+		}
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run applies the check to one typechecked package.
+	Run func(*Pass) error
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass is the per-(package, analyzer) unit of work handed to Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Config   Config
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path is the package import path; Dir its directory.
+	Path string
+	Dir  string
+
+	suppressed map[string]map[int]map[string]bool // file → line → analyzer set
+	findings   *[]Finding
+}
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if set := p.suppressed[position.Filename]; set != nil {
+		if set[position.Line][p.Analyzer.Name] {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Runner applies a set of analyzers to loaded packages.
+type Runner struct {
+	Analyzers []*Analyzer
+	Config    Config
+}
+
+// directiveFinding is a malformed-ignore report produced during comment
+// scanning, before any analyzer runs.
+const directiveAnalyzer = "soclint"
+
+// RunPackage runs every analyzer over pkg and returns the findings
+// sorted by position.
+func (r *Runner) RunPackage(pkg *Package) ([]Finding, error) {
+	var findings []Finding
+	suppressed := scanDirectives(pkg, &findings)
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Config:     r.Config,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			Path:       pkg.Path,
+			Dir:        pkg.Dir,
+			suppressed: suppressed,
+			findings:   &findings,
+		}
+		if err := a.Run(pass); err != nil {
+			return findings, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// scanDirectives indexes //soclint:ignore directives per file and line.
+// The directive covers its own line and, when it stands alone on a line,
+// the following line as well.
+func scanDirectives(pkg *Package, findings *[]Finding) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//soclint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, reason := splitDirective(text)
+				if len(names) == 0 || reason == "" {
+					*findings = append(*findings, Finding{
+						Pos:      pos,
+						Analyzer: directiveAnalyzer,
+						Message:  "malformed ignore directive: want //soclint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				file := out[pos.Filename]
+				if file == nil {
+					file = map[int]map[string]bool{}
+					out[pos.Filename] = file
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := file[line]
+					if set == nil {
+						set = map[string]bool{}
+						file[line] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func splitDirective(text string) (names []string, reason string) {
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return nil, ""
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.Join(fields[1:], " ")
+}
+
+// DefaultAnalyzers returns the full registry in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		BodyClose,
+		ContractCheck,
+		CtxPropagate,
+		ErrDiscard,
+		LockSafe,
+		NoClientLiteral,
+	}
+}
+
+// AnalyzerByName returns the registered analyzer with the given name.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range DefaultAnalyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// ---- shared type/AST helpers ----
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// indirect calls (function values, conversions, builtins).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function path.name.
+func IsPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != path {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// IsMethod reports whether fn is a method named name whose receiver's
+// named type (after pointer stripping) is path.recvName.
+func IsMethod(fn *types.Func, path, recvName, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return IsNamedType(sig.Recv().Type(), path, recvName)
+}
+
+// IsNamedType reports whether t (after pointer stripping) is the named
+// type path.name.
+func IsNamedType(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoClientLiteral forbids constructing an http.Client without a Timeout.
+// A zero-timeout client waits forever on a stuck peer; every outbound
+// path in this repository must either bound its requests (Timeout field)
+// or route through host.ResilientClient, whose timeout stage bounds them
+// for it. The check is syntactic over typechecked composite literals, so
+// &http.Client{Jar: jar} is caught even though it "sets something".
+var NoClientLiteral = &Analyzer{
+	Name: "noclientliteral",
+	Doc:  "requires http.Client literals to set Timeout (or route calls through host.ResilientClient)",
+	Run:  runNoClientLiteral,
+}
+
+func runNoClientLiteral(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(lit)
+			if !IsNamedType(t, "net/http", "Client") {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+						return true
+					}
+				}
+			}
+			pass.Reportf(lit.Pos(), "http.Client literal without Timeout: a stuck peer hangs this client forever; set Timeout or use host.ResilientClient")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSoclintSelfCheck asserts that the repository passes its own
+// linter: every module package, checked with the default analyzer
+// registry and policy, yields zero findings. This is the test-suite
+// twin of `make lint` — a finding introduced anywhere in the module
+// fails this test even if nobody runs the binary.
+func TestSoclintSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check typechecks the whole module (and the stdlib from source); skipped in -short")
+	}
+	loader := testLoader(t)
+	runner := &Runner{Analyzers: DefaultAnalyzers(), Config: DefaultConfig(loader.ModuleDir)}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatalf("listing module packages: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("module package walk found nothing")
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		findings, err := runner.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("linting %s: %v", path, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+//go:build ignore
+
+// Gen_contracts regenerates the golden WSDL fixtures under
+// testdata/contracts used by the contractcheck golden test. Run from
+// internal/lint:
+//
+//	go run testdata/gen_contracts.go
+//
+// The Weather contract is deliberately different from what
+// testdata/src/contractcheck/a.go registers — the drift IS the test —
+// so do not regenerate it from the fixture source.
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+	"path/filepath"
+
+	"soc/internal/core"
+	"soc/internal/wsdl"
+)
+
+func nop(_ context.Context, in core.Values) (core.Values, error) { return in, nil }
+
+func main() {
+	outDir := filepath.Join("testdata", "contracts")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// Clock: exactly what the fixture source registers (the clean case).
+	clock, err := core.NewService("Clock", "http://example.org/clock", "tells the time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock.MustAddOperation(core.Operation{
+		Name:    "Now",
+		Output:  []core.Param{{Name: "unix", Type: core.Int}},
+		Handler: nop,
+	})
+
+	// Weather: what the CONTRACT declares. The fixture source registers
+	// Forecast instead of Observe and types Temp's output as int — three
+	// deliberate drifts the golden test expects contractcheck to report.
+	weather, err := core.NewService("Weather", "http://example.org/weather", "forecasts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	weather.MustAddOperation(core.Operation{
+		Name:    "Observe",
+		Input:   []core.Param{{Name: "city", Type: core.String}},
+		Output:  []core.Param{{Name: "report", Type: core.String}},
+		Handler: nop,
+	})
+	weather.MustAddOperation(core.Operation{
+		Name:    "Temp",
+		Input:   []core.Param{{Name: "city", Type: core.String}},
+		Output:  []core.Param{{Name: "celsius", Type: core.Float}},
+		Handler: nop,
+	})
+
+	for _, svc := range []*core.Service{clock, weather} {
+		doc, err := wsdl.Generate(svc, "http://localhost/services/"+svc.Name+"/soap")
+		if err != nil {
+			log.Fatalf("generating %s: %v", svc.Name, err)
+		}
+		path := filepath.Join(outDir, svc.Name+".wsdl")
+		if err := os.WriteFile(path, doc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+}

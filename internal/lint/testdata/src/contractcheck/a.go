@@ -1,0 +1,60 @@
+// Package contractcheck is a golden-file fixture for the contractcheck
+// analyzer. Its golden contracts live in testdata/contracts (regenerate
+// with `go run testdata/gen_contracts.go` from internal/lint): Clock
+// matches its contract exactly; Weather drifts from its contract in
+// three distinct ways; Orphan has no contract at all.
+package contractcheck
+
+import (
+	"context"
+
+	"soc/internal/core"
+)
+
+func echo(_ context.Context, in core.Values) (core.Values, error) { return in, nil }
+
+// newClock matches Clock.wsdl exactly: the clean case.
+func newClock() (*core.Service, error) {
+	svc, err := core.NewService("Clock", "http://example.org/clock", "tells the time")
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.AddOperation(core.Operation{
+		Name:    "Now",
+		Output:  []core.Param{{Name: "unix", Type: core.Int}},
+		Handler: echo,
+	}); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// newWeather drifts from Weather.wsdl three ways: it registers Forecast
+// (absent from the contract), it no longer registers Observe (declared
+// by the contract), and Temp's output parameter changed type.
+func newWeather() (*core.Service, error) {
+	svc, err := core.NewService("Weather", "http://example.org/weather", "forecasts") // want `contract for service "Weather" declares operation "Observe" that the code no longer registers`
+	if err != nil {
+		return nil, err
+	}
+	svc.MustAddOperation(core.Operation{ // want `service "Weather" registers operation "Forecast" absent from its contract`
+		Name:    "Forecast",
+		Input:   []core.Param{{Name: "city"}},
+		Output:  []core.Param{{Name: "temp", Type: core.Float}},
+		Handler: echo,
+	})
+	svc.MustAddOperation(core.Operation{ // want `output parameter "celsius" is int in code but float in the contract`
+		Name:    "Temp",
+		Input:   []core.Param{{Name: "city"}},
+		Output:  []core.Param{{Name: "celsius", Type: core.Int}},
+		Handler: echo,
+	})
+	return svc, nil
+}
+
+// newOrphan registers a service with no contract on disk; the fixture
+// package is contract-bound, so the missing file alone is a finding.
+func newOrphan() (*core.Service, error) {
+	svc, err := core.NewService("Orphan", "http://example.org/orphan", "unpublished") // want `service "Orphan" has no contract`
+	return svc, err
+}

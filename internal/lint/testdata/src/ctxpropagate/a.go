@@ -1,0 +1,58 @@
+// Package ctxpropagate is a golden-file fixture for the ctxpropagate
+// analyzer: functions that already hold a context must not mint fresh
+// root contexts or context-free requests.
+package ctxpropagate
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func process(ctx context.Context) error {
+	_ = context.Background()                                               // want `context.Background\(\) inside a function that already holds a context`
+	_ = context.TODO()                                                     // want `context.TODO\(\) inside a function that already holds a context`
+	req, err := http.NewRequest(http.MethodGet, "http://example.org", nil) // want `http.NewRequest drops the caller's context`
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context.Background\(\) inside a function that already holds a context`
+	_ = ctx
+	_ = w
+}
+
+func closureInherits(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `context.Background\(\) inside a function that already holds a context`
+	}
+}
+
+// Clean cases below: no findings expected.
+
+func rootCaller() {
+	// No inherited context: minting a root here is the correct thing.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+func detached(ctx context.Context) {
+	// The sanctioned detachment: values flow, cancellation does not.
+	comp, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Second)
+	defer cancel()
+	_ = comp
+}
+
+func threaded(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.org", nil)
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}

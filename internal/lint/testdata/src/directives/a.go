@@ -1,0 +1,25 @@
+// Package directives exercises the //soclint:ignore machinery itself;
+// lint_test.go asserts its findings in code rather than with want
+// comments (a trailing comment would merge into the directive text).
+package directives
+
+import "os"
+
+func suppressedSameLine(path string) {
+	_ = os.Remove(path) //soclint:ignore errdiscard same-line suppression exercised by lint_test
+}
+
+func suppressedLineAbove(path string) {
+	//soclint:ignore errdiscard line-above suppression exercised by lint_test
+	_ = os.Remove(path)
+}
+
+func malformed(path string) {
+	//soclint:ignore errdiscard
+	_ = os.Remove(path)
+}
+
+func wrongAnalyzer(path string) {
+	//soclint:ignore bodyclose a directive for another analyzer suppresses nothing here
+	_ = os.Remove(path)
+}

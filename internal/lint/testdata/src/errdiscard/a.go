@@ -1,0 +1,44 @@
+// Package errdiscard is a golden-file fixture for the errdiscard
+// analyzer: service code may not silently drop errors.
+package errdiscard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func save(path string, data []byte) {
+	os.WriteFile(path, data, 0o644) // want `result of os.WriteFile includes an error that is silently dropped`
+}
+
+func drop(path string) {
+	_ = os.Remove(path) // want `error from os.Remove discarded with blank assignment`
+}
+
+// Clean cases below: no findings expected.
+
+func report(err error) {
+	fmt.Println("failed:", err) // the fmt print family is exempt
+}
+
+func build(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p) // strings.Builder never returns an error
+	}
+	return b.String()
+}
+
+func teardown(f *os.File) {
+	f.Close() // Close errors on teardown paths are conventionally dropped
+}
+
+func handled(path string) error {
+	return os.Remove(path)
+}
+
+func annotated(path string) {
+	//soclint:ignore errdiscard best-effort cleanup exercised by the golden test; the caller cannot act on the error
+	_ = os.Remove(path)
+}

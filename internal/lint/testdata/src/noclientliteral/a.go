@@ -1,0 +1,31 @@
+// Package noclientliteral is a golden-file fixture for the
+// noclientliteral analyzer: every http.Client literal must bound its
+// requests with a Timeout.
+package noclientliteral
+
+import (
+	"net/http"
+	"time"
+)
+
+func bare() *http.Client {
+	return &http.Client{} // want `http.Client literal without Timeout`
+}
+
+func jarOnly(jar http.CookieJar) *http.Client {
+	return &http.Client{Jar: jar} // want `http.Client literal without Timeout`
+}
+
+func value() http.Client {
+	return http.Client{} // want `http.Client literal without Timeout`
+}
+
+// Clean cases below: no findings expected.
+
+func bounded() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func boundedWithJar(jar http.CookieJar) *http.Client {
+	return &http.Client{Jar: jar, Timeout: 30 * time.Second}
+}

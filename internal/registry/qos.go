@@ -88,6 +88,7 @@ func (r *QoSRegistry) ObserveProbe(name string, up bool, rtt time.Duration) erro
 // registry tracks the service, the checker tracks its replicas).
 func (r *QoSRegistry) ProbeFeed(name string) func(replica string, up bool, rtt time.Duration) {
 	return func(_ string, up bool, rtt time.Duration) {
+		//soclint:ignore errdiscard probes may outlive an unpublished service; a stale name is not an event the checker can act on
 		_ = r.ObserveProbe(name, up, rtt)
 	}
 }

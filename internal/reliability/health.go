@@ -18,12 +18,12 @@ var ErrUnhealthy = errors.New("reliability: replica unhealthy")
 type ProbeFunc func(ctx context.Context, replica string) error
 
 // HTTPProbe returns a ProbeFunc that issues GET replica+path (path ""
-// means "/healthz") with client (nil means a plain http.Client — the
-// checker's per-probe context still bounds each request) and treats any
-// 2xx answer as healthy.
+// means "/healthz") with client (nil means a 30 s timeout client; the
+// checker's per-probe context additionally bounds each request) and
+// treats any 2xx answer as healthy.
 func HTTPProbe(client *http.Client, path string) ProbeFunc {
 	if client == nil {
-		client = &http.Client{}
+		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	if path == "" {
 		path = "/healthz"

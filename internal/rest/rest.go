@@ -237,6 +237,7 @@ func WriteResponse(w http.ResponseWriter, r *http.Request, status int, v any) {
 		w.WriteHeader(status)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//soclint:ignore errdiscard status and headers are already committed and JSON has no comment syntax to carry the failure
 		_ = enc.Encode(v)
 	}
 }

@@ -214,9 +214,11 @@ func sortedKeys(m map[string]string) []string {
 }
 
 // HandlerFunc processes one decoded request message and returns the
-// response message. Returning a *Fault (or any error) produces a SOAP
-// fault; other errors become Server faults.
-type HandlerFunc func(req Message) (Message, error)
+// response message. The context is the transport's request context (the
+// HTTP request's, for the Server binding), so cancellation and deadlines
+// propagate into service handlers. Returning a *Fault (or any error)
+// produces a SOAP fault; other errors become Server faults.
+type HandlerFunc func(ctx context.Context, req Message) (Message, error)
 
 // Server is the HTTP binding of a SOAP endpoint. Operations are matched by
 // the body's operation element name; the SOAPAction header, when present,
@@ -279,7 +281,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusBadRequest, ClientFault("unknown operation %q", req.Operation))
 		return
 	}
-	resp, err := h(req)
+	resp, err := h(r.Context(), req)
 	if err != nil {
 		var f *Fault
 		if !errors.As(err, &f) {

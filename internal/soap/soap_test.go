@@ -90,17 +90,17 @@ func TestEncodeFaultNil(t *testing.T) {
 func newEchoServer(t *testing.T) *Server {
 	t.Helper()
 	s := NewServer("http://soc.example/echo")
-	if err := s.Handle("Echo", func(req Message) (Message, error) {
+	if err := s.Handle("Echo", func(_ context.Context, req Message) (Message, error) {
 		return Message{Params: map[string]string{"echo": req.Params["text"]}}, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Handle("Fail", func(req Message) (Message, error) {
+	if err := s.Handle("Fail", func(_ context.Context, req Message) (Message, error) {
 		return Message{}, ClientFault("you asked for it")
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Handle("Crash", func(req Message) (Message, error) {
+	if err := s.Handle("Crash", func(_ context.Context, req Message) (Message, error) {
 		return Message{}, errors.New("internal breakage")
 	}); err != nil {
 		t.Fatal(err)
@@ -189,16 +189,16 @@ func TestServerSOAPActionMismatch(t *testing.T) {
 
 func TestServerHandleValidation(t *testing.T) {
 	s := NewServer("ns")
-	if err := s.Handle("", func(Message) (Message, error) { return Message{}, nil }); err == nil {
+	if err := s.Handle("", func(context.Context, Message) (Message, error) { return Message{}, nil }); err == nil {
 		t.Error("empty op accepted")
 	}
 	if err := s.Handle("X", nil); err == nil {
 		t.Error("nil handler accepted")
 	}
-	if err := s.Handle("X", func(Message) (Message, error) { return Message{}, nil }); err != nil {
+	if err := s.Handle("X", func(context.Context, Message) (Message, error) { return Message{}, nil }); err != nil {
 		t.Errorf("valid registration rejected: %v", err)
 	}
-	if err := s.Handle("X", func(Message) (Message, error) { return Message{}, nil }); err == nil {
+	if err := s.Handle("X", func(context.Context, Message) (Message, error) { return Message{}, nil }); err == nil {
 		t.Error("duplicate registration accepted")
 	}
 	ops := s.Operations()

@@ -375,9 +375,10 @@ func (s *Scope) Execute(ctx context.Context, st *State) error {
 	if err == nil {
 		return nil
 	}
-	// Run compensations LIFO. Compensation runs on a fresh context so a
-	// canceled workflow can still undo (bounded).
-	compCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Run compensations LIFO. Compensation runs on a context detached
+	// from cancellation so a canceled workflow can still undo (bounded),
+	// while deadline-exempt request values continue to flow.
+	compCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 	defer cancel()
 	key := fmt.Sprint(compKey{s.Label})
 	if cur, ok := st.Vars.Get(key); ok {

@@ -107,14 +107,17 @@ func (s *Store) flushLocked() error {
 	tmpName := tmp.Name()
 	if err := doc.Write(tmp); err != nil {
 		tmp.Close()
+		//soclint:ignore errdiscard best-effort temp-file cleanup; the write error is what matters
 		os.Remove(tmpName)
 		return fmt.Errorf("xmlstore: writing: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		//soclint:ignore errdiscard best-effort temp-file cleanup; the close error is what matters
 		os.Remove(tmpName)
 		return err
 	}
 	if err := os.Rename(tmpName, s.path); err != nil {
+		//soclint:ignore errdiscard best-effort temp-file cleanup; the rename error is what matters
 		os.Remove(tmpName)
 		return fmt.Errorf("xmlstore: replacing %s: %w", s.path, err)
 	}
