@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci build vet lint soclint contracts test race chaos short
+.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare
 
-## ci: the full gate — build, lint (vet + soclint), race-enabled tests
-ci: build lint race
+## ci: the full gate — build, lint (vet + soclint), race-enabled tests,
+## and the message-plane benchmark regression gate
+ci: build lint race bench-compare
 
 build:
 	$(GO) build ./...
@@ -13,7 +14,7 @@ vet:
 
 ## lint: the static-analysis gate — go vet plus the repo's own soclint
 ## analyzers (contract drift, context propagation, body closing, lock
-## discipline, client timeouts, error discards)
+## discipline, client timeouts, error discards, pool reset discipline)
 lint: vet soclint
 
 soclint:
@@ -40,3 +41,22 @@ race:
 ## chaos: just the fault-injection chaos suite, verbosely
 chaos:
 	$(GO) test -race -v -run TestIntegrationChaos .
+
+# Stable settings for the gated message-plane benchmarks: fixed iteration
+# count (comparable ns/op and deterministic allocs/op) and three runs so
+# benchdiff can take medians.
+BENCHFLAGS := -run '^$$' -bench BenchmarkMessagePlane -benchmem -benchtime 1000x -count 3
+
+## bench: run the hot-path message-plane benchmarks and record them as
+## the committed baseline artifact BENCH_messageplane.json
+bench:
+	$(GO) test $(BENCHFLAGS) . | tee bench.out
+	$(GO) run ./cmd/benchdiff -new bench.out -gate none -json BENCH_messageplane.json
+
+## bench-compare: rerun the message-plane benchmarks and fail if
+## allocs/op regressed >10% against the recorded baseline (time is
+## reported but not gated: CI machines are noisy, allocation counts
+## are deterministic)
+bench-compare:
+	$(GO) test $(BENCHFLAGS) . | tee bench.out
+	$(GO) run ./cmd/benchdiff -against BENCH_messageplane.json -new bench.out -gate allocs -threshold 10

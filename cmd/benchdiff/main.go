@@ -1,0 +1,121 @@
+// Command benchdiff diffs two `go test -bench` outputs and exits nonzero
+// when a gated metric regressed past the threshold — the CI teeth behind
+// `make bench-compare`. It can also record a run as a JSON baseline
+// artifact (BENCH_messageplane.json) for later comparisons.
+//
+// Usage:
+//
+//	benchdiff -new new.txt [-old old.txt | -against baseline.json] \
+//	          [-threshold 10] [-gate allocs|time|both|none] [-json out.json]
+//
+// -old parses a raw benchmark text file as the baseline; -against reads
+// the "new" side of a previously written JSON report instead. With no
+// baseline at all, benchdiff just summarizes -new (and can record it with
+// -json); nothing gates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"soc/internal/perf"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline `file` of raw go test -bench output")
+		newPath   = flag.String("new", "", "current `file` of raw go test -bench output (required)")
+		against   = flag.String("against", "", "baseline JSON report `file` (its recorded run is the baseline)")
+		threshold = flag.Float64("threshold", 10, "allowed worsening in `percent` before a diff is a regression")
+		gate      = flag.String("gate", "allocs", "gated `metric`: allocs, time, both or none")
+		jsonOut   = flag.String("json", "", "write the comparison report to this `file`")
+	)
+	flag.Parse()
+	if err := run(*oldPath, *newPath, *against, *threshold, *gate, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, against string, threshold float64, gate, jsonOut string) error {
+	if newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	if oldPath != "" && against != "" {
+		return fmt.Errorf("-old and -against are mutually exclusive")
+	}
+	switch gate {
+	case "allocs", "time", "both", "none":
+	default:
+		return fmt.Errorf("unknown -gate %q", gate)
+	}
+
+	newSum, err := summarizeFile(newPath)
+	if err != nil {
+		return err
+	}
+	var oldSum map[string]perf.Summary
+	switch {
+	case oldPath != "":
+		if oldSum, err = summarizeFile(oldPath); err != nil {
+			return err
+		}
+	case against != "":
+		if oldSum, err = baselineFromJSON(against); err != nil {
+			return err
+		}
+	}
+
+	report := perf.Compare(oldSum, newSum, threshold, gate)
+	report.Format(os.Stdout)
+	if jsonOut != "" {
+		if err := writeJSON(jsonOut, report); err != nil {
+			return err
+		}
+	}
+	if report.HasRegression() {
+		return fmt.Errorf("benchmark regression past %.1f%% (gate %s)", threshold, gate)
+	}
+	return nil
+}
+
+func summarizeFile(path string) (map[string]perf.Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	grouped, err := perf.ParseBench(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(grouped) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return perf.SummarizeBench(grouped), nil
+}
+
+func baselineFromJSON(path string) (map[string]perf.Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perf.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.New) == 0 {
+		return nil, fmt.Errorf("%s: baseline report has no recorded run", path)
+	}
+	return rep.New, nil
+}
+
+func writeJSON(path string, report perf.Report) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

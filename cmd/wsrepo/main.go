@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"soc/internal/host"
 	"soc/internal/mortgageapp"
@@ -31,6 +32,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "", "data directory for account.xml (default: temp dir)")
 	baseURL := flag.String("base-url", "", "advertised base URL (default: http://localhost<addr>)")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "idempotent-response cache TTL (0 disables the cache)")
 	flag.Parse()
 
 	if *dataDir == "" {
@@ -48,6 +50,12 @@ func main() {
 	mux, h, err := buildServer(*dataDir, *baseURL)
 	if err != nil {
 		log.Fatalf("wsrepo: %v", err)
+	}
+	if *cacheTTL > 0 {
+		// Operations declared Idempotent answer repeats from the cache
+		// (X-Cache: HIT); everything else bypasses it.
+		h.UseResponseCache(512, *cacheTTL)
+		log.Printf("wsrepo: idempotent-response cache on (512 entries, ttl %s)", *cacheTTL)
 	}
 	log.Printf("wsrepo: %d services mounted; listening on %s", len(h.Names()), *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
@@ -102,7 +110,7 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ASU-style service repository (Go reproduction)\n\n")
 		fmt.Fprintf(w, "  GET  /healthz                       per-service health report\n")
-	fmt.Fprintf(w, "  GET  /services                      hosted services\n")
+		fmt.Fprintf(w, "  GET  /services                      hosted services\n")
 		fmt.Fprintf(w, "  GET  /services/{name}?wsdl          WSDL 1.1\n")
 		fmt.Fprintf(w, "  POST /services/{name}/soap          SOAP endpoint\n")
 		fmt.Fprintf(w, "  POST /services/{name}/invoke/{op}   REST invocation\n")

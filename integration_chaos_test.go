@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -59,8 +60,91 @@ func newTargetHost(t *testing.T, seed int64) (*host.Host, *faultinject.Injector)
 	}
 	h := host.New()
 	h.Use(inj.Middleware())
+	// The idempotent-response cache rides inside the injector on every
+	// chaos host. Work is not declared idempotent, so requests bypass it —
+	// the suite proves the cache's presence never disturbs fault handling.
+	h.UseResponseCache(64, time.Minute)
 	h.MustMount(svc)
 	return h, inj
+}
+
+// TestIntegrationChaosCachedIdempotent puts the response cache under
+// fault injection with an operation that IS declared idempotent. The
+// cache sits inside the injector, so injected errors short-circuit
+// before it and corruption happens after it: only clean handler output
+// is ever stored. The resilient client's retries then land on cache
+// hits — the backend does each distinct computation exactly once no
+// matter how many injected faults force replays.
+func TestIntegrationChaosCachedIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is tier-2; skipped with -short")
+	}
+	const (
+		calls    = 200
+		distinct = 10
+	)
+	var handlerCalls atomic.Int64
+	svc, err := core.NewService("Target", "http://soc.example/target", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustAddOperation(core.Operation{
+		Name:       "Work",
+		Idempotent: true,
+		Input:      []core.Param{{Name: "x", Type: core.Int}},
+		Output:     []core.Param{{Name: "y", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			handlerCalls.Add(1)
+			return core.Values{"y": in.Int("x") * 2}, nil
+		},
+	})
+	inj, err := faultinject.New(chaosPlan(chaosSeed + 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := host.New()
+	h.Use(inj.Middleware())
+	cache := h.UseResponseCache(64, time.Minute)
+	h.MustMount(svc)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	rc, err := host.NewResilientClient(host.Policy{
+		Timeout: 2 * time.Second,
+		Retry: reliability.RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    5 * time.Millisecond,
+		},
+	}, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	successes := 0
+	for i := 0; i < calls; i++ {
+		x := i % distinct
+		out, err := rc.Call(context.Background(), "Target", "Work", core.Values{"x": x})
+		if err != nil {
+			continue
+		}
+		if out["y"] != float64(2*x) {
+			t.Fatalf("call %d: wrong answer %v (corruption reached the cache)", i, out["y"])
+		}
+		successes++
+	}
+	if min := calls * 99 / 100; successes < min {
+		t.Errorf("%d/%d successes under faults, want >= %d", successes, calls, min)
+	}
+	// Every injected-fault replay beyond the first clean pass per
+	// distinct x must be a cache hit, not a recomputation.
+	if got := handlerCalls.Load(); got != distinct {
+		t.Errorf("handler ran %d times for %d distinct inputs, want exactly %d (cache absorbed replays)",
+			got, distinct, distinct)
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("cache never served a hit under chaos")
+	}
 }
 
 // TestIntegrationChaosResilientVsNaive is the chaos acceptance suite:

@@ -33,6 +33,9 @@ func TestIntegrationPanicContainment(t *testing.T) {
 		},
 	})
 	h := host.New()
+	// Cache enabled but inert: Explode is not idempotent, so the panic
+	// path is exercised with the cache middleware in place.
+	h.UseResponseCache(32, time.Minute)
 	h.MustMount(svc)
 	server := httptest.NewServer(h)
 	defer server.Close()
@@ -71,6 +74,9 @@ func TestIntegrationReliableComposition(t *testing.T) {
 		},
 	})
 	h := host.New()
+	// Non-idempotent Work must bypass the cache, or the retry loop would
+	// be fed the first failure forever.
+	h.UseResponseCache(32, time.Minute)
 	h.MustMount(flaky)
 	server := httptest.NewServer(h)
 	defer server.Close()

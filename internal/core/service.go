@@ -65,6 +65,15 @@ type Operation struct {
 	Input   []Param
 	Output  []Param
 	Handler Handler
+	// Idempotent marks operations whose result depends only on their
+	// inputs (no observable side effects), making their responses safe to
+	// cache and replay. It is an explicit declaration, never inferred.
+	Idempotent bool
+
+	// inputIdx/outputIdx are name→param indexes precomputed by
+	// AddOperation so Invoke does not rebuild a lookup map per call.
+	inputIdx  map[string]*Param
+	outputIdx map[string]*Param
 }
 
 // Service is a named collection of operations sharing a namespace.
@@ -122,9 +131,19 @@ func (s *Service) AddOperation(op Operation) error {
 		}
 	}
 	opCopy := op
+	opCopy.inputIdx = paramIndex(opCopy.Input)
+	opCopy.outputIdx = paramIndex(opCopy.Output)
 	s.ops[op.Name] = &opCopy
 	s.order = append(s.order, op.Name)
 	return nil
+}
+
+func paramIndex(params []Param) map[string]*Param {
+	idx := make(map[string]*Param, len(params))
+	for i := range params {
+		idx[params[i].Name] = &params[i]
+	}
+	return idx
 }
 
 // MustAddOperation is AddOperation panicking on error; for package-level
@@ -160,7 +179,7 @@ func (s *Service) Invoke(ctx context.Context, opName string, args Values) (Value
 	if err != nil {
 		return nil, err
 	}
-	in, err := coerceValues(op.Input, args, true)
+	in, err := coerceValues(op.Input, op.inputIdx, args, true)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s.%s: %v", ErrBadRequest, s.Name, opName, err)
 	}
@@ -168,7 +187,7 @@ func (s *Service) Invoke(ctx context.Context, opName string, args Values) (Value
 	if err != nil {
 		return nil, err
 	}
-	result, err := coerceValues(op.Output, out, false)
+	result, err := coerceValues(op.Output, op.outputIdx, out, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s.%s returned invalid output: %v", s.Name, opName, err)
 	}
@@ -177,13 +196,14 @@ func (s *Service) Invoke(ctx context.Context, opName string, args Values) (Value
 
 // coerceValues checks vals against the declared params, converting string
 // representations to typed values. When strict, unknown keys are rejected
-// and required params must be present.
-func coerceValues(params []Param, vals Values, strict bool) (Values, error) {
-	out := Values{}
-	known := map[string]Param{}
-	for _, p := range params {
-		known[p.Name] = p
+// and required params must be present. known is the precomputed index
+// over params (see paramIndex); nil falls back to a scratch index so the
+// helper stays usable on Operations not yet registered.
+func coerceValues(params []Param, known map[string]*Param, vals Values, strict bool) (Values, error) {
+	if known == nil {
+		known = paramIndex(params)
 	}
+	out := make(Values, len(params))
 	for k, v := range vals {
 		p, ok := known[k]
 		if !ok {

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/host"
+	"soc/internal/perf"
+	"soc/internal/services"
+	"soc/internal/soap"
+)
+
+// MessagePlane is ablation A7: the hot-path message plane. It times the
+// SOAP codec in isolation, then a real idempotent operation (AES-GCM
+// decryption with passphrase key derivation) invoked through the full
+// host twice — once bare, once behind the idempotent-response cache —
+// and reports the cache's speedup. The same path is gated in CI by
+// `make bench-compare` (cmd/benchdiff); this experiment is the narrative
+// version with wall-clock medians.
+func MessagePlane(calls int) (string, error) {
+	if calls < 1 {
+		calls = 100
+	}
+	msg := soap.Message{
+		Operation:  "Echo",
+		Namespace:  "http://soc.example/echo",
+		Params:     map[string]string{"text": "the quick <brown> fox & friends"},
+		ParamOrder: []string{"text"},
+	}
+	encoded, err := soap.Encode(msg)
+	if err != nil {
+		return "", err
+	}
+	encStats, err := perf.Measure(calls, func() {
+		if _, err := soap.Encode(msg); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	decStats, err := perf.Measure(calls, func() {
+		m, err := soap.DecodeBytes(encoded)
+		if err != nil || m.Operation != "Echo" {
+			panic(fmt.Sprintf("decode: %v %v", m, err))
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+
+	encSvc, err := services.NewEncryption()
+	if err != nil {
+		return "", err
+	}
+	sealed, err := encSvc.Invoke(context.Background(), "Encrypt", core.Values{
+		"passphrase": "correct horse battery", "plaintext": "the quick brown fox",
+	})
+	if err != nil {
+		return "", err
+	}
+	target := "/services/Encryption/invoke/Decrypt?" + url.Values{
+		"passphrase": {"correct horse battery"},
+		"ciphertext": {sealed.Str("ciphertext")},
+	}.Encode()
+	invoke := func(h *host.Host) {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			panic(fmt.Sprintf("invoke status %d: %s", w.Code, w.Body.String()))
+		}
+	}
+
+	bare := host.New()
+	if err := bare.Mount(encSvc); err != nil {
+		return "", err
+	}
+	bareStats, err := perf.Measure(calls, func() { invoke(bare) })
+	if err != nil {
+		return "", err
+	}
+
+	cached := host.New()
+	if err := cached.Mount(encSvc); err != nil {
+		return "", err
+	}
+	cached.UseResponseCache(64, time.Minute)
+	invoke(cached) // fill the cache
+	cachedStats, err := perf.Measure(calls, func() { invoke(cached) })
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("A7 — hot-path message plane: codec + idempotent-response cache\n\n")
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s\n", "stage", "median", "min", "max")
+	for _, row := range []struct {
+		name  string
+		stats perf.Stats
+	}{
+		{"soap-encode", encStats},
+		{"soap-decode", decStats},
+		{"invoke", bareStats},
+		{"invoke-cached", cachedStats},
+	} {
+		fmt.Fprintf(&b, "%-16s %12v %12v %12v\n", row.name, row.stats.Median, row.stats.Min, row.stats.Max)
+	}
+	fmt.Fprintf(&b, "\ncache speedup on the idempotent Decrypt: %.1fx (hit skips key derivation + AES)\n",
+		float64(bareStats.Median)/float64(cachedStats.Median))
+	return b.String(), nil
+}

@@ -141,8 +141,8 @@ type Injector struct {
 	plan Plan
 
 	mu     sync.Mutex
-	calls  map[string]uint64  // per-op call index
-	counts map[string]uint64  // "op|outcome" and "op|corrupt"/"op|latency"
+	calls  map[string]uint64 // per-op call index
+	counts map[string]uint64 // "op|outcome" and "op|corrupt"/"op|latency"
 }
 
 // New returns an injector for the plan.
@@ -388,8 +388,8 @@ type recordingWriter struct {
 	status int
 }
 
-func (rw *recordingWriter) Header() http.Header       { return rw.header }
-func (rw *recordingWriter) WriteHeader(code int)      { rw.status = code }
+func (rw *recordingWriter) Header() http.Header         { return rw.header }
+func (rw *recordingWriter) WriteHeader(code int)        { rw.status = code }
 func (rw *recordingWriter) Write(b []byte) (int, error) { return rw.buf.Write(b) }
 
 // corrupt deterministically mangles a payload: truncate to ~half and flip

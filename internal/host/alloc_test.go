@@ -1,0 +1,51 @@
+//go:build !race
+
+package host
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"soc/internal/core"
+)
+
+// TestDispatchAllocCeiling pins the per-request allocation budget of
+// dispatching a no-op operation through the full router + invoke path
+// (route match, params, coercion, metrics, JSON response). Regressions
+// here fail go test, not just a benchmark run.
+func TestDispatchAllocCeiling(t *testing.T) {
+	svc, err := core.NewService("Noop", "http://soc.example/noop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:   "Ping",
+		Output: []core.Param{{Name: "ok", Type: core.Bool}},
+		Handler: func(_ context.Context, _ core.Values) (core.Values, error) {
+			return core.Values{"ok": true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	h.MustMount(svc)
+
+	r := httptest.NewRequest(http.MethodGet, "/services/Noop/invoke/Ping", nil)
+	// Warm pools and lazy state once.
+	h.ServeHTTP(httptest.NewRecorder(), r)
+
+	w := httptest.NewRecorder()
+	allocs := testing.AllocsPerRun(200, func() {
+		w.Body.Reset()
+		h.ServeHTTP(w, r)
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if allocs > 40 {
+		t.Errorf("dispatch allocates %.1f/op, ceiling 40", allocs)
+	}
+}

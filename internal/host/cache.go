@@ -1,0 +1,183 @@
+package host
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"soc/internal/respcache"
+	"soc/internal/rest"
+	"soc/internal/soap"
+)
+
+// maxCacheableBody bounds how much of a request body the cache keyer will
+// buffer; larger requests bypass the cache rather than pin memory.
+const maxCacheableBody = 1 << 20
+
+// UseResponseCache installs the idempotent-response cache as router
+// middleware and returns the cache for inspection and invalidation.
+//
+// Only invocation traffic is considered — REST invoke (GET or POST) and
+// the SOAP endpoint — and only for operations explicitly declared
+// Idempotent in their core.Operation. The key is the operation identity
+// plus its canonicalized parameters plus the negotiated response format:
+//
+//   - GET invoke: query parameters (minus "format") sorted by name;
+//   - POST invoke: the JSON body re-marshaled canonically (object keys
+//     sorted), so {"a":1,"b":2} and {"b":2,"a":1} share an entry;
+//   - SOAP: the envelope's operation and its parameters sorted by name
+//     (whitespace and parameter order in the envelope don't split keys).
+//
+// Only 200 responses are stored; error responses are returned to every
+// collapsed waiter but never cached. Mutations don't flow through keyed
+// routes, so there is no write-path invalidation: staleness is bounded
+// by the TTL, and Invalidate is available for explicit busts.
+func (h *Host) UseResponseCache(capacity int, ttl time.Duration) *respcache.Cache {
+	c := respcache.New(capacity, ttl)
+	h.Use(h.cacheMiddleware(c))
+	return c
+}
+
+func (h *Host) cacheMiddleware(c *respcache.Cache) rest.Middleware {
+	return func(next rest.HandlerFunc) rest.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p rest.Params) {
+			key, ok := h.cacheKey(r, p)
+			if !ok {
+				next(w, r, p)
+				return
+			}
+			entry, hit := c.Do(key, func() (*respcache.Entry, bool) {
+				rec := respcache.NewRecorder()
+				next(rec, r, p)
+				e := rec.Entry()
+				return e, e.Status == http.StatusOK
+			})
+			if hit {
+				w.Header().Set("X-Cache", "HIT")
+			} else {
+				w.Header().Set("X-Cache", "MISS")
+			}
+			entry.WriteTo(w)
+		}
+	}
+}
+
+// cacheKey derives the cache key for cacheable requests. ok is false for
+// anything that must bypass the cache: non-invocation routes, unknown or
+// non-idempotent operations, unparseable bodies, oversized bodies.
+func (h *Host) cacheKey(r *http.Request, p rest.Params) (string, bool) {
+	name := p["name"]
+	if name == "" {
+		return "", false
+	}
+	m, ok := h.mount(name)
+	if !ok {
+		return "", false
+	}
+	if opName := p["op"]; opName != "" {
+		return h.invokeKey(r, m, opName)
+	}
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/soap") {
+		return h.soapKey(r, m)
+	}
+	return "", false
+}
+
+func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, bool) {
+	op, err := m.svc.Operation(opName)
+	if err != nil || !op.Idempotent {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(r.Method)
+	b.WriteByte(0)
+	b.WriteString(rest.Negotiate(r))
+	b.WriteByte(0)
+	b.WriteString(m.metricKey(opName))
+	b.WriteByte(0)
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		keys := make([]string, 0, len(q))
+		for k := range q {
+			if k == "format" {
+				continue // already part of the negotiated-format component
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte(1)
+			b.WriteString(q.Get(k))
+			b.WriteByte(0)
+		}
+	case http.MethodPost:
+		body, ok := swapBody(r)
+		if !ok {
+			return "", false
+		}
+		var params map[string]any
+		if err := json.Unmarshal(body, &params); err != nil {
+			return "", false // let the handler produce the error response
+		}
+		canon, err := json.Marshal(params) // map marshaling sorts keys
+		if err != nil {
+			return "", false
+		}
+		b.Write(canon)
+	default:
+		return "", false
+	}
+	return b.String(), true
+}
+
+func (h *Host) soapKey(r *http.Request, m *mounted) (string, bool) {
+	body, ok := swapBody(r)
+	if !ok {
+		return "", false
+	}
+	msg, err := soap.DecodeBytes(body)
+	if err != nil {
+		return "", false
+	}
+	op, err := m.svc.Operation(msg.Operation)
+	if err != nil || !op.Idempotent {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString("SOAP\x00")
+	b.WriteString(m.metricKey(msg.Operation))
+	b.WriteByte(0)
+	keys := make([]string, 0, len(msg.Params))
+	for k := range msg.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(1)
+		b.WriteString(msg.Params[k])
+		b.WriteByte(0)
+	}
+	return b.String(), true
+}
+
+// swapBody reads the request body (bounded) and replaces it with an
+// equivalent reader so the inner handler can read it again.
+func swapBody(r *http.Request) ([]byte, bool) {
+	if r.Body == nil {
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxCacheableBody+1))
+	_ = r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	if err != nil || len(body) > maxCacheableBody {
+		return nil, false
+	}
+	return body, true
+}

@@ -1,0 +1,239 @@
+package host
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/soap"
+)
+
+// newCachedHost builds a host with one idempotent and one non-idempotent
+// operation, both counting invocations, plus the response cache.
+func newCachedHost(t *testing.T, capacity int, ttl time.Duration) (*Host, *atomic.Int64, *atomic.Int64, interface {
+	SetClock(func() time.Time)
+}) {
+	t.Helper()
+	var pureCalls, mutCalls atomic.Int64
+	svc, err := core.NewService("Calc", "http://soc.example/calc", "test service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:       "Square",
+		Idempotent: true,
+		Input:      []core.Param{{Name: "n", Type: core.Int}},
+		Output:     []core.Param{{Name: "result", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			pureCalls.Add(1)
+			n := in.Int("n")
+			return core.Values{"result": n * n}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:   "Bump",
+		Input:  []core.Param{{Name: "n", Type: core.Int}},
+		Output: []core.Param{{Name: "count", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			return core.Values{"count": mutCalls.Add(1)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	h.MustMount(svc)
+	c := h.UseResponseCache(capacity, ttl)
+	return h, &pureCalls, &mutCalls, c
+}
+
+func getInvoke(h *Host, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func TestCacheMiddlewareHit(t *testing.T) {
+	h, pure, _, _ := newCachedHost(t, 8, time.Minute)
+	w1 := getInvoke(h, "/services/Calc/invoke/Square?n=7")
+	w2 := getInvoke(h, "/services/Calc/invoke/Square?n=7")
+	w3 := getInvoke(h, "/services/Calc/invoke/Square?n=8")
+	if w1.Code != 200 || w2.Code != 200 || w3.Code != 200 {
+		t.Fatalf("status codes %d/%d/%d", w1.Code, w2.Code, w3.Code)
+	}
+	if got := w1.Header().Get("X-Cache"); got != "MISS" {
+		t.Errorf("first request X-Cache = %q, want MISS", got)
+	}
+	if got := w2.Header().Get("X-Cache"); got != "HIT" {
+		t.Errorf("repeat request X-Cache = %q, want HIT", got)
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Errorf("cached body differs: %q vs %q", w1.Body.String(), w2.Body.String())
+	}
+	if !strings.Contains(w3.Body.String(), "64") {
+		t.Errorf("distinct params served stale entry: %q", w3.Body.String())
+	}
+	if n := pure.Load(); n != 2 {
+		t.Errorf("handler ran %d times, want 2 (n=7 cached, n=8 fresh)", n)
+	}
+}
+
+func TestCacheMiddlewareTTLExpiry(t *testing.T) {
+	h, pure, _, clk := newCachedHost(t, 8, time.Minute)
+	now := time.Unix(1000, 0)
+	clk.SetClock(func() time.Time { return now })
+
+	getInvoke(h, "/services/Calc/invoke/Square?n=7")
+	now = now.Add(30 * time.Second)
+	if w := getInvoke(h, "/services/Calc/invoke/Square?n=7"); w.Header().Get("X-Cache") != "HIT" {
+		t.Fatal("entry expired before TTL")
+	}
+	now = now.Add(31 * time.Second) // 61s > TTL since fill
+	if w := getInvoke(h, "/services/Calc/invoke/Square?n=7"); w.Header().Get("X-Cache") != "MISS" {
+		t.Fatal("entry served past TTL")
+	}
+	if n := pure.Load(); n != 2 {
+		t.Errorf("handler ran %d times, want 2", n)
+	}
+}
+
+func TestCacheMiddlewareLRUBound(t *testing.T) {
+	h, pure, _, _ := newCachedHost(t, 2, time.Minute)
+	getInvoke(h, "/services/Calc/invoke/Square?n=1")
+	getInvoke(h, "/services/Calc/invoke/Square?n=2")
+	getInvoke(h, "/services/Calc/invoke/Square?n=3") // evicts n=1
+	if w := getInvoke(h, "/services/Calc/invoke/Square?n=1"); w.Header().Get("X-Cache") != "MISS" {
+		t.Fatal("evicted entry still served")
+	}
+	if n := pure.Load(); n != 4 {
+		t.Errorf("handler ran %d times, want 4", n)
+	}
+}
+
+func TestCacheMiddlewareNonIdempotentBypass(t *testing.T) {
+	h, _, mut, _ := newCachedHost(t, 8, time.Minute)
+	w1 := getInvoke(h, "/services/Calc/invoke/Bump?n=1")
+	w2 := getInvoke(h, "/services/Calc/invoke/Bump?n=1")
+	if w1.Code != 200 || w2.Code != 200 {
+		t.Fatalf("status %d/%d", w1.Code, w2.Code)
+	}
+	if w1.Header().Get("X-Cache") != "" || w2.Header().Get("X-Cache") != "" {
+		t.Error("non-idempotent operation went through the cache")
+	}
+	if n := mut.Load(); n != 2 {
+		t.Errorf("handler ran %d times, want 2 (every request)", n)
+	}
+	if w1.Body.String() == w2.Body.String() {
+		t.Error("non-idempotent responses identical; a cached replay leaked")
+	}
+}
+
+func TestCacheMiddlewarePOSTCanonicalization(t *testing.T) {
+	h, pure, _, _ := newCachedHost(t, 8, time.Minute)
+	post := func(body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/services/Calc/invoke/Square", strings.NewReader(body))
+		r.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(w, r)
+		return w
+	}
+	w1 := post(`{"n": 7}`)
+	w2 := post(`{ "n" : 7 }`) // same params, different serialization
+	if w1.Code != 200 || w2.Code != 200 {
+		t.Fatalf("status %d/%d: %s / %s", w1.Code, w2.Code, w1.Body, w2.Body)
+	}
+	if w2.Header().Get("X-Cache") != "HIT" {
+		t.Error("canonically equal POST bodies did not share a cache entry")
+	}
+	if n := pure.Load(); n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestCacheMiddlewareSOAP(t *testing.T) {
+	h, pure, _, _ := newCachedHost(t, 8, time.Minute)
+	call := func() *httptest.ResponseRecorder {
+		env, err := soap.Encode(soap.Message{Operation: "Square", Params: map[string]string{"n": "6"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/services/Calc/soap", strings.NewReader(string(env)))
+		r.Header.Set("Content-Type", soap.ContentType)
+		h.ServeHTTP(w, r)
+		return w
+	}
+	w1 := call()
+	w2 := call()
+	if w1.Code != 200 || w2.Code != 200 {
+		t.Fatalf("status %d/%d: %s", w1.Code, w2.Code, w1.Body)
+	}
+	if w2.Header().Get("X-Cache") != "HIT" {
+		t.Error("identical SOAP request not served from cache")
+	}
+	if !strings.Contains(w2.Body.String(), "36") {
+		t.Errorf("cached SOAP body = %q", w2.Body.String())
+	}
+	if n := pure.Load(); n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestCacheMiddlewareSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	svc, err := core.NewService("Slow", "http://soc.example/slow", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:       "Wait",
+		Idempotent: true,
+		Output:     []core.Param{{Name: "ok", Type: core.Bool}},
+		Handler: func(_ context.Context, _ core.Values) (core.Values, error) {
+			calls.Add(1)
+			<-release
+			return core.Values{"ok": true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	h.MustMount(svc)
+	h.UseResponseCache(8, time.Minute)
+
+	const n = 12
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := getInvoke(h, "/services/Slow/invoke/Wait")
+			codes[i] = w.Code
+		}(i)
+	}
+	// Let the stampede pile onto the single flight, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("stampede of %d identical requests ran the handler %d times, want 1", n, got)
+	}
+}

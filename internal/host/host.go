@@ -31,13 +31,42 @@ import (
 // ErrMount reports an invalid mount.
 var ErrMount = errors.New("host: invalid mount")
 
+// mounted is one service's precompiled dispatch table, resolved once at
+// Mount time: the SOAP endpoint, and the per-operation metric keys so the
+// hot path never concatenates "service.op" per request.
+type mounted struct {
+	svc        *core.Service
+	soapSrv    *soap.Server
+	metricKeys map[string]string // op name → "service.op"
+}
+
+// metricKey returns the precomputed key, falling back to concatenation
+// for unknown operations (which fail in Invoke anyway).
+func (m *mounted) metricKey(op string) string {
+	if k, ok := m.metricKeys[op]; ok {
+		return k
+	}
+	return m.svc.Name + "." + op
+}
+
+// valuesPool recycles the argument maps built from transport parameters.
+// Invoke never retains its args map (coercion copies into a fresh map),
+// so the maps can be cleared and reused across requests.
+var valuesPool = sync.Pool{New: func() any { return core.Values{} }}
+
+func acquireValues() core.Values { return valuesPool.Get().(core.Values) }
+
+func releaseValues(v core.Values) {
+	clear(v)
+	valuesPool.Put(v)
+}
+
 // Host serves a set of core services over SOAP and REST.
 type Host struct {
-	mu       sync.RWMutex
-	services map[string]*core.Service
-	soapSrvs map[string]*soap.Server
-	router   *rest.Router
-	metrics  *metrics
+	mu      sync.RWMutex
+	mounts  map[string]*mounted
+	router  *rest.Router
+	metrics *metrics
 	// BaseURL, when set, is used as the advertised endpoint prefix in
 	// generated WSDL (e.g. "http://host:port"). Unset hosts advertise
 	// a relative endpoint.
@@ -47,10 +76,9 @@ type Host struct {
 // New returns an empty host.
 func New() *Host {
 	h := &Host{
-		services: make(map[string]*core.Service),
-		soapSrvs: make(map[string]*soap.Server),
-		router:   rest.NewRouter(),
-		metrics:  newMetrics(),
+		mounts:  make(map[string]*mounted),
+		router:  rest.NewRouter(),
+		metrics: newMetrics(),
 	}
 	h.router.Use(rest.Recovery())
 	must := func(err error) {
@@ -81,27 +109,34 @@ func (h *Host) Mount(svc *core.Service) error {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if _, dup := h.services[svc.Name]; dup {
+	if _, dup := h.mounts[svc.Name]; dup {
 		return fmt.Errorf("%w: duplicate service %q", ErrMount, svc.Name)
 	}
-	ss := soap.NewServer(svc.Namespace)
+	m := &mounted{
+		svc:        svc,
+		soapSrv:    soap.NewServer(svc.Namespace),
+		metricKeys: make(map[string]string, len(svc.Operations())),
+	}
 	for _, op := range svc.Operations() {
 		opName := op.Name
-		err := ss.Handle(opName, func(ctx context.Context, req soap.Message) (soap.Message, error) {
-			args := core.Values{}
+		metricKey := svc.Name + "." + opName // resolved once, not per request
+		m.metricKeys[opName] = metricKey
+		err := m.soapSrv.Handle(opName, func(ctx context.Context, req soap.Message) (soap.Message, error) {
+			args := acquireValues()
+			defer releaseValues(args)
 			for k, v := range req.Params {
 				args[k] = v
 			}
 			start := time.Now()
 			out, err := h.invoke(ctx, svc, opName, args)
-			h.metrics.record(svc.Name+"."+opName, time.Since(start), err != nil)
+			h.metrics.record(metricKey, time.Since(start), err != nil)
 			if err != nil {
 				if errors.Is(err, core.ErrBadRequest) || errors.Is(err, core.ErrNotFound) {
 					return soap.Message{}, soap.ClientFault("%v", err)
 				}
 				return soap.Message{}, soap.ServerFault("%v", err)
 			}
-			resp := soap.Message{Params: map[string]string{}}
+			resp := soap.Message{Params: make(map[string]string, len(out))}
 			for k, v := range out {
 				resp.Params[k] = core.FormatValue(v)
 			}
@@ -111,8 +146,7 @@ func (h *Host) Mount(svc *core.Service) error {
 			return err
 		}
 	}
-	h.services[svc.Name] = svc
-	h.soapSrvs[svc.Name] = ss
+	h.mounts[svc.Name] = m
 	return nil
 }
 
@@ -132,22 +166,26 @@ func (h *Host) invoke(ctx context.Context, svc *core.Service, op string, args co
 
 // Service returns a mounted service by name.
 func (h *Host) Service(name string) (*core.Service, bool) {
+	m, ok := h.mount(name)
+	if !ok {
+		return nil, false
+	}
+	return m.svc, true
+}
+
+// mount returns the precompiled dispatch table for a service.
+func (h *Host) mount(name string) (*mounted, bool) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	s, ok := h.services[name]
-	return s, ok
+	m, ok := h.mounts[name]
+	return m, ok
 }
 
 // Names lists mounted service names, sorted.
 func (h *Host) Names() []string {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	out := make([]string, 0, len(h.services))
-	for n := range h.services {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
+	return h.namesLocked()
 }
 
 // ServeHTTP implements http.Handler.
@@ -186,17 +224,17 @@ type serviceDesc struct {
 func (h *Host) handleList(w http.ResponseWriter, r *http.Request, _ rest.Params) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	out := make([]serviceSummary, 0, len(h.services))
+	out := make([]serviceSummary, 0, len(h.mounts))
 	for _, name := range h.namesLocked() {
-		s := h.services[name]
+		s := h.mounts[name].svc
 		out = append(out, serviceSummary{Name: s.Name, Namespace: s.Namespace, Doc: s.Doc, Category: s.Category})
 	}
 	rest.WriteResponse(w, r, http.StatusOK, out)
 }
 
 func (h *Host) namesLocked() []string {
-	out := make([]string, 0, len(h.services))
-	for n := range h.services {
+	out := make([]string, 0, len(h.mounts))
+	for n := range h.mounts {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -268,11 +306,12 @@ type healthReport struct {
 func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Params) {
 	stats := h.Stats()
 	h.mu.RLock()
-	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(h.services))}
-	for name, svc := range h.services {
+	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(h.mounts))}
+	for name, m := range h.mounts {
+		svc := m.svc
 		sh := serviceHealth{Status: "ok", Operations: len(svc.Operations())}
 		for _, op := range svc.Operations() {
-			if st, ok := stats[name+"."+op.Name]; ok {
+			if st, ok := stats[m.metricKey(op.Name)]; ok {
 				sh.Calls += st.Calls
 				sh.Errors += st.Errors
 			}
@@ -295,16 +334,16 @@ type statsEntry struct {
 }
 
 func (h *Host) handleStats(w http.ResponseWriter, r *http.Request, p rest.Params) {
-	svc, ok := h.Service(p["name"])
+	m, ok := h.mount(p["name"])
 	if !ok {
 		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
 		return
 	}
+	svc := m.svc
 	all := h.Stats()
 	out := []statsEntry{}
 	for _, op := range svc.Operations() {
-		key := svc.Name + "." + op.Name
-		if st, ok := all[key]; ok {
+		if st, ok := all[m.metricKey(op.Name)]; ok {
 			out = append(out, statsEntry{
 				Operation: op.Name, Calls: st.Calls, Errors: st.Errors,
 				MeanNanos: int64(st.MeanTime()),
@@ -315,23 +354,23 @@ func (h *Host) handleStats(w http.ResponseWriter, r *http.Request, p rest.Params
 }
 
 func (h *Host) handleSOAP(w http.ResponseWriter, r *http.Request, p rest.Params) {
-	h.mu.RLock()
-	ss, ok := h.soapSrvs[p["name"]]
-	h.mu.RUnlock()
+	m, ok := h.mount(p["name"])
 	if !ok {
 		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
 		return
 	}
-	ss.ServeHTTP(w, r)
+	m.soapSrv.ServeHTTP(w, r)
 }
 
 func (h *Host) handleInvoke(w http.ResponseWriter, r *http.Request, p rest.Params) {
-	svc, ok := h.Service(p["name"])
+	m, ok := h.mount(p["name"])
 	if !ok {
 		rest.WriteError(w, r, http.StatusNotFound, "no service %q", p["name"])
 		return
 	}
-	args := core.Values{}
+	svc := m.svc
+	args := acquireValues()
+	defer releaseValues(args)
 	if r.Method == http.MethodPost {
 		var body map[string]any
 		if err := rest.ReadJSON(r, &body, 0); err != nil {
@@ -353,7 +392,7 @@ func (h *Host) handleInvoke(w http.ResponseWriter, r *http.Request, p rest.Param
 	}
 	start := time.Now()
 	out, err := svc.Invoke(r.Context(), p["op"], args)
-	h.metrics.record(svc.Name+"."+p["op"], time.Since(start), err != nil)
+	h.metrics.record(m.metricKey(p["op"]), time.Since(start), err != nil)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrBadRequest) {
@@ -386,7 +425,8 @@ func valuesToXML(root string, v core.Values) string {
 	return b.String()
 }
 
+var xmlReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
 func xmlEscape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	return xmlReplacer.Replace(s)
 }

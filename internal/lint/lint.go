@@ -273,6 +273,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ErrDiscard,
 		LockSafe,
 		NoClientLiteral,
+		PoolReset,
 	}
 }
 

@@ -114,6 +114,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"bodyclose", func(string) Config { return Config{} }},
 		{"ctxpropagate", func(string) Config { return Config{} }},
 		{"noclientliteral", func(string) Config { return Config{} }},
+		{"poolreset", func(string) Config { return Config{} }},
 		{"locksafe", func(p string) Config { return Config{LockBlockScope: []string{p}} }},
 		{"errdiscard", func(p string) Config { return Config{ErrDiscardScope: []string{p}} }},
 		{"contractcheck", func(p string) Config {

@@ -1,0 +1,101 @@
+// Package poolreset is the golden fixture for the poolreset analyzer.
+package poolreset
+
+import "sync"
+
+type msg struct {
+	op     string
+	params map[string]string
+}
+
+func (m *msg) resetForReuse() {
+	m.op = ""
+	clear(m.params)
+}
+
+var (
+	bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+	msgPool = sync.Pool{New: func() any { return &msg{params: map[string]string{}} }}
+	mapPool = sync.Pool{New: func() any { return map[string]string{} }}
+)
+
+// Truncation through the pointer counts as a reset.
+func putBufGood(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// A guard clause between the reset and the Put is fine.
+func putBufGuarded(bp *[]byte) {
+	*bp = (*bp)[:0]
+	if cap(*bp) > 1<<16 {
+		return
+	}
+	bufPool.Put(bp)
+}
+
+func putBufBad(bp *[]byte) {
+	bufPool.Put(bp) // want `sync.Pool.Put\(bp\) without resetting bp first`
+}
+
+// A reset-named method call on the value counts.
+func putMsgGood(m *msg) {
+	m.resetForReuse()
+	msgPool.Put(m)
+}
+
+// The reset may sit in an outer block of the same function.
+func putMsgOuterReset(m *msg, ok bool) {
+	m.resetForReuse()
+	if ok {
+		msgPool.Put(m)
+	}
+}
+
+func putMsgBad(m *msg) {
+	m.op = "stale" // touching a field is not a reset
+	msgPool.Put(m) // want `sync.Pool.Put\(m\) without resetting m first`
+}
+
+// The clear builtin counts.
+func putMapGood(v map[string]string) {
+	clear(v)
+	mapPool.Put(v)
+}
+
+// A reset-named helper taking the value counts.
+func resetMap(v map[string]string) { clear(v) }
+
+func putMapViaHelper(v map[string]string) {
+	resetMap(v)
+	mapPool.Put(v)
+}
+
+func putMapBad(v map[string]string) {
+	mapPool.Put(v) // want `sync.Pool.Put\(v\) without resetting v first`
+}
+
+// Freshly constructed values carry no stale state: pre-warming is fine.
+func prewarm() {
+	b := make([]byte, 0, 64)
+	bufPool.Put(&b)
+	msgPool.Put(new(msg))
+}
+
+// A reset outside the closure does not cover a Put inside it: the
+// closure can run long after the value was dirtied again.
+func putInClosure(m *msg) func() {
+	m.resetForReuse()
+	return func() {
+		msgPool.Put(m) // want `sync.Pool.Put\(m\) without resetting m first`
+	}
+}
+
+// Put on anything that is not a sync.Pool is out of scope.
+type store map[string]string
+
+func (s store) Put(k, v string) { s[k] = v }
+
+func useStore(s store) {
+	s.Put("a", "b")
+}

@@ -1,0 +1,243 @@
+package perf
+
+// benchstat-lite: parse `go test -bench` output, summarize repeated runs,
+// and diff two summaries with a regression threshold — the stdlib-only
+// core of cmd/benchdiff, which gates CI on the message-plane numbers
+// (BENCH_messageplane.json).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkMessagePlane/soap-encode".
+	Name string
+	// N is the iteration count of the run.
+	N int64
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64
+	// BytesPerOp and AllocsPerOp come from -benchmem; -1 when absent.
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// ParseBench reads `go test -bench` output and groups results by
+// benchmark name (repeated -count runs collect under one key).
+func ParseBench(r io.Reader) (map[string][]BenchResult, error) {
+	out := make(map[string][]BenchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[res.Name] = append(out[res.Name], res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+func parseBenchLine(line string) (BenchResult, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return BenchResult{}, false, nil
+	}
+	res := BenchResult{Name: trimProcs(fields[0]), BytesPerOp: -1, AllocsPerOp: -1}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false, nil // "Benchmark..." banner lines etc.
+	}
+	res.N = n
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false, fmt.Errorf("perf: bad value %q in %q", fields[i], line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		}
+	}
+	if !sawNs {
+		return BenchResult{}, false, nil
+	}
+	return res, true, nil
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix go test appends.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Summary aggregates repeated runs of one benchmark.
+type Summary struct {
+	// NsPerOp is the median across runs (robust to a noisy outlier run).
+	NsPerOp float64 `json:"nsPerOp"`
+	// BytesPerOp and AllocsPerOp are medians too; -1 when -benchmem was
+	// not used.
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+	// Runs is how many runs backed the summary.
+	Runs int `json:"runs"`
+}
+
+// SummarizeBench reduces grouped results to per-benchmark medians.
+func SummarizeBench(grouped map[string][]BenchResult) map[string]Summary {
+	out := make(map[string]Summary, len(grouped))
+	for name, runs := range grouped {
+		if len(runs) == 0 {
+			continue
+		}
+		pick := func(get func(BenchResult) float64) float64 {
+			vals := make([]float64, len(runs))
+			for i, r := range runs {
+				vals[i] = get(r)
+			}
+			sort.Float64s(vals)
+			return vals[len(vals)/2]
+		}
+		out[name] = Summary{
+			NsPerOp:     pick(func(r BenchResult) float64 { return r.NsPerOp }),
+			BytesPerOp:  pick(func(r BenchResult) float64 { return r.BytesPerOp }),
+			AllocsPerOp: pick(func(r BenchResult) float64 { return r.AllocsPerOp }),
+			Runs:        len(runs),
+		}
+	}
+	return out
+}
+
+// Diff is the old→new movement of one benchmark.
+type Diff struct {
+	Name string  `json:"name"`
+	Old  Summary `json:"old"`
+	New  Summary `json:"new"`
+	// TimeDeltaPct and AllocDeltaPct are percentage changes (negative is
+	// an improvement).
+	TimeDeltaPct  float64 `json:"timeDeltaPct"`
+	AllocDeltaPct float64 `json:"allocDeltaPct"`
+	// Regression marks a gated metric worsening past the threshold.
+	Regression bool `json:"regression"`
+}
+
+// Report is the full comparison, serialized as BENCH_*.json artifacts.
+type Report struct {
+	// ThresholdPct is the allowed worsening before a diff counts as a
+	// regression.
+	ThresholdPct float64 `json:"thresholdPct"`
+	// Gate names the gated metric: "allocs", "time", "both" or "none".
+	Gate string `json:"gate"`
+	// New holds the current run's summaries; Old the baseline's (empty
+	// when recording a first baseline).
+	Old   map[string]Summary `json:"old,omitempty"`
+	New   map[string]Summary `json:"new"`
+	Diffs []Diff             `json:"diffs,omitempty"`
+}
+
+func pctDelta(oldV, newV float64) float64 {
+	if oldV <= 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+// Compare diffs two summaries. Benchmarks present on only one side are
+// skipped (renames are not regressions). gate selects which metric can
+// mark a regression; allocs/op is the deterministic choice for CI.
+func Compare(old, new map[string]Summary, thresholdPct float64, gate string) Report {
+	rep := Report{ThresholdPct: thresholdPct, Gate: gate, Old: old, New: new}
+	names := make([]string, 0, len(old))
+	for name := range old {
+		if _, ok := new[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old[name], new[name]
+		d := Diff{
+			Name:          name,
+			Old:           o,
+			New:           n,
+			TimeDeltaPct:  pctDelta(o.NsPerOp, n.NsPerOp),
+			AllocDeltaPct: pctDelta(o.AllocsPerOp, n.AllocsPerOp),
+		}
+		timeReg := d.TimeDeltaPct > thresholdPct
+		allocReg := o.AllocsPerOp >= 0 && n.AllocsPerOp >= 0 && d.AllocDeltaPct > thresholdPct
+		switch gate {
+		case "time":
+			d.Regression = timeReg
+		case "both":
+			d.Regression = timeReg || allocReg
+		case "none":
+		default: // "allocs"
+			d.Regression = allocReg
+		}
+		rep.Diffs = append(rep.Diffs, d)
+	}
+	return rep
+}
+
+// HasRegression reports whether any diff crossed the gate.
+func (r Report) HasRegression() bool {
+	for _, d := range r.Diffs {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the report as an aligned human-readable table.
+func (r Report) Format(w io.Writer) {
+	if len(r.Diffs) == 0 {
+		fmt.Fprintf(w, "recorded %d benchmark(s); no baseline to compare\n", len(r.New))
+		names := make([]string, 0, len(r.New))
+		for name := range r.New {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := r.New[name]
+			fmt.Fprintf(w, "  %-50s %12.1f ns/op %10.0f allocs/op\n", name, s.NsPerOp, s.AllocsPerOp)
+		}
+		return
+	}
+	for _, d := range r.Diffs {
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s %-50s time %12.1f → %12.1f ns/op (%+6.1f%%)  allocs %8.0f → %8.0f (%+6.1f%%)\n",
+			mark, d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.TimeDeltaPct,
+			d.Old.AllocsPerOp, d.New.AllocsPerOp, d.AllocDeltaPct)
+	}
+}

@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: soc
+cpu: Intel(R) Xeon(R)
+BenchmarkMessagePlane/soap-encode-4         	  240459	      4936 ns/op	    2512 B/op	      53 allocs/op
+BenchmarkMessagePlane/soap-encode-4         	  252601	      5048 ns/op	    2512 B/op	      53 allocs/op
+BenchmarkMessagePlane/soap-encode-4         	  236397	      4990 ns/op	    2512 B/op	      53 allocs/op
+BenchmarkMessagePlane/dispatch-4            	   46689	     25794 ns/op	   19594 B/op	     188 allocs/op
+BenchmarkNoMem-8                            	 1000000	      1000 ns/op
+PASS
+ok  	soc	5.448s
+`
+
+func TestParseBench(t *testing.T) {
+	grouped, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := grouped["BenchmarkMessagePlane/soap-encode"]
+	if len(enc) != 3 {
+		t.Fatalf("encode runs = %d, want 3", len(enc))
+	}
+	if enc[0].NsPerOp != 4936 || enc[0].AllocsPerOp != 53 || enc[0].BytesPerOp != 2512 {
+		t.Errorf("first run = %+v", enc[0])
+	}
+	nomem := grouped["BenchmarkNoMem"]
+	if len(nomem) != 1 || nomem[0].AllocsPerOp != -1 {
+		t.Errorf("no-benchmem line = %+v", nomem)
+	}
+}
+
+func TestSummarizeMedian(t *testing.T) {
+	grouped, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeBench(grouped)
+	enc := sum["BenchmarkMessagePlane/soap-encode"]
+	if enc.NsPerOp != 4990 { // median of 4936, 4990, 5048
+		t.Errorf("median ns/op = %v, want 4990", enc.NsPerOp)
+	}
+	if enc.AllocsPerOp != 53 || enc.Runs != 3 {
+		t.Errorf("summary = %+v", enc)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	oldS := map[string]Summary{
+		"B/x":    {NsPerOp: 100, AllocsPerOp: 10, Runs: 1},
+		"B/y":    {NsPerOp: 100, AllocsPerOp: 10, Runs: 1},
+		"B/gone": {NsPerOp: 1, AllocsPerOp: 1, Runs: 1},
+	}
+	newS := map[string]Summary{
+		"B/x":   {NsPerOp: 300, AllocsPerOp: 10, Runs: 1}, // time regression only
+		"B/y":   {NsPerOp: 90, AllocsPerOp: 13, Runs: 1},  // alloc regression only
+		"B/new": {NsPerOp: 1, AllocsPerOp: 1, Runs: 1},
+	}
+	for _, tc := range []struct {
+		gate string
+		want bool
+		reg  map[string]bool
+	}{
+		{"allocs", true, map[string]bool{"B/x": false, "B/y": true}},
+		{"time", true, map[string]bool{"B/x": true, "B/y": false}},
+		{"both", true, map[string]bool{"B/x": true, "B/y": true}},
+		{"none", false, map[string]bool{"B/x": false, "B/y": false}},
+	} {
+		rep := Compare(oldS, newS, 10, tc.gate)
+		if len(rep.Diffs) != 2 {
+			t.Fatalf("%s: diffs = %d, want 2 (one-sided benchmarks skipped)", tc.gate, len(rep.Diffs))
+		}
+		if rep.HasRegression() != tc.want {
+			t.Errorf("%s: HasRegression = %v, want %v", tc.gate, rep.HasRegression(), tc.want)
+		}
+		for _, d := range rep.Diffs {
+			if want, ok := tc.reg[d.Name]; ok && d.Regression != want {
+				t.Errorf("%s: %s regression = %v, want %v", tc.gate, d.Name, d.Regression, want)
+			}
+		}
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	oldS := map[string]Summary{"B/x": {NsPerOp: 100, AllocsPerOp: 100, Runs: 1}}
+	newS := map[string]Summary{"B/x": {NsPerOp: 109, AllocsPerOp: 109, Runs: 1}}
+	if rep := Compare(oldS, newS, 10, "both"); rep.HasRegression() {
+		t.Error("9% worsening flagged at a 10% threshold")
+	}
+}

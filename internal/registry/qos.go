@@ -123,12 +123,16 @@ func quality(q QoS, ok bool) float64 {
 	return q.Uptime * latencyFactor
 }
 
-// SearchQoS ranks live entries by relevance × quality.
+// SearchQoS ranks live entries by relevance × quality. It scores from
+// the unsorted candidate set and sorts exactly once on the final
+// quality-weighted score (the relevance ordering Search would impose is
+// thrown away here, so computing it would be wasted work).
 func (r *QoSRegistry) SearchQoS(query string, limit int) ([]QoSMatch, error) {
-	base, err := r.Search(query, 0)
-	if err != nil {
-		return nil, err
+	qTokens := tokenize(query)
+	if len(qTokens) == 0 {
+		return nil, fmt.Errorf("%w: empty query", ErrInvalid)
 	}
+	base := r.searchMatches(qTokens)
 	out := make([]QoSMatch, 0, len(base))
 	for _, m := range base {
 		q, ok := r.QoSOf(m.Entry.Name)

@@ -57,6 +57,15 @@ func (e *Entry) Available(t time.Time) bool { return t.Before(e.LeaseExpires) }
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	// index is the inverted keyword index: token → entry name →
+	// normalized term frequency. It is maintained incrementally on
+	// Publish/Unpublish/Evict so Search never re-tokenizes the corpus;
+	// liveness is filtered at query time (a lapsed lease hides an entry
+	// without touching the index).
+	index map[string]map[string]float64
+	// docTF remembers each entry's term-frequency vector so its postings
+	// can be removed when the entry changes or leaves.
+	docTF map[string]map[string]float64
 	// lease is the duration granted on publish and heartbeat.
 	lease time.Duration
 	now   func() time.Time
@@ -75,6 +84,8 @@ func WithClock(now func() time.Time) Option { return func(r *Registry) { r.now =
 func New(opts ...Option) *Registry {
 	r := &Registry{
 		entries: make(map[string]*Entry),
+		index:   make(map[string]map[string]float64),
+		docTF:   make(map[string]map[string]float64),
 		lease:   5 * time.Minute,
 		now:     time.Now,
 	}
@@ -105,7 +116,48 @@ func (r *Registry) Publish(e Entry) error {
 	e.LeaseExpires = now.Add(r.lease)
 	copied := e
 	r.entries[e.Name] = &copied
+	r.indexLocked(&copied)
 	return nil
+}
+
+// indexLocked (re)computes the entry's term-frequency vector and installs
+// its postings. Must hold the write lock.
+func (r *Registry) indexLocked(e *Entry) {
+	r.unindexLocked(e.Name)
+	toks := docTokens(e)
+	tf := make(map[string]float64, len(toks))
+	for _, t := range toks {
+		tf[t]++
+	}
+	norm := float64(len(toks))
+	for t := range tf {
+		tf[t] /= norm
+	}
+	r.docTF[e.Name] = tf
+	for t, v := range tf {
+		post := r.index[t]
+		if post == nil {
+			post = make(map[string]float64)
+			r.index[t] = post
+		}
+		post[e.Name] = v
+	}
+}
+
+// unindexLocked removes the entry's postings. Must hold the write lock.
+func (r *Registry) unindexLocked(name string) {
+	tf, ok := r.docTF[name]
+	if !ok {
+		return
+	}
+	for t := range tf {
+		post := r.index[t]
+		delete(post, name)
+		if len(post) == 0 {
+			delete(r.index, t)
+		}
+	}
+	delete(r.docTF, name)
 }
 
 // Heartbeat renews the lease of an entry.
@@ -128,6 +180,7 @@ func (r *Registry) Unpublish(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(r.entries, name)
+	r.unindexLocked(name)
 	return nil
 }
 
@@ -197,6 +250,7 @@ func (r *Registry) Evict(grace time.Duration) []string {
 	for name, e := range r.entries {
 		if now.Sub(e.LeaseExpires) > grace {
 			delete(r.entries, name)
+			r.unindexLocked(name)
 			evicted = append(evicted, name)
 		}
 	}
@@ -244,60 +298,78 @@ func camelSplit(s string) string {
 
 // Search ranks live entries against the query with TF-IDF cosine-like
 // scoring and returns matches in descending score order. Empty queries
-// are invalid.
+// are invalid. Scoring walks the inverted index postings for the query
+// tokens only — the corpus is never re-tokenized per query.
 func (r *Registry) Search(query string, limit int) ([]Match, error) {
 	qTokens := tokenize(query)
 	if len(qTokens) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrInvalid)
 	}
-	entries := r.List(true)
-	if len(entries) == 0 {
-		return nil, nil
+	matches := r.searchMatches(qTokens)
+	sortMatches(matches)
+	if limit > 0 && len(matches) > limit {
+		matches = matches[:limit]
 	}
-	// Document frequency per token.
-	df := map[string]int{}
-	tfs := make([]map[string]float64, len(entries))
-	for i := range entries {
-		toks := docTokens(&entries[i])
-		tf := map[string]float64{}
-		for _, t := range toks {
-			tf[t]++
-		}
-		for t := range tf {
-			df[t]++
-		}
-		// Normalize by document length.
-		for t := range tf {
-			tf[t] /= float64(len(toks))
-		}
-		tfs[i] = tf
-	}
-	n := float64(len(entries))
-	var matches []Match
-	for i := range entries {
-		score := 0.0
-		for _, q := range qTokens {
-			tf := tfs[i][q]
-			if tf == 0 {
-				continue
-			}
-			idf := math.Log(1 + n/float64(df[q]))
-			score += tf * idf
-		}
-		if score > 0 {
-			matches = append(matches, Match{Entry: entries[i], Score: score})
-		}
-	}
+	return matches, nil
+}
+
+func sortMatches(matches []Match) {
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Score != matches[j].Score {
 			return matches[i].Score > matches[j].Score
 		}
 		return matches[i].Entry.Name < matches[j].Entry.Name
 	})
-	if limit > 0 && len(matches) > limit {
-		matches = matches[:limit]
+}
+
+// searchMatches scores live entries against the query tokens, unsorted.
+// Term frequencies come from the index as built at publish time; document
+// frequency and corpus size are computed over live entries at query time,
+// keeping scores identical to a full scan of the live corpus.
+func (r *Registry) searchMatches(qTokens []string) []Match {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	now := r.now()
+	n := 0
+	for _, e := range r.entries {
+		if e.Available(now) {
+			n++
+		}
 	}
-	return matches, nil
+	if n == 0 {
+		return nil
+	}
+	nf := float64(n)
+	var scores map[string]float64
+	for _, q := range qTokens {
+		post := r.index[q]
+		if len(post) == 0 {
+			continue
+		}
+		df := 0
+		for name := range post {
+			if e, ok := r.entries[name]; ok && e.Available(now) {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + nf/float64(df))
+		if scores == nil {
+			scores = make(map[string]float64, len(post))
+		}
+		for name, tf := range post {
+			if e, ok := r.entries[name]; ok && e.Available(now) {
+				scores[name] += tf * idf
+			}
+		}
+	}
+	var matches []Match
+	for name, sc := range scores {
+		matches = append(matches, Match{Entry: *r.entries[name], Score: sc})
+	}
+	return matches
 }
 
 // Len reports the number of entries (including lapsed ones).

@@ -1,0 +1,231 @@
+// Package respcache is the generalization of the paper's Caching service
+// into transport middleware: a bounded, TTL'd LRU of rendered HTTP
+// responses for idempotent operations, with singleflight collapse so a
+// stampede of identical requests costs exactly one handler invocation.
+//
+// The cache stores complete responses (status, headers, body) under an
+// opaque key the caller derives from the operation identity and its
+// canonicalized parameters; see soc/internal/host for the keying rules.
+package respcache
+
+import (
+	"container/list"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Entry is one cached response.
+type Entry struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+func cloneHeader(h http.Header) http.Header {
+	out := make(http.Header, len(h))
+	for k, v := range h {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// WriteTo replays the entry to w. Headers are copied, never aliased, so a
+// cached entry can serve many writers concurrently.
+func (e *Entry) WriteTo(w http.ResponseWriter) {
+	dst := w.Header()
+	for k, v := range e.Header {
+		dst[k] = append([]string(nil), v...)
+	}
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(e.Body)
+}
+
+// flight is one in-progress fill. Waiters block on wg and then read
+// entry; the publisher writes entry before wg.Done, so the WaitGroup's
+// happens-before edge makes the read safe.
+type flight struct {
+	wg    sync.WaitGroup
+	entry *Entry
+}
+
+type item struct {
+	key     string
+	entry   *Entry
+	expires time.Time
+}
+
+// Cache is a TTL'd LRU response cache with singleflight fill, safe for
+// concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	flights  map[string]*flight
+	now      func() time.Time
+
+	hits, misses uint64
+}
+
+// New returns a cache holding at most capacity entries for at most ttl
+// each. capacity <= 0 panics; ttl <= 0 means entries never expire (the
+// LRU bound still applies).
+func New(capacity int, ttl time.Duration) *Cache {
+	if capacity <= 0 {
+		panic("respcache: capacity must be positive")
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+		now:      time.Now,
+	}
+}
+
+// SetClock replaces the time source, for deterministic expiry tests.
+func (c *Cache) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// Len reports the number of cached entries (including any expired ones
+// not yet evicted by access).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hits (served without invoking fill, whether
+// from a fresh entry or a joined flight) and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// getLocked returns the fresh entry for key, promoting it; expired
+// entries are removed on the way.
+func (c *Cache) getLocked(key string) (*Entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	it := el.Value.(*item)
+	if c.ttl > 0 && !c.now().Before(it.expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return it.entry, true
+}
+
+// putLocked inserts (or replaces) the entry and evicts the LRU tail past
+// capacity.
+func (c *Cache) putLocked(key string, e *Entry) {
+	expires := c.now().Add(c.ttl)
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*item)
+		it.entry, it.expires = e, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&item{key: key, entry: e, expires: expires})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*item).key)
+	}
+}
+
+// Do returns the response for key, filling on a miss. fill's second
+// result says whether to store the response (non-cacheable responses —
+// errors, for example — are still returned to every collapsed waiter,
+// just not kept). hit reports whether fill was NOT invoked by this call:
+// either the entry was fresh in cache, or an identical in-flight request
+// produced it.
+func (c *Cache) Do(key string, fill func() (*Entry, bool)) (e *Entry, hit bool) {
+	c.mu.Lock()
+	if e, ok := c.getLocked(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return e, true
+	}
+	if f, ok := c.flights[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		f.wg.Wait()
+		return f.entry, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	entry, store := fill()
+	f.entry = entry
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if store && entry != nil {
+		c.putLocked(key, entry)
+	}
+	c.mu.Unlock()
+	f.wg.Done()
+	return entry, false
+}
+
+// Invalidate drops the entry for key, if present.
+func (c *Cache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Recorder is an http.ResponseWriter that captures the response for
+// caching while it is produced.
+type Recorder struct {
+	status      int
+	header      http.Header
+	body        []byte
+	wroteHeader bool
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{status: http.StatusOK, header: make(http.Header)}
+}
+
+// Header implements http.ResponseWriter.
+func (r *Recorder) Header() http.Header { return r.header }
+
+// WriteHeader implements http.ResponseWriter; like the real writer, only
+// the first call sticks.
+func (r *Recorder) WriteHeader(status int) {
+	if r.wroteHeader || status <= 0 {
+		return
+	}
+	r.status = status
+	r.wroteHeader = true
+}
+
+// Write implements http.ResponseWriter.
+func (r *Recorder) Write(p []byte) (int, error) {
+	r.body = append(r.body, p...)
+	return len(p), nil
+}
+
+// Entry snapshots the recorded response.
+func (r *Recorder) Entry() *Entry {
+	return &Entry{Status: r.status, Header: cloneHeader(r.header), Body: r.body}
+}

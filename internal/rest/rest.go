@@ -38,6 +38,11 @@ type route struct {
 	segments []segment
 	handler  HandlerFunc
 	pattern  string
+	// wrapped is handler with the router's middleware chain precompiled
+	// around it (rebuilt by Use/Handle, not per request).
+	wrapped HandlerFunc
+	// nparams counts {name} segments, sizing the Params map exactly.
+	nparams int
 }
 
 // Router dispatches requests by method and path pattern. Patterns use
@@ -57,8 +62,23 @@ type Router struct {
 func NewRouter() *Router { return &Router{} }
 
 // Use appends middleware, applied to every route in registration order
-// (the first Use is the outermost wrapper).
-func (rt *Router) Use(mw ...Middleware) { rt.middleware = append(rt.middleware, mw...) }
+// (the first Use is the outermost wrapper). The middleware chain is
+// recompiled here — not per request — so dispatch stays allocation-free.
+// Use must not race ServeHTTP; register middleware before serving.
+func (rt *Router) Use(mw ...Middleware) {
+	rt.middleware = append(rt.middleware, mw...)
+	for i := range rt.routes {
+		rt.routes[i].wrapped = rt.compile(rt.routes[i].handler)
+	}
+}
+
+// compile wraps h in the current middleware chain, outermost first.
+func (rt *Router) compile(h HandlerFunc) HandlerFunc {
+	for i := len(rt.middleware) - 1; i >= 0; i-- {
+		h = rt.middleware[i](h)
+	}
+	return h
+}
 
 // Handle registers a handler for a method and pattern.
 func (rt *Router) Handle(method, pattern string, h HandlerFunc) error {
@@ -77,7 +97,16 @@ func (rt *Router) Handle(method, pattern string, h HandlerFunc) error {
 			return fmt.Errorf("%w: duplicate %s %s", ErrRoute, method, pattern)
 		}
 	}
-	rt.routes = append(rt.routes, route{method: method, segments: segs, handler: h, pattern: pattern})
+	nparams := 0
+	for _, s := range segs {
+		if s.param != "" {
+			nparams++
+		}
+	}
+	rt.routes = append(rt.routes, route{
+		method: method, segments: segs, handler: h, pattern: pattern,
+		wrapped: rt.compile(h), nparams: nparams,
+	})
 	return nil
 }
 
@@ -123,31 +152,48 @@ func parsePattern(pattern string) ([]segment, error) {
 	return segs, nil
 }
 
-func match(segs []segment, path string) (Params, bool) {
-	trimmed := strings.Trim(path, "/")
-	var parts []string
-	if trimmed != "" {
-		parts = strings.Split(trimmed, "/")
-	}
-	p := Params{}
-	i := 0
-	for _, s := range segs {
+// match walks the path against the route's segments in place — no
+// strings.Split, and a Params map is allocated only for routes that
+// actually bind parameters (exactly sized; static routes get nil, which
+// reads as empty).
+func match(rte *route, path string) (Params, bool) {
+	rest := strings.Trim(path, "/")
+	hasParts := rest != ""
+	var p Params
+	for si := range rte.segments {
+		s := &rte.segments[si]
 		if s.wild {
-			p["*"] = strings.Join(parts[i:], "/")
+			if p == nil {
+				p = make(Params, rte.nparams+1)
+			}
+			if hasParts {
+				p["*"] = rest
+			} else {
+				p["*"] = ""
+			}
 			return p, true
 		}
-		if i >= len(parts) {
+		if !hasParts {
 			return nil, false
+		}
+		var part string
+		if k := strings.IndexByte(rest, '/'); k >= 0 {
+			part, rest = rest[:k], rest[k+1:]
+		} else {
+			part, rest = rest, ""
+			hasParts = false
 		}
 		switch {
 		case s.param != "":
-			p[s.param] = parts[i]
-		case s.literal != parts[i]:
+			if p == nil {
+				p = make(Params, rte.nparams)
+			}
+			p[s.param] = part
+		case s.literal != part:
 			return nil, false
 		}
-		i++
 	}
-	if i != len(parts) {
+	if hasParts {
 		return nil, false
 	}
 	return p, true
@@ -156,8 +202,9 @@ func match(segs []segment, path string) (Params, bool) {
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var allowed []string
-	for _, rte := range rt.routes {
-		params, ok := match(rte.segments, r.URL.Path)
+	for i := range rt.routes {
+		rte := &rt.routes[i]
+		params, ok := match(rte, r.URL.Path)
 		if !ok {
 			continue
 		}
@@ -165,11 +212,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			allowed = append(allowed, rte.method)
 			continue
 		}
-		h := rte.handler
-		for i := len(rt.middleware) - 1; i >= 0; i-- {
-			h = rt.middleware[i](h)
-		}
-		h(w, r, params)
+		rte.wrapped(w, r, params)
 		return
 	}
 	if len(allowed) > 0 {

@@ -50,8 +50,9 @@ func NewEncryption() (*core.Service, error) {
 		return nil, err
 	}
 	err = svc.AddOperation(core.Operation{
-		Name: "Decrypt",
-		Doc:  "opens base64 ciphertext sealed by Encrypt",
+		Name:       "Decrypt",
+		Idempotent: true,
+		Doc:        "opens base64 ciphertext sealed by Encrypt",
 		Input: []core.Param{
 			{Name: "passphrase", Type: core.String},
 			{Name: "ciphertext", Type: core.String},
@@ -128,10 +129,11 @@ func NewRandomString() (*core.Service, error) {
 		return nil, err
 	}
 	err = svc.AddOperation(core.Operation{
-		Name:   "CheckStrength",
-		Doc:    "evaluates a password against the default policy",
-		Input:  []core.Param{{Name: "password", Type: core.String}},
-		Output: []core.Param{{Name: "strong", Type: core.Bool}, {Name: "reason", Type: core.String}},
+		Name:       "CheckStrength",
+		Idempotent: true,
+		Doc:        "evaluates a password against the default policy",
+		Input:      []core.Param{{Name: "password", Type: core.String}},
+		Output:     []core.Param{{Name: "strong", Type: core.Bool}, {Name: "reason", Type: core.String}},
 		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
 			if err := security.DefaultPolicy.Check(in.Str("password")); err != nil {
 				return core.Values{"strong": false, "reason": err.Error()}, nil

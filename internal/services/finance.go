@@ -38,9 +38,10 @@ func NewCreditScore() (*core.Service, error) {
 	}
 	svc.Category = "finance/credit"
 	err = svc.AddOperation(core.Operation{
-		Name:   "Score",
-		Input:  []core.Param{{Name: "ssn", Type: core.String}},
-		Output: []core.Param{{Name: "score", Type: core.Int}},
+		Name:       "Score",
+		Idempotent: true,
+		Input:      []core.Param{{Name: "ssn", Type: core.String}},
+		Output:     []core.Param{{Name: "score", Type: core.Int}},
 		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
 			score, err := CreditScoreOf(in.Str("ssn"))
 			if err != nil {

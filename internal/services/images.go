@@ -22,8 +22,9 @@ func NewDynamicImage() (*core.Service, error) {
 	}
 	svc.Category = "media/charts"
 	err = svc.AddOperation(core.Operation{
-		Name: "BarChart",
-		Doc:  "renders comma-separated labels and values as a bar chart PNG",
+		Name:       "BarChart",
+		Idempotent: true,
+		Doc:        "renders comma-separated labels and values as a bar chart PNG",
 		Input: []core.Param{
 			{Name: "title", Type: core.String},
 			{Name: "labels", Type: core.String, Doc: "comma-separated"},

@@ -1,0 +1,69 @@
+//go:build !race
+
+package soap
+
+import (
+	"io"
+	"testing"
+)
+
+// Allocation ceilings for the codec hot path. These are asserted (not
+// just benchmarked) so a regression fails `go test`. The numbers are
+// ceilings with headroom, not exact counts — tighten them only with
+// fresh measurements.
+
+func allocMessage() Message {
+	return Message{
+		Operation:  "Echo",
+		Namespace:  "http://soc.example/echo",
+		Params:     map[string]string{"text": "hello world & <friends>", "count": "42"},
+		ParamOrder: []string{"text", "count"},
+	}
+}
+
+func TestEncodeAllocCeiling(t *testing.T) {
+	m := allocMessage()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Encode returns a fresh slice, so the envelope buffer itself is the
+	// dominant (and unavoidable) allocation.
+	if allocs > 6 {
+		t.Errorf("Encode allocates %.1f/op, ceiling 6", allocs)
+	}
+}
+
+func TestEncodeToAllocCeiling(t *testing.T) {
+	m := allocMessage()
+	// Warm the buffer pool.
+	if err := EncodeTo(io.Discard, m); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := EncodeTo(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("EncodeTo allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestDecodeAllocCeiling(t *testing.T) {
+	env, err := Encode(allocMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeBytes(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The returned Message owns fresh maps and strings; everything else
+	// (scanner, scratch buffers) is pooled.
+	if allocs > 16 {
+		t.Errorf("DecodeBytes allocates %.1f/op, ceiling 16", allocs)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"soc/internal/xmlkit"
@@ -74,25 +75,103 @@ type Message struct {
 	Header map[string]string
 }
 
-// Encode renders the message as a SOAP envelope.
-func Encode(m Message) ([]byte, error) {
-	if m.Operation == "" {
-		return nil, fmt.Errorf("%w: empty operation", ErrProtocol)
+// ---- pooled buffers and messages (the hot-path allocation discipline;
+// see DESIGN.md "Hot-path message plane") ----
+
+// encPool recycles the byte slices the encoder and the transport paths
+// build envelopes in. Oversized buffers are dropped rather than pooled so
+// one huge message cannot pin memory.
+var encPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const maxPooledBuf = 64 << 10
+
+func getEncBuf() *[]byte { return encPool.Get().(*[]byte) }
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
 	}
-	env := xmlkit.NewElement("soap:Envelope")
-	env.SetAttr("xmlns:soap", EnvelopeNS)
-	if len(m.Header) > 0 {
-		hdr := env.AppendChild(xmlkit.NewElement("soap:Header"))
-		for _, name := range sortedKeys(m.Header) {
-			h := hdr.AppendChild(xmlkit.NewElement(name))
-			h.AppendChild(xmlkit.NewText(m.Header[name]))
+	*bp = (*bp)[:0]
+	encPool.Put(bp)
+}
+
+// msgPool recycles decoded request messages inside Server.ServeHTTP. The
+// maps are cleared (not reallocated) between requests, so steady-state
+// request decoding does not grow the heap.
+var msgPool = sync.Pool{New: func() any {
+	return &Message{Params: make(map[string]string, 8), Header: make(map[string]string, 2)}
+}}
+
+func acquireMessage() *Message { return msgPool.Get().(*Message) }
+
+func releaseMessage(m *Message) {
+	m.resetForReuse()
+	msgPool.Put(m)
+}
+
+// resetForReuse clears the message in place, keeping map and slice
+// capacity. Every pooled message passes through here before Put.
+func (m *Message) resetForReuse() {
+	m.Operation = ""
+	m.Namespace = ""
+	clear(m.Params)
+	clear(m.Header)
+	m.ParamOrder = m.ParamOrder[:0]
+}
+
+// xmlProlog matches encoding/xml's xml.Header.
+const xmlProlog = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
+// validName reports whether s is usable as an element name without
+// re-parsing ambiguity. The check is deliberately loose (prefixes pass);
+// it exists to stop markup injection through operation or parameter
+// names, since values are escaped but names are written literally.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<', '>', '&', '/', '=', '"', '\'', ' ', '\t', '\r', '\n':
+			return false
 		}
 	}
-	body := env.AppendChild(xmlkit.NewElement("soap:Body"))
-	op := body.AppendChild(xmlkit.NewElement(m.Operation))
-	if m.Namespace != "" {
-		op.SetAttr("xmlns", m.Namespace)
+	return s[0] != '-' && s[0] != '.' && (s[0] < '0' || s[0] > '9')
+}
+
+// appendMessage renders the envelope into dst in a single pass: values
+// are escaped directly into the output buffer with no intermediate
+// escape buffer or DOM materialization.
+func appendMessage(dst []byte, m Message) ([]byte, error) {
+	if m.Operation == "" {
+		return dst, fmt.Errorf("%w: empty operation", ErrProtocol)
 	}
+	if !validName(m.Operation) {
+		return dst, fmt.Errorf("%w: invalid operation name %q", ErrProtocol, m.Operation)
+	}
+	dst = append(dst, xmlProlog...)
+	dst = append(dst, `<soap:Envelope xmlns:soap="`...)
+	dst = append(dst, EnvelopeNS...)
+	dst = append(dst, `">`...)
+	if len(m.Header) > 0 {
+		dst = append(dst, "<soap:Header>"...)
+		for _, name := range sortedKeys(m.Header) {
+			var err error
+			dst, err = appendTextElement(dst, name, m.Header[name])
+			if err != nil {
+				return dst, err
+			}
+		}
+		dst = append(dst, "</soap:Header>"...)
+	}
+	dst = append(dst, "<soap:Body><"...)
+	dst = append(dst, m.Operation...)
+	if m.Namespace != "" {
+		dst = append(dst, ` xmlns="`...)
+		dst = xmlkit.EscapeAttrValue(dst, m.Namespace)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, '>')
 	order := m.ParamOrder
 	if order == nil {
 		order = sortedKeys(m.Params)
@@ -100,96 +179,398 @@ func Encode(m Message) ([]byte, error) {
 	for _, name := range order {
 		v, ok := m.Params[name]
 		if !ok {
-			return nil, fmt.Errorf("%w: ParamOrder names missing param %q", ErrProtocol, name)
+			return dst, fmt.Errorf("%w: ParamOrder names missing param %q", ErrProtocol, name)
 		}
-		p := op.AppendChild(xmlkit.NewElement(name))
-		p.AppendChild(xmlkit.NewText(v))
+		var err error
+		dst, err = appendTextElement(dst, name, v)
+		if err != nil {
+			return dst, err
+		}
 	}
-	doc := &xmlkit.Document{Root: env}
-	var buf bytes.Buffer
-	if err := doc.Write(&buf); err != nil {
-		return nil, err
+	dst = append(dst, "</"...)
+	dst = append(dst, m.Operation...)
+	dst = append(dst, "></soap:Body></soap:Envelope>"...)
+	return dst, nil
+}
+
+// appendTextElement writes <name>escaped(value)</name>.
+func appendTextElement(dst []byte, name, value string) ([]byte, error) {
+	if !validName(name) {
+		return dst, fmt.Errorf("%w: invalid element name %q", ErrProtocol, name)
 	}
-	return buf.Bytes(), nil
+	dst = append(dst, '<')
+	dst = append(dst, name...)
+	dst = append(dst, '>')
+	dst = xmlkit.EscapeElementText(dst, value)
+	dst = append(dst, "</"...)
+	dst = append(dst, name...)
+	dst = append(dst, '>')
+	return dst, nil
+}
+
+// Encode renders the message as a SOAP envelope.
+func Encode(m Message) ([]byte, error) {
+	return appendMessage(nil, m)
+}
+
+// EncodeTo streams the envelope to w through a pooled buffer: one
+// encoding pass, one Write call, no allocation in steady state. This is
+// what Server.ServeHTTP uses to write straight to the ResponseWriter.
+func EncodeTo(w io.Writer, m Message) error {
+	bp := getEncBuf()
+	defer putEncBuf(bp)
+	b, err := appendMessage((*bp)[:0], m)
+	*bp = b[:0]
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+func appendFault(dst []byte, f *Fault) ([]byte, error) {
+	if f == nil {
+		return dst, fmt.Errorf("%w: nil fault", ErrProtocol)
+	}
+	dst = append(dst, xmlProlog...)
+	dst = append(dst, `<soap:Envelope xmlns:soap="`...)
+	dst = append(dst, EnvelopeNS...)
+	dst = append(dst, `"><soap:Body><soap:Fault><faultcode>soap:`...)
+	dst = xmlkit.EscapeElementText(dst, f.Code)
+	dst = append(dst, "</faultcode><faultstring>"...)
+	dst = xmlkit.EscapeElementText(dst, f.String)
+	dst = append(dst, "</faultstring>"...)
+	if f.Detail != "" {
+		dst = append(dst, "<detail>"...)
+		dst = xmlkit.EscapeElementText(dst, f.Detail)
+		dst = append(dst, "</detail>"...)
+	}
+	dst = append(dst, "</soap:Fault></soap:Body></soap:Envelope>"...)
+	return dst, nil
 }
 
 // EncodeFault renders a fault envelope.
 func EncodeFault(f *Fault) ([]byte, error) {
-	if f == nil {
-		return nil, fmt.Errorf("%w: nil fault", ErrProtocol)
-	}
-	env := xmlkit.NewElement("soap:Envelope")
-	env.SetAttr("xmlns:soap", EnvelopeNS)
-	body := env.AppendChild(xmlkit.NewElement("soap:Body"))
-	fault := body.AppendChild(xmlkit.NewElement("soap:Fault"))
-	code := fault.AppendChild(xmlkit.NewElement("faultcode"))
-	code.AppendChild(xmlkit.NewText("soap:" + f.Code))
-	str := fault.AppendChild(xmlkit.NewElement("faultstring"))
-	str.AppendChild(xmlkit.NewText(f.String))
-	if f.Detail != "" {
-		det := fault.AppendChild(xmlkit.NewElement("detail"))
-		det.AppendChild(xmlkit.NewText(f.Detail))
-	}
-	doc := &xmlkit.Document{Root: env}
-	var buf bytes.Buffer
-	if err := doc.Write(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return appendFault(nil, f)
 }
 
 // Decode parses a SOAP envelope. A fault body decodes into a *Fault error.
 func Decode(r io.Reader) (Message, error) {
-	doc, err := xmlkit.ParseDocument(r)
+	bp := getEncBuf()
+	defer putEncBuf(bp)
+	b := (*bp)[:0]
+	var err error
+	b, err = readAllInto(b, r)
+	*bp = b[:0]
 	if err != nil {
-		return Message{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+		return Message{}, fmt.Errorf("%w: reading envelope: %v", ErrProtocol, err)
 	}
-	root := doc.Root
-	if local(root.Name) != "Envelope" {
-		return Message{}, fmt.Errorf("%w: root is <%s>, want Envelope", ErrProtocol, root.Name)
+	return DecodeBytes(b)
+}
+
+// readAllInto is io.ReadAll appending into a reusable buffer.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
 	}
-	var body *xmlkit.Node
-	header := map[string]string{}
-	for _, c := range root.Elements() {
-		switch local(c.Name) {
-		case "Body":
-			body = c
+}
+
+// DecodeBytes parses an in-memory SOAP envelope on the xmlkit streaming
+// scanner — no DOM is materialized; the only allocations are the strings
+// and maps of the returned Message.
+func DecodeBytes(data []byte) (Message, error) {
+	m := Message{Params: map[string]string{}, Header: map[string]string{}}
+	if err := decodeInto(&m, data); err != nil {
+		return Message{}, err
+	}
+	return m, nil
+}
+
+// scanEvent classifies what nextElement stopped on.
+type scanEvent int
+
+const (
+	scanStart scanEvent = iota
+	scanEnd
+	scanEOF
+)
+
+// nextElement advances the scanner to the next element boundary,
+// skipping text (structural positions tolerate stray text, matching the
+// DOM decoder's behavior).
+func nextElement(s *xmlkit.Scanner) (scanEvent, error) {
+	for {
+		kind, err := s.Next()
+		if err != nil {
+			return scanEOF, err
+		}
+		switch kind {
+		case xmlkit.NoToken:
+			return scanEOF, nil
+		case xmlkit.StartToken:
+			return scanStart, nil
+		case xmlkit.EndToken:
+			return scanEnd, nil
+		}
+	}
+}
+
+// decodeInto decodes the envelope into m, reusing m's maps and slices
+// (the pooled-request fast path of Server.ServeHTTP).
+func decodeInto(m *Message, data []byte) error {
+	s := xmlkit.AcquireScanner(data)
+	defer xmlkit.ReleaseScanner(s)
+	bp := getEncBuf()
+	scratch := (*bp)[:0]
+	defer func() { *bp = scratch[:0]; putEncBuf(bp) }()
+
+	ev, err := nextElement(s)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	if ev != scanStart {
+		return fmt.Errorf("%w: no root element", ErrProtocol)
+	}
+	if string(s.LocalName()) != "Envelope" {
+		return fmt.Errorf("%w: root is <%s>, want Envelope", ErrProtocol, s.Name())
+	}
+
+	sawBody := false
+	var fault *Fault
+	for {
+		ev, err := nextElement(s)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		if ev == scanEOF {
+			break
+		}
+		if ev == scanEnd {
+			continue // </Envelope>; keep scanning so trailing junk still errors
+		}
+		switch string(s.LocalName()) {
 		case "Header":
-			for _, h := range c.Elements() {
-				header[local(h.Name)] = h.Text()
+			if err := decodeHeader(s, m, &scratch); err != nil {
+				return err
+			}
+		case "Body":
+			if sawBody {
+				return fmt.Errorf("%w: multiple Body elements", ErrProtocol)
+			}
+			sawBody = true
+			if fault, err = decodeBody(s, m, &scratch); err != nil {
+				return err
+			}
+		default:
+			if err := skipSubtree(s); err != nil {
+				return fmt.Errorf("%w: %v", ErrProtocol, err)
 			}
 		}
 	}
-	if body == nil {
-		return Message{}, fmt.Errorf("%w: missing Body", ErrProtocol)
+	if !sawBody {
+		return fmt.Errorf("%w: missing Body", ErrProtocol)
 	}
-	kids := body.Elements()
-	if len(kids) != 1 {
-		return Message{}, fmt.Errorf("%w: Body has %d children, want 1", ErrProtocol, len(kids))
+	if fault != nil {
+		return fault
 	}
-	op := kids[0]
-	if local(op.Name) == "Fault" {
-		f := &Fault{
-			Code:   strings.TrimPrefix(local(op.ChildText("faultcode")), "soap:"),
-			String: op.ChildText("faultstring"),
-			Detail: op.ChildText("detail"),
+	return nil
+}
+
+// decodeHeader consumes a <Header> subtree into m.Header.
+func decodeHeader(s *xmlkit.Scanner, m *Message, scratch *[]byte) error {
+	base := s.Depth() // depth of the Header element itself
+	for {
+		ev, err := nextElement(s)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrProtocol, err)
 		}
-		// faultcode text may carry a prefix; strip any prefix.
-		f.Code = local(f.Code)
-		return Message{}, f
+		switch ev {
+		case scanEOF:
+			return fmt.Errorf("%w: truncated Header", ErrProtocol)
+		case scanEnd:
+			if s.Depth() < base {
+				return nil // </Header>
+			}
+		case scanStart:
+			name := string(s.LocalName())
+			val, err := readElementText(s, scratch)
+			if err != nil {
+				return err
+			}
+			m.Header[name] = val
+		}
 	}
-	m := Message{Operation: local(op.Name), Params: map[string]string{}, Header: header}
-	if ns, ok := op.Attr("xmlns"); ok {
+}
+
+// decodeBody consumes a <Body> subtree: exactly one child, either an
+// operation element (into m) or a soap:Fault (returned).
+func decodeBody(s *xmlkit.Scanner, m *Message, scratch *[]byte) (*Fault, error) {
+	base := s.Depth()
+	children := 0
+	var fault *Fault
+	for {
+		ev, err := nextElement(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		switch ev {
+		case scanEOF:
+			return nil, fmt.Errorf("%w: truncated Body", ErrProtocol)
+		case scanEnd:
+			if s.Depth() < base { // </Body>
+				if children != 1 {
+					return nil, fmt.Errorf("%w: Body has %d children, want 1", ErrProtocol, children)
+				}
+				return fault, nil
+			}
+		case scanStart:
+			children++
+			if children > 1 {
+				if err := skipSubtree(s); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+				}
+				continue
+			}
+			if string(s.LocalName()) == "Fault" {
+				if fault, err = decodeFault(s, scratch); err != nil {
+					return nil, err
+				}
+			} else if err := decodeOperation(s, m, scratch); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// decodeOperation consumes the operation element: its name, xmlns, and
+// child parameters in document order.
+func decodeOperation(s *xmlkit.Scanner, m *Message, scratch *[]byte) error {
+	m.Operation = string(s.LocalName())
+	if raw, ok := s.Attr("xmlns"); ok {
+		ns, err := xmlkit.AttrValue(raw)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
 		m.Namespace = ns
 	}
-	for _, p := range op.Elements() {
-		name := local(p.Name)
-		if _, dup := m.Params[name]; !dup {
-			m.ParamOrder = append(m.ParamOrder, name)
+	base := s.Depth()
+	for {
+		ev, err := nextElement(s)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrProtocol, err)
 		}
-		m.Params[name] = p.Text()
+		switch ev {
+		case scanEOF:
+			return fmt.Errorf("%w: truncated operation", ErrProtocol)
+		case scanEnd:
+			if s.Depth() < base {
+				return nil
+			}
+		case scanStart:
+			nameB := s.LocalName()
+			_, dup := m.Params[string(nameB)] // no alloc: map lookup on converted key
+			name := string(nameB)
+			val, err := readElementText(s, scratch)
+			if err != nil {
+				return err
+			}
+			if !dup {
+				m.ParamOrder = append(m.ParamOrder, name)
+			}
+			m.Params[name] = val
+		}
 	}
-	return m, nil
+}
+
+// decodeFault consumes a soap:Fault subtree.
+func decodeFault(s *xmlkit.Scanner, scratch *[]byte) (*Fault, error) {
+	f := &Fault{}
+	base := s.Depth()
+	for {
+		ev, err := nextElement(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		switch ev {
+		case scanEOF:
+			return nil, fmt.Errorf("%w: truncated Fault", ErrProtocol)
+		case scanEnd:
+			if s.Depth() < base {
+				return f, nil
+			}
+		case scanStart:
+			name := string(s.LocalName())
+			val, err := readElementText(s, scratch)
+			if err != nil {
+				return nil, err
+			}
+			switch name {
+			case "faultcode":
+				// The code may carry any prefix ("soap:Client"); keep the
+				// local part, as the DOM decoder did.
+				f.Code = local(val)
+			case "faultstring":
+				f.String = val
+			case "detail":
+				f.Detail = val
+			}
+		}
+	}
+}
+
+// readElementText consumes the current element's subtree and returns its
+// concatenated non-whitespace text content, trimmed — the streaming
+// equivalent of Node.Text() over a DOM whose builder dropped ignorable
+// whitespace.
+func readElementText(s *xmlkit.Scanner, scratch *[]byte) (string, error) {
+	target := s.Depth() - 1
+	buf := (*scratch)[:0]
+	for s.Depth() > target {
+		kind, err := s.Next()
+		if err != nil {
+			*scratch = buf
+			return "", fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		switch kind {
+		case xmlkit.NoToken:
+			*scratch = buf
+			return "", fmt.Errorf("%w: truncated element", ErrProtocol)
+		case xmlkit.TextToken:
+			if !s.IsWhitespace() {
+				if buf, err = s.AppendTo(buf); err != nil {
+					*scratch = buf
+					return "", fmt.Errorf("%w: %v", ErrProtocol, err)
+				}
+			}
+		}
+	}
+	*scratch = buf
+	return string(bytes.TrimSpace(buf)), nil
+}
+
+// skipSubtree consumes the current element's entire subtree.
+func skipSubtree(s *xmlkit.Scanner) error {
+	target := s.Depth() - 1
+	for s.Depth() > target {
+		kind, err := s.Next()
+		if err != nil {
+			return err
+		}
+		if kind == xmlkit.NoToken {
+			return errors.New("truncated document")
+		}
+	}
+	return nil
 }
 
 func local(name string) string {
@@ -227,11 +608,18 @@ type Server struct {
 	// Namespace is the service namespace advertised in responses.
 	Namespace string
 	handlers  map[string]HandlerFunc
+	// respNames precomputes "<op>Response" per operation at registration
+	// time so the dispatch fast path does not concatenate per request.
+	respNames map[string]string
 }
 
 // NewServer returns an empty SOAP endpoint for the namespace.
 func NewServer(namespace string) *Server {
-	return &Server{Namespace: namespace, handlers: make(map[string]HandlerFunc)}
+	return &Server{
+		Namespace: namespace,
+		handlers:  make(map[string]HandlerFunc),
+		respNames: make(map[string]string),
+	}
 }
 
 // Handle registers a handler for the operation name. The response message
@@ -245,6 +633,7 @@ func (s *Server) Handle(operation string, h HandlerFunc) error {
 		return fmt.Errorf("%w: duplicate operation %q", ErrProtocol, operation)
 	}
 	s.handlers[operation] = h
+	s.respNames[operation] = operation + "Response"
 	return nil
 }
 
@@ -257,13 +646,26 @@ func (s *Server) Operations() []string {
 	return sortedKeys(m)
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The request message handed to the
+// handler is pooled: its maps and slices are valid only for the duration
+// of the handler call, so handlers must copy anything they retain (the
+// host binding copies params into core.Values before invoking).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeFault(w, http.StatusMethodNotAllowed, ClientFault("SOAP requires POST, got %s", r.Method))
 		return
 	}
-	req, err := Decode(r.Body)
+	req := acquireMessage()
+	defer releaseMessage(req)
+	bp := getEncBuf()
+	body, err := readAllInto((*bp)[:0], r.Body)
+	if err == nil {
+		err = decodeInto(req, body)
+	} else {
+		err = fmt.Errorf("%w: reading envelope: %v", ErrProtocol, err)
+	}
+	*bp = body[:0]
+	putEncBuf(bp)
 	if err != nil {
 		writeFault(w, http.StatusBadRequest, ClientFault("malformed envelope: %v", err))
 		return
@@ -281,7 +683,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusBadRequest, ClientFault("unknown operation %q", req.Operation))
 		return
 	}
-	resp, err := h(r.Context(), req)
+	resp, err := h(r.Context(), *req)
 	if err != nil {
 		var f *Fault
 		if !errors.As(err, &f) {
@@ -291,18 +693,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if resp.Operation == "" {
-		resp.Operation = req.Operation + "Response"
+		resp.Operation = s.respNames[req.Operation]
 	}
 	if resp.Namespace == "" {
 		resp.Namespace = s.Namespace
 	}
-	out, err := Encode(resp)
+	out := getEncBuf()
+	enc, err := appendMessage((*out)[:0], resp)
 	if err != nil {
+		*out = enc[:0]
+		putEncBuf(out)
 		writeFault(w, http.StatusInternalServerError, ServerFault("response encoding: %v", err))
 		return
 	}
 	w.Header().Set("Content-Type", ContentType)
-	_, _ = w.Write(out)
+	_, _ = w.Write(enc)
+	*out = enc[:0]
+	putEncBuf(out)
 }
 
 func writeFault(w http.ResponseWriter, status int, f *Fault) {
@@ -334,12 +741,17 @@ func (c *Client) httpClient() *http.Client {
 // returned as *Fault errors. The context cancels the in-flight HTTP
 // request, not just the wait for it.
 func (c *Client) Call(ctx context.Context, url string, req Message) (Message, error) {
-	payload, err := Encode(req)
+	bp := getEncBuf()
+	payload, err := appendMessage((*bp)[:0], req)
 	if err != nil {
+		*bp = payload[:0]
+		putEncBuf(bp)
 		return Message{}, err
 	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
+		*bp = payload[:0]
+		putEncBuf(bp)
 		return Message{}, fmt.Errorf("soap: building request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", ContentType)
@@ -349,6 +761,10 @@ func (c *Client) Call(ctx context.Context, url string, req Message) (Message, er
 	}
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
 	httpResp, err := c.httpClient().Do(httpReq)
+	// Do has fully sent (or abandoned) the request body by the time it
+	// returns, so the payload buffer can go back to the pool here.
+	*bp = payload[:0]
+	putEncBuf(bp)
 	if err != nil {
 		return Message{}, fmt.Errorf("soap: transport: %w", err)
 	}

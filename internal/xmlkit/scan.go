@@ -1,0 +1,601 @@
+package xmlkit
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"unicode/utf8"
+)
+
+// Scanner is a pull-mode XML tokenizer over an in-memory document — the
+// zero-allocation fast path under soc/internal/soap's envelope codec. It
+// trades the generality of encoding/xml (DTD entity definitions, custom
+// charsets, io.Reader streaming) for speed: names, attributes and text are
+// returned as sub-slices of the input buffer, so a full envelope scan
+// performs no heap allocation beyond what the caller copies out.
+//
+// The scanner verifies well-formedness as it goes: tags must nest and
+// match, exactly one root element must be present, and only the five
+// predefined entities plus numeric character references are accepted.
+// It is not safe for concurrent use; acquire one per goroutine with
+// AcquireScanner and return it with ReleaseScanner.
+type Scanner struct {
+	data []byte
+	pos  int
+
+	// Current token state, valid until the next call to Next.
+	kind  TokenKind
+	name  []byte // element name for Start/End tokens (raw, with prefix)
+	text  []byte // raw text for Text tokens (entities still encoded)
+	cdata bool   // current Text token came from a CDATA section
+	attrs []RawAttr
+
+	// openElems tracks open element names for end-tag matching; the
+	// slices alias data so the stack itself is allocation-free after
+	// warm-up.
+	openElems []([]byte)
+	roots     int
+	// pendingEnd is set after a self-closing tag: the next call to Next
+	// synthesizes the matching EndToken without consuming input.
+	pendingEnd bool
+}
+
+// TokenKind discriminates scanner tokens.
+type TokenKind int
+
+const (
+	// NoToken is returned with io-level completion: the document ended.
+	NoToken TokenKind = iota
+	// StartToken is an opening (or self-closing) tag.
+	StartToken
+	// EndToken is a closing tag (synthesized for self-closing tags).
+	EndToken
+	// TextToken is character data or a CDATA section.
+	TextToken
+)
+
+// RawAttr is one attribute of a StartToken; Value holds the raw bytes
+// between the quotes, entities still encoded (decode with AttrValue).
+type RawAttr struct {
+	Name  []byte
+	Value []byte
+}
+
+var scannerPool = sync.Pool{New: func() any { return &Scanner{} }}
+
+// AcquireScanner returns a pooled scanner positioned at the start of data.
+func AcquireScanner(data []byte) *Scanner {
+	s := scannerPool.Get().(*Scanner)
+	s.Reset(data)
+	return s
+}
+
+// ReleaseScanner resets and returns the scanner to the pool.
+func ReleaseScanner(s *Scanner) {
+	if s == nil {
+		return
+	}
+	s.Reset(nil)
+	scannerPool.Put(s)
+}
+
+// Reset repositions the scanner over a new document, dropping all state.
+func (s *Scanner) Reset(data []byte) {
+	s.data = data
+	s.pos = 0
+	s.kind = NoToken
+	s.name = nil
+	s.text = nil
+	s.cdata = false
+	s.attrs = s.attrs[:0]
+	s.openElems = s.openElems[:0]
+	s.roots = 0
+	s.pendingEnd = false
+	// Skip a UTF-8 byte-order mark if present.
+	if len(s.data) >= 3 && s.data[0] == 0xEF && s.data[1] == 0xBB && s.data[2] == 0xBF {
+		s.pos = 3
+	}
+}
+
+// Kind returns the current token kind.
+func (s *Scanner) Kind() TokenKind { return s.kind }
+
+// Name returns the current element name (raw, including any prefix). The
+// slice aliases the input buffer and is invalidated by Next.
+func (s *Scanner) Name() []byte { return s.name }
+
+// LocalName returns the element name with any namespace prefix stripped.
+func (s *Scanner) LocalName() []byte {
+	for i := len(s.name) - 1; i >= 0; i-- {
+		if s.name[i] == ':' {
+			return s.name[i+1:]
+		}
+	}
+	return s.name
+}
+
+// Attrs returns the current start tag's attributes. The slices alias the
+// input buffer and are invalidated by Next.
+func (s *Scanner) Attrs() []RawAttr { return s.attrs }
+
+// Attr returns the raw value of the named attribute (exact match against
+// the raw attribute name) and whether it is present.
+func (s *Scanner) Attr(name string) ([]byte, bool) {
+	for _, a := range s.attrs {
+		if string(a.Name) == name { // no alloc: compiler-optimized compare
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Depth returns the number of currently open elements.
+func (s *Scanner) Depth() int { return len(s.openElems) }
+
+// errf formats a positioned parse error.
+func (s *Scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: offset %d: %s", ErrParse, s.pos, fmt.Sprintf(format, args...))
+}
+
+// Next advances to the next token. It returns NoToken with a nil error at
+// a well-formed end of input.
+func (s *Scanner) Next() (TokenKind, error) {
+	s.attrs = s.attrs[:0]
+	if s.pendingEnd {
+		s.pendingEnd = false
+		s.kind = EndToken
+		s.name = s.openElems[len(s.openElems)-1]
+		s.openElems = s.openElems[:len(s.openElems)-1]
+		return s.kind, nil
+	}
+	for s.pos < len(s.data) {
+		if s.data[s.pos] != '<' {
+			return s.scanText()
+		}
+		// Some kind of markup.
+		if s.pos+1 >= len(s.data) {
+			return NoToken, s.errf("truncated markup")
+		}
+		switch s.data[s.pos+1] {
+		case '?':
+			if err := s.skipUntil("?>"); err != nil {
+				return NoToken, err
+			}
+		case '!':
+			switch {
+			case hasPrefixAt(s.data, s.pos, "<!--"):
+				if err := s.skipUntil("-->"); err != nil {
+					return NoToken, err
+				}
+			case hasPrefixAt(s.data, s.pos, "<![CDATA["):
+				return s.scanCDATA()
+			case hasPrefixAt(s.data, s.pos, "<!DOCTYPE"):
+				if err := s.skipDoctype(); err != nil {
+					return NoToken, err
+				}
+			default:
+				return NoToken, s.errf("unsupported markup declaration")
+			}
+		case '/':
+			return s.scanEndTag()
+		default:
+			return s.scanStartTag()
+		}
+	}
+	if len(s.openElems) > 0 {
+		return NoToken, s.errf("%d unclosed elements", len(s.openElems))
+	}
+	if s.roots == 0 {
+		return NoToken, s.errf("no root element")
+	}
+	s.kind = NoToken
+	return NoToken, nil
+}
+
+func hasPrefixAt(data []byte, pos int, prefix string) bool {
+	return len(data)-pos >= len(prefix) && string(data[pos:pos+len(prefix)]) == prefix
+}
+
+func (s *Scanner) skipUntil(terminator string) error {
+	idx := indexFrom(s.data, s.pos, terminator)
+	if idx < 0 {
+		return s.errf("unterminated %q section", terminator)
+	}
+	s.pos = idx + len(terminator)
+	return nil
+}
+
+func indexFrom(data []byte, from int, sub string) int {
+	if i := bytes.Index(data[from:], []byte(sub)); i >= 0 {
+		return from + i
+	}
+	return -1
+}
+
+func (s *Scanner) skipDoctype() error {
+	depth := 0
+	for i := s.pos; i < len(s.data); i++ {
+		switch s.data[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				s.pos = i + 1
+				return nil
+			}
+		}
+	}
+	return s.errf("unterminated DOCTYPE")
+}
+
+// scanText captures raw character data up to the next '<'. Text outside
+// the root element is tolerated here (SOAP decoding skips whitespace);
+// well-formedness of the element structure is still enforced.
+func (s *Scanner) scanText() (TokenKind, error) {
+	start := s.pos
+	for s.pos < len(s.data) && s.data[s.pos] != '<' {
+		s.pos++
+	}
+	s.kind = TextToken
+	s.text = s.data[start:s.pos]
+	s.cdata = false
+	return s.kind, nil
+}
+
+func (s *Scanner) scanCDATA() (TokenKind, error) {
+	start := s.pos + len("<![CDATA[")
+	end := indexFrom(s.data, start, "]]>")
+	if end < 0 {
+		return NoToken, s.errf("unterminated CDATA section")
+	}
+	s.kind = TextToken
+	s.text = s.data[start:end]
+	s.cdata = true
+	s.pos = end + len("]]>")
+	return s.kind, nil
+}
+
+// isNameByte reports bytes acceptable inside an element or attribute
+// name. Multi-byte UTF-8 name characters pass through unvalidated — the
+// scanner compares names, it does not police the XML name grammar.
+func isNameByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == '.', c == ':', c >= 0x80:
+		return true
+	}
+	return false
+}
+
+func (s *Scanner) scanName() ([]byte, error) {
+	start := s.pos
+	for s.pos < len(s.data) && isNameByte(s.data[s.pos]) {
+		s.pos++
+	}
+	if s.pos == start {
+		return nil, s.errf("expected name")
+	}
+	c := s.data[start]
+	if c >= '0' && c <= '9' || c == '-' || c == '.' {
+		return nil, s.errf("invalid name start %q", c)
+	}
+	return s.data[start:s.pos], nil
+}
+
+func (s *Scanner) skipSpace() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\r', '\n':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scanner) scanStartTag() (TokenKind, error) {
+	if s.roots > 0 && len(s.openElems) == 0 {
+		return NoToken, s.errf("multiple root elements")
+	}
+	s.pos++ // consume '<'
+	name, err := s.scanName()
+	if err != nil {
+		return NoToken, err
+	}
+	for {
+		s.skipSpace()
+		if s.pos >= len(s.data) {
+			return NoToken, s.errf("unterminated start tag <%s", name)
+		}
+		switch s.data[s.pos] {
+		case '>':
+			s.pos++
+			s.kind = StartToken
+			s.name = name
+			if len(s.openElems) == 0 {
+				s.roots++
+			}
+			s.openElems = append(s.openElems, name)
+			return s.kind, nil
+		case '/':
+			if s.pos+1 >= len(s.data) || s.data[s.pos+1] != '>' {
+				return NoToken, s.errf("malformed self-closing tag <%s", name)
+			}
+			s.pos += 2
+			s.kind = StartToken
+			s.name = name
+			if len(s.openElems) == 0 {
+				s.roots++
+			}
+			s.openElems = append(s.openElems, name)
+			s.pendingEnd = true
+			return s.kind, nil
+		default:
+			if err := s.scanAttr(); err != nil {
+				return NoToken, err
+			}
+		}
+	}
+}
+
+func (s *Scanner) scanAttr() error {
+	name, err := s.scanName()
+	if err != nil {
+		return err
+	}
+	s.skipSpace()
+	if s.pos >= len(s.data) || s.data[s.pos] != '=' {
+		return s.errf("attribute %s missing '='", name)
+	}
+	s.pos++
+	s.skipSpace()
+	if s.pos >= len(s.data) || (s.data[s.pos] != '"' && s.data[s.pos] != '\'') {
+		return s.errf("attribute %s missing quoted value", name)
+	}
+	quote := s.data[s.pos]
+	s.pos++
+	start := s.pos
+	for s.pos < len(s.data) && s.data[s.pos] != quote {
+		if s.data[s.pos] == '<' {
+			return s.errf("'<' in attribute value of %s", name)
+		}
+		s.pos++
+	}
+	if s.pos >= len(s.data) {
+		return s.errf("unterminated attribute value of %s", name)
+	}
+	s.attrs = append(s.attrs, RawAttr{Name: name, Value: s.data[start:s.pos]})
+	s.pos++ // closing quote
+	return nil
+}
+
+func (s *Scanner) scanEndTag() (TokenKind, error) {
+	s.pos += 2 // consume "</"
+	name, err := s.scanName()
+	if err != nil {
+		return NoToken, err
+	}
+	s.skipSpace()
+	if s.pos >= len(s.data) || s.data[s.pos] != '>' {
+		return NoToken, s.errf("malformed end tag </%s", name)
+	}
+	s.pos++
+	if len(s.openElems) == 0 {
+		return NoToken, s.errf("unexpected </%s>", name)
+	}
+	open := s.openElems[len(s.openElems)-1]
+	if string(open) != string(name) {
+		return NoToken, s.errf("mismatched end tag </%s>, open <%s>", name, open)
+	}
+	s.openElems = s.openElems[:len(s.openElems)-1]
+	s.kind = EndToken
+	s.name = name
+	return s.kind, nil
+}
+
+// RawText returns the current Text token's raw bytes, entities still
+// encoded. The slice aliases the input buffer.
+func (s *Scanner) RawText() []byte { return s.text }
+
+// AppendTo appends the current Text token's decoded content to dst:
+// entity references are resolved (except inside CDATA sections, which
+// carry no markup) and line endings are normalized to "\n".
+func (s *Scanner) AppendTo(dst []byte) ([]byte, error) {
+	if s.cdata {
+		return appendNormalized(dst, s.text), nil
+	}
+	return appendUnescaped(dst, s.text, true)
+}
+
+// appendNormalized copies raw with "\r\n" and "\r" folded to "\n".
+func appendNormalized(dst, raw []byte) []byte {
+	for i := 0; i < len(raw); i++ {
+		if raw[i] == '\r' {
+			dst = append(dst, '\n')
+			if i+1 < len(raw) && raw[i+1] == '\n' {
+				i++
+			}
+			continue
+		}
+		dst = append(dst, raw[i])
+	}
+	return dst
+}
+
+// IsWhitespace reports whether the current Text token is entirely XML
+// whitespace (so a structural decoder can skip it without unescaping).
+func (s *Scanner) IsWhitespace() bool {
+	for _, c := range s.text {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AppendText appends the current Text token's content to dst with
+// entities decoded and XML line endings ("\r\n", "\r") normalized to
+// "\n", returning the extended slice.
+func AppendText(dst, raw []byte) ([]byte, error) {
+	return appendUnescaped(dst, raw, true)
+}
+
+// AttrValue decodes an attribute's raw value (entities decoded; line
+// ends normalized per attribute-value normalization to spaces is NOT
+// applied — callers here compare URIs, which carry no newlines).
+func AttrValue(raw []byte) (string, error) {
+	if !needsUnescape(raw) {
+		return string(raw), nil
+	}
+	out, err := appendUnescaped(nil, raw, false)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+func needsUnescape(raw []byte) bool {
+	for _, c := range raw {
+		if c == '&' || c == '\r' {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnescaped(dst, raw []byte, normalizeNewlines bool) ([]byte, error) {
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		switch c {
+		case '&':
+			end := i + 1
+			for end < len(raw) && end-i < 12 && raw[end] != ';' {
+				end++
+			}
+			if end >= len(raw) || raw[end] != ';' {
+				return dst, fmt.Errorf("%w: unterminated entity", ErrParse)
+			}
+			ent := string(raw[i+1 : end])
+			switch ent {
+			case "amp":
+				dst = append(dst, '&')
+			case "lt":
+				dst = append(dst, '<')
+			case "gt":
+				dst = append(dst, '>')
+			case "quot":
+				dst = append(dst, '"')
+			case "apos":
+				dst = append(dst, '\'')
+			default:
+				r, err := decodeCharRef(ent)
+				if err != nil {
+					return dst, err
+				}
+				dst = utf8.AppendRune(dst, r)
+			}
+			i = end + 1
+		case '\r':
+			if normalizeNewlines {
+				dst = append(dst, '\n')
+				if i+1 < len(raw) && raw[i+1] == '\n' {
+					i++
+				}
+			} else {
+				dst = append(dst, c)
+			}
+			i++
+		default:
+			dst = append(dst, c)
+			i++
+		}
+	}
+	return dst, nil
+}
+
+func decodeCharRef(ent string) (rune, error) {
+	if len(ent) < 2 || ent[0] != '#' {
+		return 0, fmt.Errorf("%w: unknown entity &%s;", ErrParse, ent)
+	}
+	body := ent[1:]
+	base := 10
+	if body[0] == 'x' || body[0] == 'X' {
+		body = body[1:]
+		base = 16
+	}
+	var n rune
+	if body == "" {
+		return 0, fmt.Errorf("%w: empty character reference", ErrParse)
+	}
+	for _, c := range body {
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = c - '0'
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = c - 'a' + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = c - 'A' + 10
+		default:
+			return 0, fmt.Errorf("%w: bad character reference &%s;", ErrParse, ent)
+		}
+		n = n*rune(base) + d
+		if n > utf8.MaxRune {
+			return 0, fmt.Errorf("%w: character reference out of range", ErrParse)
+		}
+	}
+	return n, nil
+}
+
+// EscapeElementText appends s to dst with the characters that cannot
+// appear literally in element content escaped: '&', '<', '>' and '\r'
+// (which XML parsers would otherwise normalize to '\n'). This writes the
+// escaped form directly — no intermediate buffer — which is the soap
+// encoder's single-pass fast path.
+func EscapeElementText(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '\r':
+			dst = append(dst, "&#xD;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// EscapeAttrValue appends s to dst escaped for a double-quoted attribute
+// value: '&', '<', '"' plus the whitespace characters attribute-value
+// normalization would fold ('\t', '\n', '\r').
+func EscapeAttrValue(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		case '\t':
+			dst = append(dst, "&#x9;"...)
+		case '\n':
+			dst = append(dst, "&#xA;"...)
+		case '\r':
+			dst = append(dst, "&#xD;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}

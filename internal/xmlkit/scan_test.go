@@ -1,0 +1,211 @@
+package xmlkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectTokens drains the scanner into a compact trace for comparison.
+func collectTokens(t *testing.T, doc string) ([]string, error) {
+	t.Helper()
+	s := AcquireScanner([]byte(doc))
+	defer ReleaseScanner(s)
+	var out []string
+	for {
+		kind, err := s.Next()
+		if err != nil {
+			return out, err
+		}
+		switch kind {
+		case NoToken:
+			return out, nil
+		case StartToken:
+			entry := "<" + string(s.Name())
+			for _, a := range s.Attrs() {
+				v, err := AttrValue(a.Value)
+				if err != nil {
+					return out, err
+				}
+				entry += " " + string(a.Name) + "=" + v
+			}
+			out = append(out, entry)
+		case EndToken:
+			out = append(out, "</"+string(s.Name()))
+		case TextToken:
+			if s.IsWhitespace() {
+				continue
+			}
+			txt, err := s.AppendTo(nil)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, "#"+string(txt))
+		}
+	}
+}
+
+func TestScannerBasic(t *testing.T) {
+	doc := `<?xml version="1.0"?><a x="1" y="a&amp;b"><!-- c --><b>hi &lt;there&gt;</b><c/></a>`
+	got, err := collectTokens(t, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<a x=1 y=a&b", "<b", "#hi <there>", "</b", "<c", "</c", "</a"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestScannerCDATAAndCharRefs(t *testing.T) {
+	got, err := collectTokens(t, `<a><![CDATA[x < y & z]]><b>&#65;&#x42;</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<a", "#x < y & z", "<b", "#AB", "</b", "</a"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestScannerNewlineNormalization(t *testing.T) {
+	got, err := collectTokens(t, "<a>x\r\ny\rz</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != "#x\ny\nz" {
+		t.Errorf("tokens = %q", got)
+	}
+}
+
+func TestScannerDoctypeSkipped(t *testing.T) {
+	got, err := collectTokens(t, `<!DOCTYPE note [<!ELEMENT note (#PCDATA)>]><note>v</note>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "<note" {
+		t.Errorf("tokens = %v", got)
+	}
+}
+
+func TestScannerMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no root":            `not xml`,
+		"unclosed":           `<a><b></b>`,
+		"mismatched":         `<a></b>`,
+		"multiple roots":     `<a/><b/>`,
+		"stray end":          `</a>`,
+		"bad entity":         `<a>&bogus;</a>`,
+		"unterminated ent":   `<a>&amp</a>`,
+		"unterminated attr":  `<a x="1></a>`,
+		"attr missing value": `<a x></a>`,
+		"lt in attr":         `<a x="<"></a>`,
+		"unterminated cdata": `<a><![CDATA[x</a>`,
+		"unterminated pi":    `<?xml <a/>`,
+		"truncated tag":      `<a`,
+		"bad name start":     `<1tag/>`,
+		"empty document":     ``,
+	}
+	for name, doc := range cases {
+		if _, err := collectTokens(t, doc); err == nil {
+			t.Errorf("%s: scan(%q) succeeded", name, doc)
+		}
+	}
+}
+
+func TestScannerSelfClosingRoot(t *testing.T) {
+	got, err := collectTokens(t, `<only attr='v'/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<only attr=v", "</only"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v", got)
+	}
+}
+
+func TestScannerLocalName(t *testing.T) {
+	s := AcquireScanner([]byte(`<soap:Envelope xmlns:soap="u"><soap:Body/></soap:Envelope>`))
+	defer ReleaseScanner(s)
+	var locals []string
+	for {
+		kind, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == NoToken {
+			break
+		}
+		if kind == StartToken {
+			locals = append(locals, string(s.LocalName()))
+		}
+	}
+	if strings.Join(locals, ",") != "Envelope,Body" {
+		t.Errorf("locals = %v", locals)
+	}
+}
+
+func TestEscapeElementTextRoundTrip(t *testing.T) {
+	for _, val := range []string{
+		"plain", "a&b<c>d", `"quoted" & 'apos'`, "tab\tnl\ncr\rend", "uni ☃ 漢",
+	} {
+		doc := append([]byte("<v>"), EscapeElementText(nil, val)...)
+		doc = append(doc, "</v>"...)
+		s := AcquireScanner(doc)
+		var got []byte
+		for {
+			kind, err := s.Next()
+			if err != nil {
+				t.Fatalf("%q: %v", val, err)
+			}
+			if kind == NoToken {
+				break
+			}
+			if kind == TextToken {
+				got, err = s.AppendTo(got)
+				if err != nil {
+					t.Fatalf("%q: %v", val, err)
+				}
+			}
+		}
+		ReleaseScanner(s)
+		want := strings.ReplaceAll(strings.ReplaceAll(val, "\r\n", "\n"), "\r", "\n")
+		if string(got) != want && val != "tab\tnl\ncr\rend" {
+			t.Errorf("round trip %q = %q", val, got)
+		}
+		// \r survives because the encoder escapes it as &#xD;.
+		if val == "tab\tnl\ncr\rend" && string(got) != val {
+			t.Errorf("cr round trip = %q", got)
+		}
+	}
+}
+
+func TestScannerZeroAlloc(t *testing.T) {
+	doc := []byte(`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body><Echo xmlns="http://soc.example/echo"><text>hello world</text></Echo></soap:Body></soap:Envelope>`)
+	s := AcquireScanner(doc)
+	defer ReleaseScanner(s)
+	// Warm up internal slices (attr and element stacks grow once).
+	for {
+		kind, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == NoToken {
+			break
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset(doc)
+		for {
+			kind, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind == NoToken {
+				return
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("scan allocates %.1f per document, want 0", allocs)
+	}
+}
