@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare
+.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare trace-demo
 
 ## ci: the full gate — build, lint (vet + soclint), race-enabled tests,
 ## and the message-plane benchmark regression gate
@@ -41,6 +41,12 @@ race:
 ## chaos: just the fault-injection chaos suite, verbosely
 chaos:
 	$(GO) test -race -v -run TestIntegrationChaos .
+
+## trace-demo: drive one resilient call through injected faults, retry,
+## failover and the response cache, then print the reassembled trace
+## trees (the same rendering GET /tracez?format=tree serves)
+trace-demo:
+	$(GO) run ./examples/tracedemo
 
 # Stable settings for the gated message-plane benchmarks: fixed iteration
 # count (comparable ns/op and deterministic allocs/op) and three runs so

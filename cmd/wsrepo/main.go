@@ -24,6 +24,7 @@ import (
 	"soc/internal/host"
 	"soc/internal/mortgageapp"
 	"soc/internal/registry"
+	"soc/internal/rest"
 	"soc/internal/robot"
 	"soc/internal/services"
 )
@@ -95,11 +96,19 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 		return nil, nil, fmt.Errorf("mortgage app: %w", err)
 	}
 
+	api := registry.NewAPI(reg)
+	// Registry lookups join the caller's trace in the same ring the host
+	// dispatches record into, so /tracez shows discovery and invocation
+	// as one tree.
+	api.Use(rest.Tracing(h.Tracer(), nil))
+
 	mux := http.NewServeMux()
 	mux.Handle("/services", h)
 	mux.Handle("/services/", h)
 	mux.Handle("/healthz", h)
-	mux.Handle("/registry/", registry.NewAPI(reg))
+	mux.Handle("/tracez", h)
+	mux.Handle("/metricz", h)
+	mux.Handle("/registry/", api)
 	mux.Handle("/app/", http.StripPrefix("/app", app))
 	mux.HandleFunc("/robot/", robotPageHandler)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +119,8 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ASU-style service repository (Go reproduction)\n\n")
 		fmt.Fprintf(w, "  GET  /healthz                       per-service health report\n")
+		fmt.Fprintf(w, "  GET  /tracez                        recorded trace spans (?format=tree)\n")
+		fmt.Fprintf(w, "  GET  /metricz                       per-operation instrument set\n")
 		fmt.Fprintf(w, "  GET  /services                      hosted services\n")
 		fmt.Fprintf(w, "  GET  /services/{name}?wsdl          WSDL 1.1\n")
 		fmt.Fprintf(w, "  POST /services/{name}/soap          SOAP endpoint\n")

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"soc/internal/callplane"
 	"soc/internal/registry"
 	"soc/internal/wsdl"
 )
@@ -189,7 +190,7 @@ func Crawl(ctx context.Context, seeds []string, cfg Config) ([]Discovered, error
 }
 
 func fetchPage(ctx context.Context, client *http.Client, u string) (string, *url.URL, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := callplane.NewRequest(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return "", nil, err
 	}
@@ -209,7 +210,7 @@ func fetchPage(ctx context.Context, client *http.Client, u string) (string, *url
 }
 
 func probe(ctx context.Context, client *http.Client, u, kind string) (*Discovered, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := callplane.NewRequest(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +286,7 @@ func Probe(ctx context.Context, client *http.Client, u string) (time.Duration, e
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
 	start := time.Now()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := callplane.NewRequest(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"soc/internal/rest"
+	"soc/internal/telemetry"
 )
 
 // Burst concentrates faults into periodic windows: out of Every
@@ -140,6 +141,11 @@ type decision struct {
 type Injector struct {
 	plan Plan
 
+	// Tracer records injected faults as zero-duration fault events in the
+	// trace of the call being perturbed, so a trace tree shows which
+	// attempts failed by design. Nil uses the process default.
+	Tracer *telemetry.Tracer
+
 	mu     sync.Mutex
 	calls  map[string]uint64 // per-op call index
 	counts map[string]uint64 // "op|outcome" and "op|corrupt"/"op|latency"
@@ -242,6 +248,23 @@ func hashOp(op string) int64 {
 	return int64(h)
 }
 
+func (inj *Injector) tracer() *telemetry.Tracer {
+	if inj.Tracer != nil {
+		return inj.Tracer
+	}
+	return telemetry.Default()
+}
+
+// event records an injected fault as a child event of the perturbed
+// call's span. Untraced calls stay silent — an orphan fault span with no
+// trace to hang from would only clutter the ring.
+func (inj *Injector) event(sc telemetry.SpanContext, op, what string) {
+	if !sc.Valid() {
+		return
+	}
+	inj.tracer().Event(sc, telemetry.KindFault, op, "fault", what)
+}
+
 func (inj *Injector) count(op, what string) {
 	inj.mu.Lock()
 	inj.counts[op+"|"+what]++
@@ -333,8 +356,15 @@ func (inj *Injector) Middleware() rest.Middleware {
 		return func(w http.ResponseWriter, r *http.Request, p rest.Params) {
 			op := opKey(p, r.URL.Path)
 			d := inj.decide(op)
+			sc, _ := telemetry.FromHTTPHeader(r.Header)
 			if d.latency > 0 {
 				sleepCtx(r.Context(), d.latency)
+			}
+			if d.corrupt {
+				inj.event(sc, op, "corrupt")
+			}
+			if d.outcome != Pass {
+				inj.event(sc, op, string(d.outcome))
 			}
 			switch d.outcome {
 			case Hung:
@@ -438,8 +468,18 @@ func pathOp(path string) string {
 func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	op := pathOp(req.URL.Path)
 	d := t.inj.decide(op)
+	sc := telemetry.SpanContextOf(req.Context())
+	if !sc.Valid() {
+		sc, _ = telemetry.FromHTTPHeader(req.Header)
+	}
 	if d.latency > 0 {
 		sleepCtx(req.Context(), d.latency)
+	}
+	if d.corrupt {
+		t.inj.event(sc, op, "corrupt")
+	}
+	if d.outcome != Pass {
+		t.inj.event(sc, op, string(d.outcome))
 	}
 	switch d.outcome {
 	case Hung:

@@ -12,6 +12,7 @@ import (
 	"soc/internal/respcache"
 	"soc/internal/rest"
 	"soc/internal/soap"
+	"soc/internal/telemetry"
 )
 
 // maxCacheableBody bounds how much of a request body the cache keyer will
@@ -45,19 +46,27 @@ func (h *Host) UseResponseCache(capacity int, ttl time.Duration) *respcache.Cach
 func (h *Host) cacheMiddleware(c *respcache.Cache) rest.Middleware {
 	return func(next rest.HandlerFunc) rest.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request, p rest.Params) {
-			key, ok := h.cacheKey(r, p)
+			key, opKey, ok := h.cacheKey(r, p)
 			if !ok {
 				next(w, r, p)
 				return
 			}
 			entry, hit := c.Do(key, func() (*respcache.Entry, bool) {
 				rec := respcache.NewRecorder()
-				next(rec, r, p)
+				// Mark the miss so the dispatch span downstream annotates
+				// itself "respcache=miss".
+				next(rec, r.WithContext(telemetry.MarkCacheMiss(r.Context())), p)
 				e := rec.Entry()
 				return e, e.Status == http.StatusOK
 			})
 			if hit {
 				w.Header().Set("X-Cache", "HIT")
+				// A hit is a zero-duration cached span in the caller's
+				// trace — and deliberately NOT a latency sample: cached
+				// answers would flatter every latency-derived QoS score.
+				sc, _ := telemetry.FromHTTPHeader(r.Header)
+				h.tracer.Event(sc, telemetry.KindCache, opKey, "respcache", "hit")
+				h.instr.RecordCached(opKey)
 			} else {
 				w.Header().Set("X-Cache", "MISS")
 			}
@@ -66,17 +75,19 @@ func (h *Host) cacheMiddleware(c *respcache.Cache) rest.Middleware {
 	}
 }
 
-// cacheKey derives the cache key for cacheable requests. ok is false for
-// anything that must bypass the cache: non-invocation routes, unknown or
-// non-idempotent operations, unparseable bodies, oversized bodies.
-func (h *Host) cacheKey(r *http.Request, p rest.Params) (string, bool) {
+// cacheKey derives the cache key for cacheable requests, plus the
+// operation key ("Service.Operation") for cache-hit instrumentation. ok
+// is false for anything that must bypass the cache: non-invocation
+// routes, unknown or non-idempotent operations, unparseable bodies,
+// oversized bodies.
+func (h *Host) cacheKey(r *http.Request, p rest.Params) (key, opKey string, ok bool) {
 	name := p["name"]
 	if name == "" {
-		return "", false
+		return "", "", false
 	}
 	m, ok := h.mount(name)
 	if !ok {
-		return "", false
+		return "", "", false
 	}
 	if opName := p["op"]; opName != "" {
 		return h.invokeKey(r, m, opName)
@@ -84,13 +95,13 @@ func (h *Host) cacheKey(r *http.Request, p rest.Params) (string, bool) {
 	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/soap") {
 		return h.soapKey(r, m)
 	}
-	return "", false
+	return "", "", false
 }
 
-func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, bool) {
+func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, string, bool) {
 	op, err := m.svc.Operation(opName)
 	if err != nil || !op.Idempotent {
-		return "", false
+		return "", "", false
 	}
 	var b strings.Builder
 	b.WriteString(r.Method)
@@ -119,35 +130,35 @@ func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, bo
 	case http.MethodPost:
 		body, ok := swapBody(r)
 		if !ok {
-			return "", false
+			return "", "", false
 		}
 		var params map[string]any
 		if err := json.Unmarshal(body, &params); err != nil {
-			return "", false // let the handler produce the error response
+			return "", "", false // let the handler produce the error response
 		}
 		canon, err := json.Marshal(params) // map marshaling sorts keys
 		if err != nil {
-			return "", false
+			return "", "", false
 		}
 		b.Write(canon)
 	default:
-		return "", false
+		return "", "", false
 	}
-	return b.String(), true
+	return b.String(), m.metricKey(opName), true
 }
 
-func (h *Host) soapKey(r *http.Request, m *mounted) (string, bool) {
+func (h *Host) soapKey(r *http.Request, m *mounted) (string, string, bool) {
 	body, ok := swapBody(r)
 	if !ok {
-		return "", false
+		return "", "", false
 	}
 	msg, err := soap.DecodeBytes(body)
 	if err != nil {
-		return "", false
+		return "", "", false
 	}
 	op, err := m.svc.Operation(msg.Operation)
 	if err != nil || !op.Idempotent {
-		return "", false
+		return "", "", false
 	}
 	var b strings.Builder
 	b.WriteString("SOAP\x00")
@@ -164,7 +175,7 @@ func (h *Host) soapKey(r *http.Request, m *mounted) (string, bool) {
 		b.WriteString(msg.Params[k])
 		b.WriteByte(0)
 	}
-	return b.String(), true
+	return b.String(), m.metricKey(msg.Operation), true
 }
 
 // swapBody reads the request body (bounded) and replaces it with an

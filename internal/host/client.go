@@ -10,8 +10,10 @@ import (
 	"net/http"
 	"time"
 
+	"soc/internal/callplane"
 	"soc/internal/core"
 	"soc/internal/soap"
+	"soc/internal/telemetry"
 	"soc/internal/wsdl"
 )
 
@@ -20,12 +22,16 @@ import (
 var ErrRemote = errors.New("host: remote error")
 
 // Client consumes services exposed by a Host (or any server following the
-// same URL conventions), over either binding.
+// same URL conventions), over either binding — a thin binding over the
+// call plane: every request carries the caller's deadline and trace
+// context, and every call records a client span.
 type Client struct {
 	// BaseURL is the server prefix, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient performs requests; nil uses a 30 s timeout client.
 	HTTPClient *http.Client
+	// Tracer records client spans; nil uses the process default.
+	Tracer *telemetry.Tracer
 }
 
 // NewClient returns a client for the given base URL.
@@ -38,14 +44,34 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+func (c *Client) tracer() *telemetry.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return telemetry.Default()
+}
+
 // Call invokes service.op over the REST binding with JSON arguments.
 func (c *Client) Call(ctx context.Context, service, op string, args core.Values) (core.Values, error) {
+	sp, ctx := c.tracer().StartSpan(ctx, telemetry.KindClient, service+"."+op)
+	if sp != nil {
+		sp.Target = c.BaseURL
+		sp.Annotate("binding", "rest")
+	}
+	out, err := c.call(ctx, service, op, args)
+	sp.EndErr(err)
+	return out, err
+}
+
+// call is the span-free REST exchange; ResilientClient invokes it under
+// its own per-attempt spans so a resilient call doesn't double-record.
+func (c *Client) call(ctx context.Context, service, op string, args core.Values) (core.Values, error) {
 	body, err := json.Marshal(args)
 	if err != nil {
 		return nil, fmt.Errorf("host: encoding args: %w", err)
 	}
 	url := fmt.Sprintf("%s/services/%s/invoke/%s", c.BaseURL, service, op)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	req, err := callplane.NewRequest(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +111,7 @@ func (c *Client) CallSOAP(ctx context.Context, service, op, namespace string, ar
 	for k, v := range args {
 		msg.Params[k] = core.FormatValue(v)
 	}
-	sc := &soap.Client{HTTPClient: c.httpClient()}
+	sc := &soap.Client{HTTPClient: c.httpClient(), Tracer: c.Tracer}
 	url := fmt.Sprintf("%s/services/%s/soap", c.BaseURL, service)
 	resp, err := sc.Call(ctx, url, msg)
 	if err != nil {
@@ -97,7 +123,7 @@ func (c *Client) CallSOAP(ctx context.Context, service, op, namespace string, ar
 // Describe fetches the WSDL for a service and parses it.
 func (c *Client) Describe(ctx context.Context, service string) (*wsdl.Description, error) {
 	url := fmt.Sprintf("%s/services/%s?wsdl", c.BaseURL, service)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := callplane.NewRequest(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +140,7 @@ func (c *Client) Describe(ctx context.Context, service string) (*wsdl.Descriptio
 
 // List fetches the hosted service summaries.
 func (c *Client) List(ctx context.Context) ([]ServiceInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/services", nil)
+	req, err := callplane.NewRequest(ctx, http.MethodGet, c.BaseURL+"/services", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ import (
 	"soc/internal/core"
 	"soc/internal/rest"
 	"soc/internal/soap"
+	"soc/internal/telemetry"
 	"soc/internal/wsdl"
 )
 
@@ -61,12 +62,20 @@ func releaseValues(v core.Values) {
 	valuesPool.Put(v)
 }
 
-// Host serves a set of core services over SOAP and REST.
+// tracerCapacity is the per-host span ring size: enough to hold a chaos
+// run's worth of dispatches without unbounded growth.
+const tracerCapacity = 512
+
+// Host serves a set of core services over SOAP and REST. Every dispatch
+// — either binding — runs under a server span recorded in the host's
+// tracer ring (GET /tracez) and folds into the shared instrument set
+// (GET /metricz, GET /services/{name}/stats).
 type Host struct {
-	mu      sync.RWMutex
-	mounts  map[string]*mounted
-	router  *rest.Router
-	metrics *metrics
+	mu     sync.RWMutex
+	mounts map[string]*mounted
+	router *rest.Router
+	instr  *telemetry.Metrics
+	tracer *telemetry.Tracer
 	// BaseURL, when set, is used as the advertised endpoint prefix in
 	// generated WSDL (e.g. "http://host:port"). Unset hosts advertise
 	// a relative endpoint.
@@ -76,9 +85,10 @@ type Host struct {
 // New returns an empty host.
 func New() *Host {
 	h := &Host{
-		mounts:  make(map[string]*mounted),
-		router:  rest.NewRouter(),
-		metrics: newMetrics(),
+		mounts: make(map[string]*mounted),
+		router: rest.NewRouter(),
+		instr:  telemetry.NewMetrics(),
+		tracer: telemetry.NewTracer(tracerCapacity),
 	}
 	h.router.Use(rest.Recovery())
 	must := func(err error) {
@@ -87,6 +97,8 @@ func New() *Host {
 		}
 	}
 	must(h.router.GET("/healthz", h.handleHealthz))
+	must(h.router.GET("/tracez", h.handleTracez))
+	must(h.router.GET("/metricz", h.handleMetricz))
 	must(h.router.GET("/services", h.handleList))
 	must(h.router.GET("/services/{name}/stats", h.handleStats))
 	must(h.router.GET("/services/{name}", h.handleDescribe))
@@ -127,9 +139,21 @@ func (h *Host) Mount(svc *core.Service) error {
 			for k, v := range req.Params {
 				args[k] = v
 			}
+			// Join the caller's trace: transport header first (extracted by
+			// soap.Server), then the in-message SocTrace header entry.
+			remote, ok := telemetry.RemoteFromContext(ctx)
+			if !ok {
+				remote, _ = telemetry.ParseTraceParent(req.Header[telemetry.SOAPHeaderName])
+			}
+			sp, ctx := h.tracer.StartSpanRemote(ctx, telemetry.KindServer, metricKey, remote)
+			sp.Annotate("binding", "soap")
+			if telemetry.IsCacheMiss(ctx) {
+				sp.Annotate("respcache", "miss")
+			}
 			start := time.Now()
 			out, err := h.invoke(ctx, svc, opName, args)
-			h.metrics.record(metricKey, time.Since(start), err != nil)
+			h.instr.Record(metricKey, time.Since(start), err != nil)
+			sp.EndErr(err)
 			if err != nil {
 				if errors.Is(err, core.ErrBadRequest) || errors.Is(err, core.ErrNotFound) {
 					return soap.Message{}, soap.ClientFault("%v", err)
@@ -390,9 +414,17 @@ func (h *Host) handleInvoke(w http.ResponseWriter, r *http.Request, p rest.Param
 			}
 		}
 	}
+	metricKey := m.metricKey(p["op"])
+	remote, _ := telemetry.FromHTTPHeader(r.Header)
+	sp, ctx := h.tracer.StartSpanRemote(r.Context(), telemetry.KindServer, metricKey, remote)
+	sp.Annotate("binding", "rest")
+	if telemetry.IsCacheMiss(r.Context()) {
+		sp.Annotate("respcache", "miss")
+	}
 	start := time.Now()
-	out, err := svc.Invoke(r.Context(), p["op"], args)
-	h.metrics.record(m.metricKey(p["op"]), time.Since(start), err != nil)
+	out, err := svc.Invoke(ctx, p["op"], args)
+	h.instr.Record(metricKey, time.Since(start), err != nil)
+	sp.EndErr(err)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrBadRequest) {

@@ -1,15 +1,15 @@
 package host
 
 import (
-	"sort"
-	"sync"
 	"time"
 )
 
 // OpStats accumulates invocation statistics for one service operation —
 // the provider-side observability the "service hosting" assignment asks
 // students to analyze ("determine the performance improvement based on
-// the service model").
+// the service model"). Since the call-plane refactor it is a view over
+// the shared telemetry instrument set, so Stats, /metricz and the trace
+// plane can never disagree.
 type OpStats struct {
 	Calls     uint64
 	Errors    uint64
@@ -24,48 +24,17 @@ func (s OpStats) MeanTime() time.Duration {
 	return s.TotalTime / time.Duration(s.Calls)
 }
 
-type metrics struct {
-	mu sync.Mutex
-	m  map[string]*OpStats // "Service.Operation" → stats
-}
-
-func newMetrics() *metrics { return &metrics{m: map[string]*OpStats{}} }
-
-func (mx *metrics) record(key string, d time.Duration, failed bool) {
-	mx.mu.Lock()
-	defer mx.mu.Unlock()
-	st, ok := mx.m[key]
-	if !ok {
-		st = &OpStats{}
-		mx.m[key] = st
-	}
-	st.Calls++
-	st.TotalTime += d
-	if failed {
-		st.Errors++
-	}
-}
-
 // Stats returns a snapshot of per-operation statistics keyed by
-// "Service.Operation".
+// "Service.Operation". Cache hits are not counted as calls: they say
+// nothing about handler latency (see telemetry.Metrics.RecordCached).
 func (h *Host) Stats() map[string]OpStats {
-	h.metrics.mu.Lock()
-	defer h.metrics.mu.Unlock()
-	out := make(map[string]OpStats, len(h.metrics.m))
-	for k, v := range h.metrics.m {
-		out[k] = *v
+	snap := h.instr.Snapshot()
+	out := make(map[string]OpStats, len(snap))
+	for k, v := range snap {
+		out[k] = OpStats{Calls: v.Calls, Errors: v.Errors, TotalTime: v.TotalTime}
 	}
 	return out
 }
 
-// StatKeys returns the sorted operation keys with recorded calls.
-func (h *Host) StatKeys() []string {
-	h.metrics.mu.Lock()
-	defer h.metrics.mu.Unlock()
-	out := make([]string, 0, len(h.metrics.m))
-	for k := range h.metrics.m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
+// StatKeys returns the sorted operation keys with recorded activity.
+func (h *Host) StatKeys() []string { return h.instr.Keys() }

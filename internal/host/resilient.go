@@ -8,8 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"soc/internal/callplane"
 	"soc/internal/core"
 	"soc/internal/reliability"
+	"soc/internal/telemetry"
 )
 
 // ErrReplicaUnhealthy marks a replica skipped because the health checker
@@ -41,6 +43,9 @@ type Policy struct {
 	// HTTPClient is used by every replica client; nil uses each client's
 	// default. Tests inject fault transports here.
 	HTTPClient *http.Client
+	// Tracer records the call's trace — root span, per-attempt spans,
+	// skip events; nil uses the process default.
+	Tracer *telemetry.Tracer
 }
 
 func (p Policy) withDefaults() Policy {
@@ -62,6 +67,9 @@ func (p Policy) withDefaults() Policy {
 	if p.MaxConcurrent <= 0 {
 		p.MaxConcurrent = 64
 	}
+	if p.Tracer == nil {
+		p.Tracer = telemetry.Default()
+	}
 	return p
 }
 
@@ -74,15 +82,18 @@ type replica struct {
 }
 
 // ResilientClient composes the unit-6 reliability primitives around
-// host.Client: per-attempt timeout inside a per-replica circuit breaker,
-// inside health-aware multi-replica failover, inside retry with backoff,
-// inside a bulkhead — with an optional fallback for graceful degradation
-// when everything is down. Safe for concurrent use.
+// host.Client as one precompiled call-plane chain: root span → bulkhead →
+// retry → health-aware failover → per-attempt span → per-replica breaker
+// → per-attempt timeout → REST exchange — with an optional fallback for
+// graceful degradation when everything is down. One Call under faults
+// renders as one trace tree whose attempt spans carry the replica tried,
+// the attempt number, and breaker/skip annotations. Safe for concurrent
+// use.
 type ResilientClient struct {
 	policy   Policy
 	replicas []*replica
-	failover *reliability.Failover[*replica]
-	bulkhead *reliability.Bulkhead
+	byURL    map[string]*replica
+	chain    callplane.Transport
 	health   *reliability.HealthChecker
 
 	attempts  atomic.Uint64 // individual replica attempts
@@ -97,7 +108,7 @@ func NewResilientClient(policy Policy, baseURLs ...string) (*ResilientClient, er
 		return nil, errors.New("host: resilient client needs at least one replica")
 	}
 	policy = policy.withDefaults()
-	rc := &ResilientClient{policy: policy}
+	rc := &ResilientClient{policy: policy, byURL: make(map[string]*replica, len(baseURLs))}
 	for _, u := range baseURLs {
 		br, err := reliability.NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown, nil)
 		if err != nil {
@@ -105,18 +116,61 @@ func NewResilientClient(policy Policy, baseURLs ...string) (*ResilientClient, er
 		}
 		c := NewClient(u)
 		c.HTTPClient = policy.HTTPClient
-		rc.replicas = append(rc.replicas, &replica{url: u, client: c, breaker: br})
+		c.Tracer = policy.Tracer
+		rep := &replica{url: u, client: c, breaker: br}
+		rc.replicas = append(rc.replicas, rep)
+		rc.byURL[u] = rep
 	}
-	fo, err := reliability.NewFailover(rc.replicas...)
+	fo, err := reliability.NewFailover(baseURLs...)
 	if err != nil {
 		return nil, err
 	}
-	rc.failover = fo
 	bh, err := reliability.NewBulkhead(policy.MaxConcurrent)
 	if err != nil {
 		return nil, err
 	}
-	rc.bulkhead = bh
+	tr := policy.Tracer
+	rc.chain = callplane.Chain(callplane.Terminal,
+		callplane.WithSpan(tr, telemetry.KindClient),
+		callplane.WithBulkhead(bh),
+		callplane.WithRetry(policy.Retry),
+		callplane.WithFailover(fo, callplane.FailoverOptions{
+			// The health view is consulted through rc.health at call time:
+			// StartHealth attaches the checker after construction.
+			Healthy: func(u string) bool {
+				h := rc.health
+				return h == nil || h.IsHealthy(u)
+			},
+			// When the checker says nothing is healthy, try everything —
+			// the checker may be stale, and a long-shot beats a
+			// guaranteed failure.
+			AnyHealthy: func() bool {
+				h := rc.health
+				return h == nil || len(h.Healthy()) > 0
+			},
+			SkipErr: func(u string) error {
+				return fmt.Errorf("%w: %s", ErrReplicaUnhealthy, u)
+			},
+			OnHop: func(ctx context.Context, inv *callplane.Invocation) {
+				rc.failovers.Add(1)
+			},
+			OnSkip: func(ctx context.Context, inv *callplane.Invocation) {
+				rc.skipped.Add(1)
+				tr.Event(telemetry.SpanContextOf(ctx), telemetry.KindClient, "skip", "replica", inv.Target)
+			},
+			OnAttempt: func(ctx context.Context, inv *callplane.Invocation) {
+				rc.attempts.Add(1)
+			},
+		}),
+		callplane.WithAttemptSpan(tr),
+		callplane.WithBreakers(func(u string) *reliability.Breaker {
+			if rep := rc.byURL[u]; rep != nil {
+				return rep.breaker
+			}
+			return nil
+		}),
+		callplane.WithTimeout(policy.Timeout),
+	)
 	return rc, nil
 }
 
@@ -172,36 +226,21 @@ func (rc *ResilientClient) Counters() (attempts, failovers, skipped, fallbacks u
 // (and error) is returned instead.
 func (rc *ResilientClient) Call(ctx context.Context, service, op string, args core.Values) (core.Values, error) {
 	var out core.Values
-	err := rc.bulkhead.Do(ctx, func(ctx context.Context) error {
-		return reliability.Retry(ctx, rc.policy.Retry, func(ctx context.Context) error {
-			// One failover pass: healthy replicas first; when the checker
-			// says nothing is healthy, try everything (the checker may be
-			// stale, and a long-shot beats a guaranteed failure).
-			allDemoted := rc.health != nil && len(rc.health.Healthy()) == 0
-			first := true
-			return rc.failover.Do(ctx, func(ctx context.Context, rep *replica) error {
-				if !first {
-					rc.failovers.Add(1)
-				}
-				first = false
-				if rc.health != nil && !allDemoted && !rc.health.IsHealthy(rep.url) {
-					rc.skipped.Add(1)
-					return fmt.Errorf("%w: %s", ErrReplicaUnhealthy, rep.url)
-				}
-				rc.attempts.Add(1)
-				return rep.breaker.Do(ctx, func(ctx context.Context) error {
-					actx, cancel := context.WithTimeout(ctx, rc.policy.Timeout)
-					defer cancel()
-					res, err := rep.client.Call(actx, service, op, args)
-					if err != nil {
-						return err
-					}
-					out = res
-					return nil
-				})
-			})
-		})
-	})
+	inv := &callplane.Invocation{Service: service, Operation: op, Binding: "rest",
+		Do: func(ctx context.Context, inv *callplane.Invocation) error {
+			rep := rc.byURL[inv.Target]
+			if rep == nil {
+				return fmt.Errorf("host: unknown replica %q", inv.Target)
+			}
+			res, err := rep.client.call(ctx, service, op, args)
+			if err != nil {
+				return err
+			}
+			out = res
+			return nil
+		},
+	}
+	err := rc.chain.RoundTrip(ctx, inv)
 	if err != nil && rc.policy.Fallback != nil {
 		rc.fallbacks.Add(1)
 		return rc.policy.Fallback(ctx, service, op, args)

@@ -45,6 +45,11 @@ type Config struct {
 	// ErrDiscardScope lists import-path prefixes (service/handler code)
 	// subject to the errdiscard analyzer.
 	ErrDiscardScope []string
+	// CallPlanePath is the import path of the call-plane package — the
+	// one package allowed to call http.NewRequestWithContext directly;
+	// everywhere else the tracepropagate analyzer requires its NewRequest
+	// helper. Empty disables the check.
+	CallPlanePath string
 }
 
 // DefaultConfig is the policy soclint applies to this module: contracts
@@ -77,6 +82,7 @@ func DefaultConfig(moduleDir string) Config {
 			"soc/internal/xmlstore",
 			"soc/cmd/",
 		},
+		CallPlanePath: "soc/internal/callplane",
 	}
 }
 
@@ -274,6 +280,7 @@ func DefaultAnalyzers() []*Analyzer {
 		LockSafe,
 		NoClientLiteral,
 		PoolReset,
+		TracePropagate,
 	}
 }
 

@@ -115,6 +115,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"ctxpropagate", func(string) Config { return Config{} }},
 		{"noclientliteral", func(string) Config { return Config{} }},
 		{"poolreset", func(string) Config { return Config{} }},
+		{"tracepropagate", func(string) Config { return Config{CallPlanePath: "soc/internal/callplane"} }},
 		{"locksafe", func(p string) Config { return Config{LockBlockScope: []string{p}} }},
 		{"errdiscard", func(p string) Config { return Config{ErrDiscardScope: []string{p}} }},
 		{"contractcheck", func(p string) Config {

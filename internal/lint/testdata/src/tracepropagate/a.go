@@ -1,0 +1,58 @@
+// Package tracepropagate is a golden-file fixture for the tracepropagate
+// analyzer: functions that already hold a context must build outbound
+// requests through the call plane, which injects trace context, rather
+// than http.NewRequestWithContext, which silently drops it.
+package tracepropagate
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func traced(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.org", nil) // want `http.NewRequestWithContext bypasses the call plane`
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	req, _ := http.NewRequestWithContext(r.Context(), http.MethodGet, "http://example.org", nil) // want `http.NewRequestWithContext bypasses the call plane`
+	_ = req
+	_ = w
+}
+
+func closureInherits(ctx context.Context) func() error {
+	return func() error {
+		_, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.org", nil) // want `http.NewRequestWithContext bypasses the call plane`
+		return err
+	}
+}
+
+// Clean cases below: no findings expected.
+
+func rootCaller() error {
+	// No inherited context: this call path starts here, so there is no
+	// upstream trace to propagate and the raw constructor is fine.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.org", nil)
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}
+
+func probe(ctx context.Context) error {
+	//soclint:ignore tracepropagate probes are deliberately outside the trace plane; each probe is its own root event
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.org/healthz", nil)
+	if err != nil {
+		return err
+	}
+	_ = req
+	return nil
+}

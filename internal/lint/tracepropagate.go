@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TracePropagate enforces the call plane's single sanctioned
+// construction site for outbound requests: a function that already holds
+// a live context must build HTTP requests with callplane.NewRequest, not
+// http.NewRequestWithContext. The two are identical except for one line —
+// NewRequest injects the caller's trace context into the wire headers —
+// so a raw NewRequestWithContext is exactly a hop where distributed
+// traces silently break. The callplane package itself (Config.
+// CallPlanePath) is exempt: it is the one place the raw constructor is
+// supposed to appear. Deliberately untraced egress (health probes, code
+// that would import-cycle with callplane) carries an //soclint:ignore
+// directive explaining why it lives outside the trace plane.
+//
+// ctxpropagate already rejects plain http.NewRequest in these functions,
+// so this analyzer only patrols the WithContext variant it mandates.
+var TracePropagate = &Analyzer{
+	Name: "tracepropagate",
+	Doc:  "requires callplane.NewRequest (not http.NewRequestWithContext) in functions holding a live context",
+	Run:  runTracePropagate,
+}
+
+func runTracePropagate(pass *Pass) error {
+	if pass.Config.CallPlanePath == "" || pass.Path == pass.Config.CallPlanePath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkTraceBody(pass, fd.Body, holdsCtx(pass, fd.Type))
+			}
+		}
+	}
+	return nil
+}
+
+func checkTraceBody(pass *Pass, body ast.Node, held bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkTraceBody(pass, n.Body, held || holdsCtx(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if !held {
+				return true
+			}
+			fn := CalleeFunc(pass.Info, n)
+			if IsPkgFunc(fn, "net/http", "NewRequestWithContext") {
+				pass.Reportf(n.Pos(), "http.NewRequestWithContext bypasses the call plane (no trace context on the wire); use callplane.NewRequest")
+			}
+		}
+		return true
+	})
+}

@@ -11,7 +11,9 @@ import (
 	"strconv"
 	"time"
 
+	"soc/internal/callplane"
 	"soc/internal/rest"
+	"soc/internal/telemetry"
 )
 
 // API exposes a Registry over REST:
@@ -51,6 +53,11 @@ func NewAPI(reg *Registry) *API {
 
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.router.ServeHTTP(w, r) }
+
+// Use appends middleware to the API's router (first registered
+// outermost) — e.g. rest.Tracing to join registry lookups into the
+// caller's trace tree.
+func (a *API) Use(mw ...rest.Middleware) { a.router.Use(mw...) }
 
 func (a *API) list(w http.ResponseWriter, r *http.Request, _ rest.Params) {
 	liveOnly := r.URL.Query().Get("all") == ""
@@ -122,10 +129,14 @@ func (a *API) byCategory(w http.ResponseWriter, r *http.Request, p rest.Params) 
 	rest.WriteResponse(w, r, http.StatusOK, entries)
 }
 
-// Client talks to a remote registry API.
+// Client talks to a remote registry API — a thin binding over the call
+// plane: requests carry the caller's deadline and trace context, and each
+// operation records a client span.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// Tracer records client spans; nil uses the process default.
+	Tracer *telemetry.Tracer
 }
 
 // NewClient returns a registry client.
@@ -138,7 +149,25 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 15 * time.Second}
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+func (c *Client) tracer() *telemetry.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return telemetry.Default()
+}
+
+func (c *Client) do(ctx context.Context, op, method, path string, body any, out any) error {
+	sp, ctx := c.tracer().StartSpan(ctx, telemetry.KindClient, "registry."+op)
+	if sp != nil {
+		sp.Target = c.BaseURL
+		sp.Annotate("binding", "registry")
+	}
+	err := c.exchange(ctx, method, path, body, out)
+	sp.EndErr(err)
+	return err
+}
+
+func (c *Client) exchange(ctx context.Context, method, path string, body any, out any) error {
 	var rdr io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -147,7 +176,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 		}
 		rdr = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	req, err := callplane.NewRequest(ctx, method, c.BaseURL+path, rdr)
 	if err != nil {
 		return err
 	}
@@ -177,30 +206,30 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 
 // Publish registers the entry remotely.
 func (c *Client) Publish(ctx context.Context, e Entry) error {
-	return c.do(ctx, http.MethodPost, "/registry/services", e, nil)
+	return c.do(ctx, "Publish", http.MethodPost, "/registry/services", e, nil)
 }
 
 // Heartbeat renews the remote lease.
 func (c *Client) Heartbeat(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodPost, "/registry/services/"+url.PathEscape(name)+"/heartbeat", nil, nil)
+	return c.do(ctx, "Heartbeat", http.MethodPost, "/registry/services/"+url.PathEscape(name)+"/heartbeat", nil, nil)
 }
 
 // Unpublish removes the remote entry.
 func (c *Client) Unpublish(ctx context.Context, name string) error {
-	return c.do(ctx, http.MethodDelete, "/registry/services/"+url.PathEscape(name), nil, nil)
+	return c.do(ctx, "Unpublish", http.MethodDelete, "/registry/services/"+url.PathEscape(name), nil, nil)
 }
 
 // Get fetches one entry.
 func (c *Client) Get(ctx context.Context, name string) (Entry, error) {
 	var e Entry
-	err := c.do(ctx, http.MethodGet, "/registry/services/"+url.PathEscape(name), nil, &e)
+	err := c.do(ctx, "Get", http.MethodGet, "/registry/services/"+url.PathEscape(name), nil, &e)
 	return e, err
 }
 
 // List fetches live entries.
 func (c *Client) List(ctx context.Context) ([]Entry, error) {
 	var out []Entry
-	err := c.do(ctx, http.MethodGet, "/registry/services", nil, &out)
+	err := c.do(ctx, "List", http.MethodGet, "/registry/services", nil, &out)
 	return out, err
 }
 
@@ -211,6 +240,6 @@ func (c *Client) Search(ctx context.Context, query string, limit int) ([]Match, 
 	if limit > 0 {
 		path += "&limit=" + strconv.Itoa(limit)
 	}
-	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	err := c.do(ctx, "Search", http.MethodGet, path, nil, &out)
 	return out, err
 }

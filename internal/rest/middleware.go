@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
+
+	"soc/internal/telemetry"
 )
 
 // Recovery converts handler panics into 500 responses instead of crashing
@@ -185,6 +188,35 @@ func RequestID() Middleware {
 			mu.Unlock()
 			w.Header().Set("X-Request-ID", fmt.Sprintf("req-%d", id))
 			next(w, r, p)
+		}
+	}
+}
+
+// Tracing records a server span per request in t, joining the caller's
+// trace when the request carries an X-Soc-Trace header. name derives the
+// span name from the request; nil uses "METHOD /path". The traced context
+// flows to the handler, so downstream client calls become child spans.
+// A nil tracer makes this a no-op middleware.
+func Tracing(t *telemetry.Tracer, name func(r *http.Request) string) Middleware {
+	return func(next HandlerFunc) HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request, p Params) {
+			if t == nil {
+				next(w, r, p)
+				return
+			}
+			spanName := r.Method + " " + r.URL.Path
+			if name != nil {
+				spanName = name(r)
+			}
+			remote, _ := telemetry.FromHTTPHeader(r.Header)
+			sp, ctx := t.StartSpanRemote(r.Context(), telemetry.KindServer, spanName, remote)
+			sp.Annotate("binding", "rest")
+			sw := &statusWriter{ResponseWriter: w}
+			next(sw, r.WithContext(ctx), p)
+			if sp != nil && sw.status >= 400 {
+				sp.Annotate("status", strconv.Itoa(sw.status))
+			}
+			sp.End()
 		}
 	}
 }

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"time"
 
+	"soc/internal/callplane"
+	"soc/internal/telemetry"
 	"soc/internal/xmlkit"
 )
 
@@ -402,7 +404,14 @@ func decodeHeader(s *xmlkit.Scanner, m *Message, scratch *[]byte) error {
 				return nil // </Header>
 			}
 		case scanStart:
-			name := string(s.LocalName())
+			var name string
+			// Intern the trace-context entry name: it appears on every
+			// traced call and the comparison itself doesn't allocate.
+			if string(s.LocalName()) == telemetry.SOAPHeaderName {
+				name = telemetry.SOAPHeaderName
+			} else {
+				name = string(s.LocalName())
+			}
 			val, err := readElementText(s, scratch)
 			if err != nil {
 				return err
@@ -683,7 +692,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeFault(w, http.StatusBadRequest, ClientFault("unknown operation %q", req.Operation))
 		return
 	}
-	resp, err := h(r.Context(), *req)
+	// Lift the trace context (if any) off the transport so handlers can
+	// join the caller's trace; the in-message SocTrace header entry is
+	// available to handlers via req.Header as a fallback.
+	resp, err := h(telemetry.ExtractHTTP(r.Context(), r.Header), *req)
 	if err != nil {
 		var f *Fault
 		if !errors.As(err, &f) {
@@ -723,11 +735,16 @@ func writeFault(w http.ResponseWriter, status int, f *Fault) {
 	_, _ = w.Write(out)
 }
 
-// Client invokes SOAP operations over HTTP.
+// Client invokes SOAP operations over HTTP — a thin binding over the
+// call plane: trace context rides both the X-Soc-Trace transport header
+// and an in-message SocTrace header entry, so it survives intermediaries
+// that drop either layer.
 type Client struct {
 	// HTTPClient performs the requests; nil uses a client with a 30 s
 	// timeout.
 	HTTPClient *http.Client
+	// Tracer records client spans; nil uses the process default.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -737,10 +754,35 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+func (c *Client) tracer() *telemetry.Tracer {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return telemetry.Default()
+}
+
 // Call sends the message to url and decodes the response. SOAP faults are
 // returned as *Fault errors. The context cancels the in-flight HTTP
 // request, not just the wait for it.
 func (c *Client) Call(ctx context.Context, url string, req Message) (Message, error) {
+	sp, ctx := c.tracer().StartSpan(ctx, telemetry.KindClient, req.Operation)
+	if sp != nil {
+		sp.Target = url
+		sp.Annotate("binding", "soap")
+		// Copy-on-write: the caller's header map stays untouched.
+		hdr := make(map[string]string, len(req.Header)+1)
+		for k, v := range req.Header {
+			hdr[k] = v
+		}
+		hdr[telemetry.SOAPHeaderName] = sp.TraceParent()
+		req.Header = hdr
+	}
+	resp, err := c.call(ctx, url, req)
+	sp.EndErr(err)
+	return resp, err
+}
+
+func (c *Client) call(ctx context.Context, url string, req Message) (Message, error) {
 	bp := getEncBuf()
 	payload, err := appendMessage((*bp)[:0], req)
 	if err != nil {
@@ -748,7 +790,7 @@ func (c *Client) Call(ctx context.Context, url string, req Message) (Message, er
 		putEncBuf(bp)
 		return Message{}, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	httpReq, err := callplane.NewRequest(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		*bp = payload[:0]
 		putEncBuf(bp)

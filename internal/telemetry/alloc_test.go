@@ -1,0 +1,68 @@
+//go:build !race
+
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// The span lifecycle rides the hot message plane, so its allocation cost
+// is pinned: start+annotate+finish may allocate only the context carrying
+// the span (one WithValue), and a recorded Event must allocate nothing at
+// steady state.
+func TestSpanAllocCeiling(t *testing.T) {
+	tr := NewTracer(64)
+	// Prime the pool and the ring.
+	sp, _ := tr.StartSpan(context.Background(), KindClient, "warm")
+	sp.End()
+
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		sp, _ := tr.StartSpan(ctx, KindClient, "Calc.Add")
+		sp.Annotate("binding", "rest")
+		sp.EndErr(nil)
+	})
+	if allocs > 1 {
+		t.Fatalf("span start/annotate/finish = %.1f allocs/op, want <= 1", allocs)
+	}
+}
+
+func TestEventAllocCeiling(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Event(SpanContext{}, KindCache, "warm", "", "")
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Event(parent, KindCache, "Calc.Add", "respcache", "hit")
+	})
+	if allocs > 0 {
+		t.Fatalf("Event = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestHeaderParseAllocCeiling(t *testing.T) {
+	h := make(http.Header)
+	h.Set(HeaderName, FormatTraceParent(SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}))
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := FromHTTPHeader(h); !ok {
+			t.Fatal("parse failed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("FromHTTPHeader = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestMetricsRecordAllocCeiling(t *testing.T) {
+	m := NewMetrics()
+	m.Record("Calc.Add", time.Millisecond, false)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Record("Calc.Add", time.Millisecond, false)
+		m.RecordCached("Calc.Add")
+	})
+	if allocs > 0 {
+		t.Fatalf("Record+RecordCached = %.1f allocs/op, want 0", allocs)
+	}
+}

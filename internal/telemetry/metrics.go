@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// BucketBounds are the latency histogram upper bounds; a final implicit
+// +Inf bucket catches the rest. Exposed so /metricz consumers can label
+// the buckets.
+var BucketBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+// NumBuckets is the histogram length (BucketBounds plus +Inf).
+const NumBuckets = len(BucketBounds) + 1
+
+// OpMetrics is the instrument set of one operation: call/error counters,
+// total handler time, the latency histogram — and a cache-hit counter
+// kept apart from the latency instruments, so zero-cost cached answers
+// never skew the mean or histogram that quality scoring reads.
+type OpMetrics struct {
+	Calls     uint64
+	Errors    uint64
+	CacheHits uint64
+	TotalTime time.Duration
+	Buckets   [NumBuckets]uint64
+}
+
+// MeanTime is the average handler latency over real (uncached) calls.
+func (m OpMetrics) MeanTime() time.Duration {
+	if m.Calls == 0 {
+		return 0
+	}
+	return m.TotalTime / time.Duration(m.Calls)
+}
+
+// Metrics is a concurrency-safe registry of per-operation instruments
+// keyed "Service.Operation" — the single instrument set shared by host
+// metrics, /metricz and the trace plane.
+type Metrics struct {
+	mu sync.Mutex
+	m  map[string]*OpMetrics
+}
+
+// NewMetrics returns an empty instrument set.
+func NewMetrics() *Metrics { return &Metrics{m: make(map[string]*OpMetrics)} }
+
+func (x *Metrics) get(key string) *OpMetrics {
+	om, ok := x.m[key]
+	if !ok {
+		om = &OpMetrics{}
+		x.m[key] = om
+	}
+	return om
+}
+
+// Record folds one real (handler-executed) call into the instruments.
+func (x *Metrics) Record(key string, d time.Duration, failed bool) {
+	x.mu.Lock()
+	om := x.get(key)
+	om.Calls++
+	om.TotalTime += d
+	if failed {
+		om.Errors++
+	}
+	i := 0
+	for i < len(BucketBounds) && d > BucketBounds[i] {
+		i++
+	}
+	om.Buckets[i]++
+	x.mu.Unlock()
+}
+
+// RecordCached counts a response served from the idempotent-response
+// cache. Deliberately not folded into Calls, TotalTime or the histogram:
+// a cached answer says nothing about handler latency, and counting its
+// ~zero duration would flatter every latency-derived quality score.
+func (x *Metrics) RecordCached(key string) {
+	x.mu.Lock()
+	x.get(key).CacheHits++
+	x.mu.Unlock()
+}
+
+// Snapshot copies the instrument set.
+func (x *Metrics) Snapshot() map[string]OpMetrics {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make(map[string]OpMetrics, len(x.m))
+	for k, v := range x.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// Keys returns the sorted operation keys with any recorded activity.
+func (x *Metrics) Keys() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]string, 0, len(x.m))
+	for k := range x.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

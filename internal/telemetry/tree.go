@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span with its resolved children.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// Tree is one reassembled trace: every retained span sharing a trace ID,
+// nested by parentage. Spans whose parent fell out of the ring (or lives
+// in another process's tracer) surface as extra roots rather than being
+// dropped.
+type Tree struct {
+	TraceID TraceID
+	Roots   []*Node
+}
+
+// BuildTraces reassembles trace trees from a flat span set — typically
+// the concatenated Snapshots of the client tracer and every host tracer
+// a call crossed. Trees are ordered by earliest span start; siblings by
+// start time.
+func BuildTraces(spans []Span) []Tree {
+	byID := make(map[SpanID]*Node, len(spans))
+	order := make([]*Node, 0, len(spans))
+	for i := range spans {
+		n := &Node{Span: spans[i]}
+		// Last write wins on (vanishingly unlikely) span-ID collisions.
+		byID[spans[i].SpanID] = n
+		order = append(order, n)
+	}
+	trees := map[TraceID]*Tree{}
+	var traceOrder []TraceID
+	for _, n := range order {
+		if parent, ok := byID[n.Span.Parent]; ok && !n.Span.Parent.IsZero() && parent != n && parent.Span.TraceID == n.Span.TraceID {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		tr, ok := trees[n.Span.TraceID]
+		if !ok {
+			tr = &Tree{TraceID: n.Span.TraceID}
+			trees[n.Span.TraceID] = tr
+			traceOrder = append(traceOrder, n.Span.TraceID)
+		}
+		tr.Roots = append(tr.Roots, n)
+	}
+	out := make([]Tree, 0, len(traceOrder))
+	for _, id := range traceOrder {
+		tr := trees[id]
+		sortNodes(tr.Roots)
+		for _, r := range tr.Roots {
+			sortChildren(r)
+		}
+		out = append(out, *tr)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return earliest(out[i]).Before(earliest(out[j]))
+	})
+	return out
+}
+
+func earliest(t Tree) time.Time {
+	var min time.Time
+	for i, r := range t.Roots {
+		if i == 0 || r.Span.Start.Before(min) {
+			min = r.Span.Start
+		}
+	}
+	return min
+}
+
+func sortNodes(ns []*Node) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Span.Start.Before(ns[j].Span.Start) })
+}
+
+func sortChildren(n *Node) {
+	sortNodes(n.Children)
+	for _, c := range n.Children {
+		sortChildren(c)
+	}
+}
+
+// Format renders the tree as indented ASCII, one span per line:
+//
+//	trace 0af7651916cd43dd8448eb211c80319c
+//	└─ client Calc.Add 1.2ms
+//	   ├─ client attempt #1 → http://a err="..." [breaker=open]
+//	   └─ server Calc.Add 0.9ms
+func (t Tree) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s\n", t.TraceID)
+	for i, r := range t.Roots {
+		formatNode(&b, r, "", i == len(t.Roots)-1)
+	}
+	return b.String()
+}
+
+// FormatTraces renders every tree, separated by blank lines.
+func FormatTraces(trees []Tree) string {
+	parts := make([]string, len(trees))
+	for i, t := range trees {
+		parts[i] = t.Format()
+	}
+	return strings.Join(parts, "\n")
+}
+
+func formatNode(b *strings.Builder, n *Node, prefix string, last bool) {
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	sp := n.Span
+	fmt.Fprintf(b, "%s%s%s %s", prefix, branch, sp.Kind, sp.Name)
+	if sp.Attempt > 0 {
+		fmt.Fprintf(b, " #%d", sp.Attempt)
+	}
+	if sp.Target != "" {
+		fmt.Fprintf(b, " → %s", sp.Target)
+	}
+	if sp.Cached {
+		b.WriteString(" (cached)")
+	} else {
+		fmt.Fprintf(b, " %s", sp.Duration.Round(10*time.Microsecond))
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(b, " err=%q", sp.Err)
+	}
+	if anns := sp.Annotations(); len(anns) > 0 {
+		b.WriteString(" [")
+		for i, a := range anns {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%s=%s", a.Key, a.Value)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		formatNode(b, c, childPrefix, i == len(n.Children)-1)
+	}
+}

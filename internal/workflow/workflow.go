@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"soc/internal/telemetry"
 )
 
 // ErrDefinition reports an invalid workflow definition.
@@ -192,13 +194,17 @@ func (w *Workflow) Run(ctx context.Context, init map[string]any) (map[string]any
 	return st.Vars.Snapshot(), st.trace, nil
 }
 
-// exec runs one activity with tracing.
+// exec runs one activity with tracing: the workflow's own TraceEntry log,
+// plus — when a tracer rides the context — a child span per activity, so
+// composed sub-invocations nest under their activity in the trace tree.
 func exec(ctx context.Context, a Activity, st *State) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sp, ctx := telemetry.StartSpanFromContext(ctx, telemetry.KindWorkflow, a.Name())
 	start := time.Now()
 	err := a.Execute(ctx, st)
+	sp.EndErr(err)
 	entry := TraceEntry{Activity: a.Name(), Start: start, Elapsed: time.Since(start)}
 	if err != nil {
 		entry.Err = err.Error()
