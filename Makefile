@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare trace-demo
+.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare trace-demo sim
 
 ## ci: the full gate — build, lint (vet + soclint), race-enabled tests,
-## and the message-plane benchmark regression gate
-ci: build lint race bench-compare
+## the deterministic simulation corpus, and the message-plane benchmark
+## regression gate
+ci: build lint race sim bench-compare
 
 build:
 	$(GO) build ./...
@@ -41,6 +42,19 @@ race:
 ## chaos: just the fault-injection chaos suite, verbosely
 chaos:
 	$(GO) test -race -v -run TestIntegrationChaos .
+
+# Seed corpus for the simulation gate. Override to widen the sweep
+# (SIM_SEEDS=500) or shift it (SIM_FIRST=1000) without editing this file.
+SIM_SEEDS ?= 50
+SIM_FIRST ?= 1
+SIM_STEPS ?= 250
+
+## sim: deterministic simulation corpus — every seed runs twice and the
+## event-log hashes must match; invariants are checked after every step.
+## A failing seed prints its shrunk schedule and the exact replay
+## command (go run ./cmd/socsim -seed N ...) verbatim.
+sim:
+	$(GO) run ./cmd/socsim -seeds $(SIM_SEEDS) -first $(SIM_FIRST) -steps $(SIM_STEPS)
 
 ## trace-demo: drive one resilient call through injected faults, retry,
 ## failover and the response cache, then print the reassembled trace

@@ -1,0 +1,126 @@
+// Command socsim runs the deterministic simulation harness: seeded
+// property-based workloads over the in-process call plane, invariants
+// checked after every step, failing schedules shrunk to a minimal
+// replay.
+//
+// Corpus mode (default) sweeps -seeds consecutive seeds starting at
+// -first; replay mode (-seed N) re-runs one seed and prints its event
+// log. Every run executes twice and the event-log hashes must match —
+// determinism is itself an invariant. On failure socsim prints the seed,
+// the shrunk schedule and the verbatim replay command, and exits
+// nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soc/internal/simtest"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 50, "number of consecutive seeds to sweep in corpus mode")
+		first    = flag.Int64("first", 1, "first seed of the corpus sweep")
+		seed     = flag.Int64("seed", 0, "replay exactly this seed and print its event log (disables corpus mode)")
+		steps    = flag.Int("steps", 250, "schedule length per seed")
+		clients  = flag.Int("clients", 3, "logical clients")
+		replicas = flag.Int("replicas", 3, "simulated replicas")
+		shrinkN  = flag.Int("shrink", 400, "max simulation runs to spend shrinking a failing schedule")
+		verbose  = flag.Bool("v", false, "print the event log of every run, not just replays")
+	)
+	flag.Parse()
+
+	cfg := simtest.Config{Clients: *clients, Replicas: *replicas}
+	if *seed != 0 {
+		os.Exit(replay(cfg, *seed, *steps, *clients, *replicas, *shrinkN))
+	}
+	os.Exit(corpus(cfg, *first, *seeds, *steps, *clients, *replicas, *shrinkN, *verbose))
+}
+
+// runTwice runs the seed's schedule twice and enforces the determinism
+// contract: identical event-log hashes.
+func runTwice(cfg simtest.Config, sched simtest.Schedule) (*simtest.RunRecord, error) {
+	rec, err := simtest.Run(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	again, err := simtest.Run(cfg, sched)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Hash != again.Hash {
+		return rec, fmt.Errorf("nondeterministic run: hash %s then %s for the same schedule", rec.Hash, again.Hash)
+	}
+	return rec, nil
+}
+
+func corpus(cfg simtest.Config, first int64, seeds, steps, clients, replicas, shrinkN int, verbose bool) int {
+	failed := 0
+	for i := 0; i < seeds; i++ {
+		s := first + int64(i)
+		sched := simtest.GenSchedule(s, steps, clients, replicas)
+		rec, err := runTwice(cfg, sched)
+		switch {
+		case err != nil:
+			failed++
+			fmt.Printf("seed %d: FAIL: %v\n", s, err)
+			printReplay(s, steps, clients, replicas)
+		case len(rec.Violations) > 0:
+			failed++
+			report(cfg, s, steps, clients, replicas, shrinkN, sched, rec)
+		default:
+			fmt.Printf("seed %d: ok (%d steps, hash %.12s)\n", s, len(sched.Steps), rec.Hash)
+			if verbose {
+				printLog(rec)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d seeds FAILED\n", failed, seeds)
+		return 1
+	}
+	fmt.Printf("\nall %d seeds passed\n", seeds)
+	return 0
+}
+
+func replay(cfg simtest.Config, seed int64, steps, clients, replicas, shrinkN int) int {
+	sched := simtest.GenSchedule(seed, steps, clients, replicas)
+	rec, err := runTwice(cfg, sched)
+	if err != nil {
+		fmt.Printf("seed %d: FAIL: %v\n", seed, err)
+		return 1
+	}
+	printLog(rec)
+	if len(rec.Violations) > 0 {
+		report(cfg, seed, steps, clients, replicas, shrinkN, sched, rec)
+		return 1
+	}
+	fmt.Printf("seed %d: ok (%d steps, hash %s)\n", seed, len(sched.Steps), rec.Hash)
+	return 0
+}
+
+// report prints everything needed to chase a violation: what failed,
+// the minimal schedule that still fails, and the exact command that
+// reproduces the run.
+func report(cfg simtest.Config, seed int64, steps, clients, replicas, shrinkN int, sched simtest.Schedule, rec *simtest.RunRecord) {
+	fmt.Printf("seed %d: FAIL: %d invariant violation(s)\n", seed, len(rec.Violations))
+	for _, v := range rec.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	shrunk := simtest.Shrink(cfg, sched, shrinkN)
+	fmt.Printf("shrunk to %d of %d steps:\n%s\n", len(shrunk.Steps), len(sched.Steps), shrunk.MarshalIndent())
+	printReplay(seed, steps, clients, replicas)
+}
+
+func printReplay(seed int64, steps, clients, replicas int) {
+	fmt.Printf("replay: go run ./cmd/socsim -seed %d -steps %d -clients %d -replicas %d\n",
+		seed, steps, clients, replicas)
+}
+
+func printLog(rec *simtest.RunRecord) {
+	for _, line := range rec.Log {
+		fmt.Println(line)
+	}
+}

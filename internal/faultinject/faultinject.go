@@ -29,6 +29,7 @@ import (
 
 	"soc/internal/rest"
 	"soc/internal/telemetry"
+	"soc/internal/vtime"
 )
 
 // Burst concentrates faults into periodic windows: out of Every
@@ -314,29 +315,24 @@ func (inj *Injector) String() string {
 	return b.String()
 }
 
+// hang and sleepCtx wait on the context's clock (vtime.ClockFrom), so
+// injected latency and hangs consume virtual time under simulation and
+// wall time otherwise.
 func (inj *Injector) hang(ctx context.Context, r Rule) {
 	max := r.MaxHang
 	if max <= 0 {
 		max = 30 * time.Second
 	}
-	t := time.NewTimer(max)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
+	//soclint:ignore errdiscard a hang ends the same way whether the context expired or the cap elapsed; the caller only cares that it returned
+	_ = vtime.Sleep(ctx, max)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
+	//soclint:ignore errdiscard injected latency is best-effort; a cancelled context just cuts the spike short
+	_ = vtime.Sleep(ctx, d)
 }
 
 // opKey derives the operation key from routed path parameters, falling

@@ -12,6 +12,7 @@ import (
 	"soc/internal/core"
 	"soc/internal/reliability"
 	"soc/internal/telemetry"
+	"soc/internal/vtime"
 )
 
 // ErrReplicaUnhealthy marks a replica skipped because the health checker
@@ -46,6 +47,11 @@ type Policy struct {
 	// Tracer records the call's trace — root span, per-attempt spans,
 	// skip events; nil uses the process default.
 	Tracer *telemetry.Tracer
+	// Clock is the time source the per-replica breakers consult for their
+	// cooldowns; nil means the wall clock. The simulation harness sets a
+	// vtime.Virtual here (and threads the same clock via context for the
+	// retry/timeout layers) so breaker recovery happens in virtual time.
+	Clock vtime.Clock
 }
 
 func (p Policy) withDefaults() Policy {
@@ -109,8 +115,12 @@ func NewResilientClient(policy Policy, baseURLs ...string) (*ResilientClient, er
 	}
 	policy = policy.withDefaults()
 	rc := &ResilientClient{policy: policy, byURL: make(map[string]*replica, len(baseURLs))}
+	var now func() time.Time
+	if policy.Clock != nil {
+		now = policy.Clock.Now
+	}
 	for _, u := range baseURLs {
-		br, err := reliability.NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown, nil)
+		br, err := reliability.NewBreaker(policy.BreakerThreshold, policy.BreakerCooldown, now)
 		if err != nil {
 			return nil, err
 		}
@@ -205,6 +215,16 @@ func (rc *ResilientClient) StopHealth() {
 
 // Health exposes the checker (nil before StartHealth) for observability.
 func (rc *ResilientClient) Health() *reliability.HealthChecker { return rc.health }
+
+// Breaker exposes the circuit breaker of one replica (nil for unknown
+// URLs) so observers — the simulation harness's invariant checkers, for
+// one — can attach OnTransition hooks or read its state.
+func (rc *ResilientClient) Breaker(url string) *reliability.Breaker {
+	if rep := rc.byURL[url]; rep != nil {
+		return rep.breaker
+	}
+	return nil
+}
 
 // Replicas lists the replica base URLs in registration order.
 func (rc *ResilientClient) Replicas() []string {

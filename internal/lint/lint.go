@@ -50,6 +50,10 @@ type Config struct {
 	// everywhere else the tracepropagate analyzer requires its NewRequest
 	// helper. Empty disables the check.
 	CallPlanePath string
+	// ClockScope lists import-path prefixes subject to the clockdiscipline
+	// analyzer: packages the deterministic simulation harness runs in
+	// virtual time, where direct wall-clock reads/waits are forbidden.
+	ClockScope []string
 }
 
 // DefaultConfig is the policy soclint applies to this module: contracts
@@ -83,6 +87,12 @@ func DefaultConfig(moduleDir string) Config {
 			"soc/cmd/",
 		},
 		CallPlanePath: "soc/internal/callplane",
+		ClockScope: []string{
+			"soc/internal/faultinject",
+			"soc/internal/reliability",
+			"soc/internal/respcache",
+			"soc/internal/vtime",
+		},
 	}
 }
 
@@ -274,6 +284,7 @@ func splitDirective(text string) (names []string, reason string) {
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		BodyClose,
+		ClockDiscipline,
 		ContractCheck,
 		CtxPropagate,
 		ErrDiscard,

@@ -112,6 +112,7 @@ func TestGoldenFixtures(t *testing.T) {
 		config   func(path string) Config
 	}{
 		{"bodyclose", func(string) Config { return Config{} }},
+		{"clockdiscipline", func(p string) Config { return Config{ClockScope: []string{p}} }},
 		{"ctxpropagate", func(string) Config { return Config{} }},
 		{"noclientliteral", func(string) Config { return Config{} }},
 		{"poolreset", func(string) Config { return Config{} }},

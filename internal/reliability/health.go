@@ -140,6 +140,7 @@ func (hc *HealthChecker) Start(ctx context.Context) {
 	go func() {
 		defer close(hc.done)
 		hc.CheckNow(ctx)
+		//soclint:ignore clockdiscipline the health prober is deliberately wall-clock-driven; the simulation harness drives CheckNow directly instead of Start
 		t := time.NewTicker(hc.cfg.Interval)
 		defer t.Stop()
 		for {
@@ -161,6 +162,7 @@ func (hc *HealthChecker) Stop() {
 	hc.stopOnce.Do(func() { close(hc.stop) })
 	select {
 	case <-hc.done:
+	//soclint:ignore clockdiscipline shutdown watchdog against a stuck probe loop; bounds real waiting, never simulated
 	case <-time.After(5 * time.Second):
 	}
 }
@@ -175,8 +177,10 @@ func (hc *HealthChecker) CheckNow(ctx context.Context) {
 			defer wg.Done()
 			pctx, cancel := context.WithTimeout(ctx, hc.cfg.Timeout)
 			defer cancel()
+			//soclint:ignore clockdiscipline probe RTT is measured in wall time by design; it feeds QoS records, not simulated schedules
 			start := time.Now()
 			err := hc.cfg.Probe(pctx, replica)
+			//soclint:ignore clockdiscipline probe RTT is measured in wall time by design; it feeds QoS records, not simulated schedules
 			hc.observe(replica, err, time.Since(start))
 		}(r)
 	}
@@ -187,6 +191,7 @@ func (hc *HealthChecker) observe(replica string, err error, rtt time.Duration) {
 	hc.mu.Lock()
 	st := hc.state[replica]
 	hc.probes++
+	//soclint:ignore clockdiscipline last-probe timestamp is diagnostic metadata, never compared against simulated time
 	st.lastProbe = time.Now()
 	st.lastErr = err
 	var transitioned bool

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"soc/internal/vtime"
 )
 
 // ErrOpen reports a call rejected by an open circuit breaker.
@@ -45,18 +47,10 @@ type RetryPolicy struct {
 // produce a zero-backoff hot loop.
 const minBackoff = time.Millisecond
 
+// defaultSleep waits on the context's clock (vtime.ClockFrom), so retry
+// backoffs advance virtual time under simulation and wall time otherwise.
 func defaultSleep(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return vtime.Sleep(ctx, d)
 }
 
 // Retry runs fn until success, a non-retryable error, attempt exhaustion,
@@ -131,6 +125,14 @@ func (s BreakerState) String() string {
 type Breaker struct {
 	FailureThreshold int
 	Cooldown         time.Duration
+	// OnTransition, when non-nil, observes every state change as a
+	// (from, to) pair. It fires outside the breaker's lock, in transition
+	// order, after the state change took effect; the legal edges are
+	// Closed→Open, Open→HalfOpen, HalfOpen→Closed and HalfOpen→Open, and
+	// the simulation harness's invariant checker holds it to exactly
+	// those. Set it before the breaker is shared; it must not call back
+	// into the breaker.
+	OnTransition func(from, to BreakerState)
 
 	mu        sync.Mutex
 	state     BreakerState
@@ -143,12 +145,39 @@ type Breaker struct {
 	failed    uint64
 }
 
+// transition is one recorded state change, fired to OnTransition after
+// the lock is released.
+type transition struct{ from, to BreakerState }
+
+// setStateLocked moves the breaker to next, recording the edge when the
+// state actually changes. Callers must hold b.mu and fire the returned
+// slice via fire after unlocking.
+func (b *Breaker) setStateLocked(next BreakerState, edges []transition) []transition {
+	if b.state == next {
+		return edges
+	}
+	edges = append(edges, transition{b.state, next})
+	b.state = next
+	return edges
+}
+
+// fire delivers recorded transitions to OnTransition, if set.
+func (b *Breaker) fire(edges []transition) {
+	if b.OnTransition == nil {
+		return
+	}
+	for _, e := range edges {
+		b.OnTransition(e.from, e.to)
+	}
+}
+
 // NewBreaker returns a closed breaker. now=nil uses wall time.
 func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) (*Breaker, error) {
 	if threshold < 1 || cooldown <= 0 {
 		return nil, fmt.Errorf("reliability: bad breaker config threshold=%d cooldown=%v", threshold, cooldown)
 	}
 	if now == nil {
+		//soclint:ignore clockdiscipline real-clock default behind the injectable now parameter
 		now = time.Now
 	}
 	return &Breaker{FailureThreshold: threshold, Cooldown: cooldown, state: Closed, now: now}, nil
@@ -158,43 +187,49 @@ func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) (*B
 // cooldown has elapsed).
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.advanceLocked()
-	return b.state
+	edges := b.advanceLocked(nil)
+	state := b.state
+	b.mu.Unlock()
+	b.fire(edges)
+	return state
 }
 
-func (b *Breaker) advanceLocked() {
+func (b *Breaker) advanceLocked(edges []transition) []transition {
 	if b.state == Open && b.now().Sub(b.openedAt) >= b.Cooldown {
-		b.state = HalfOpen
+		edges = b.setStateLocked(HalfOpen, edges)
 	}
+	return edges
 }
 
 // Do runs fn under the breaker. In the half-open state exactly one probe
 // call is admitted; concurrent callers are rejected until it reports.
 func (b *Breaker) Do(ctx context.Context, fn func(ctx context.Context) error) error {
 	b.mu.Lock()
-	b.advanceLocked()
+	edges := b.advanceLocked(nil)
 	probe := false
 	switch b.state {
 	case Open:
 		b.rejected++
 		b.mu.Unlock()
+		b.fire(edges)
 		return ErrOpen
 	case HalfOpen:
 		if b.probing {
 			b.rejected++
 			b.mu.Unlock()
+			b.fire(edges)
 			return ErrOpen
 		}
 		b.probing = true
 		probe = true
 	}
 	b.mu.Unlock()
+	b.fire(edges)
+	edges = nil
 
 	err := fn(ctx)
 
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if probe {
 		b.probing = false
 	}
@@ -202,14 +237,18 @@ func (b *Breaker) Do(ctx context.Context, fn func(ctx context.Context) error) er
 		b.failed++
 		b.failures++
 		if probe || b.failures >= b.FailureThreshold {
-			b.state = Open
+			edges = b.setStateLocked(Open, edges)
 			b.openedAt = b.now()
 		}
+		b.mu.Unlock()
+		b.fire(edges)
 		return err
 	}
 	b.succeeded++
 	b.failures = 0
-	b.state = Closed
+	edges = b.setStateLocked(Closed, edges)
+	b.mu.Unlock()
+	b.fire(edges)
 	return nil
 }
 
@@ -220,13 +259,28 @@ func (b *Breaker) Counters() (succeeded, failed, rejected uint64) {
 	return b.succeeded, b.failed, b.rejected
 }
 
-// WithTimeout runs fn with a deadline; when fn ignores the context, the
-// caller is still released after d (fn keeps running until it returns).
+// WithTimeout runs fn with a deadline on the context's clock; when fn
+// ignores the context, the caller is still released after d (fn keeps
+// running until it returns). Under a synchronous clock (vtime.Virtual)
+// no watchdog goroutine is spawned: fn runs inline with a virtual
+// deadline stamped into its context, and "fn ran past the budget" is
+// detected by comparing virtual time against that deadline afterwards —
+// the goroutine-free path that keeps simulations deterministic.
 func WithTimeout(ctx context.Context, d time.Duration, fn func(ctx context.Context) error) error {
 	if d <= 0 {
 		return errors.New("reliability: non-positive timeout")
 	}
-	ctx, cancel := context.WithTimeout(ctx, d)
+	clk := vtime.ClockFrom(ctx)
+	if vtime.IsSynchronous(clk) {
+		tctx, cancel := clk.WithTimeout(ctx, d)
+		defer cancel()
+		err := fn(tctx)
+		if exp := vtime.Expired(tctx, clk); exp != nil {
+			return exp
+		}
+		return err
+	}
+	ctx, cancel := clk.WithTimeout(ctx, d)
 	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- fn(ctx) }()

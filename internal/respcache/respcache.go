@@ -13,6 +13,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"soc/internal/vtime"
 )
 
 // Entry is one cached response.
@@ -82,7 +84,8 @@ func New(capacity int, ttl time.Duration) *Cache {
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		flights:  make(map[string]*flight),
-		now:      time.Now,
+		//soclint:ignore clockdiscipline real-clock default behind the injectable SetClock/UseClock hooks
+		now: time.Now,
 	}
 }
 
@@ -91,6 +94,18 @@ func (c *Cache) SetClock(now func() time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.now = now
+}
+
+// UseClock points the cache's TTL arithmetic at clk (vtime.Clock); nil
+// restores the wall clock. This is the hook the deterministic simulation
+// harness uses so cached entries age in virtual time.
+func (c *Cache) UseClock(clk vtime.Clock) {
+	if clk == nil {
+		//soclint:ignore clockdiscipline nil clock restores the sanctioned wall-clock default
+		c.SetClock(time.Now)
+		return
+	}
+	c.SetClock(clk.Now)
 }
 
 // Len reports the number of cached entries (including any expired ones

@@ -1,0 +1,205 @@
+package simtest
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"soc/internal/registry"
+	"soc/internal/reliability"
+	"soc/internal/telemetry"
+)
+
+// Violation is one invariant breach, tagged with the step that exposed
+// it. A run with any violation is a failing run; the schedule that
+// produced it is the bug report.
+type Violation struct {
+	Step      int    `json:"step"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d: %s: %s", v.Step, v.Invariant, v.Detail)
+}
+
+// Invariant names, one per checker.
+const (
+	InvCacheOnce  = "cache-once"
+	InvBreakerFSM = "breaker-fsm"
+	InvTraceTree  = "trace-tree"
+	InvQoSBounds  = "qos-bounds"
+	InvDelivery   = "delivery"
+)
+
+// CheckCacheOnce verifies the idempotent-response cache contract: within
+// one replica incarnation, a successful idempotent handler executes at
+// most once per distinct input — every later identical request must be
+// answered from cache. The runs map is keyed
+// "replica|incarnation|Svc.Op|canonical-input" and counts successful
+// handler executions.
+func CheckCacheOnce(step int, runs map[string]int) []Violation {
+	var out []Violation
+	for key, n := range runs {
+		if n > 1 {
+			out = append(out, Violation{
+				Step:      step,
+				Invariant: InvCacheOnce,
+				Detail:    fmt.Sprintf("idempotent handler ran %d times for %s", n, key),
+			})
+		}
+	}
+	return out
+}
+
+// legalEdges is the circuit breaker's legal transition relation:
+// closed→open on threshold, open→half-open after cooldown, half-open
+// settles closed (probe success) or back open (probe failure).
+var legalEdges = map[[2]string]bool{
+	{reliability.Closed.String(), reliability.Open.String()}:     true,
+	{reliability.Open.String(), reliability.HalfOpen.String()}:   true,
+	{reliability.HalfOpen.String(), reliability.Closed.String()}: true,
+	{reliability.HalfOpen.String(), reliability.Open.String()}:   true,
+}
+
+// CheckBreakerEdges verifies every observed breaker transition is an
+// edge of the legal state machine.
+func CheckBreakerEdges(transitions []Transition) []Violation {
+	var out []Violation
+	for _, t := range transitions {
+		if !legalEdges[[2]string{t.From, t.To}] {
+			out = append(out, Violation{
+				Step:      t.Step,
+				Invariant: InvBreakerFSM,
+				Detail: fmt.Sprintf("illegal breaker transition %s→%s (client %d, %s)",
+					t.From, t.To, t.Client, t.Replica),
+			})
+		}
+	}
+	return out
+}
+
+// CheckTraceStep verifies the trace plane for one call or workflow step:
+// the step's spans reassemble into exactly one well-formed trace — a
+// single root with no parent, no orphaned attempt spans surfacing as
+// roots, and every cached span zero-duration.
+func CheckTraceStep(step int, kind string, spans []telemetry.Span) []Violation {
+	if kind != StepCall && kind != StepWorkflow {
+		return nil
+	}
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Step: step, Invariant: InvTraceTree, Detail: fmt.Sprintf(format, args...)})
+	}
+	if len(spans) == 0 {
+		bad("%s step produced no spans at all", kind)
+		return out
+	}
+	trees := telemetry.BuildTraces(spans)
+	if len(trees) != 1 {
+		bad("%s step produced %d traces, want exactly 1", kind, len(trees))
+	}
+	for _, tree := range trees {
+		if len(tree.Roots) != 1 {
+			names := make([]string, len(tree.Roots))
+			for i, r := range tree.Roots {
+				names[i] = r.Span.Name
+			}
+			bad("trace %s has %d roots %v, want exactly 1", tree.TraceID, len(tree.Roots), names)
+		}
+		for _, r := range tree.Roots {
+			if !r.Span.Parent.IsZero() {
+				bad("root span %q carries a parent %s that is not in the trace", r.Span.Name, r.Span.Parent)
+			}
+			if r.Span.Attempt > 0 {
+				bad("attempt span %q #%d surfaced as a root (orphaned from its call span)", r.Span.Name, r.Span.Attempt)
+			}
+		}
+	}
+	for _, sp := range spans {
+		if sp.Cached && sp.Duration != 0 {
+			bad("cached span %q has duration %v, want 0 (cache hits must not fake service time)", sp.Name, sp.Duration)
+		}
+	}
+	return out
+}
+
+// CheckDelivery verifies request accounting: every request delivered to
+// a live replica produced exactly one terminal span — a server span when
+// the handler ran, a cache span when the response cache answered.
+func CheckDelivery(step, delivered, serverSpans, cacheSpans int) []Violation {
+	if delivered == serverSpans+cacheSpans {
+		return nil
+	}
+	return []Violation{{
+		Step:      step,
+		Invariant: InvDelivery,
+		Detail: fmt.Sprintf("%d requests delivered but %d terminal spans recorded (%d server + %d cache)",
+			delivered, serverSpans+cacheSpans, serverSpans, cacheSpans),
+	}}
+}
+
+// QoSAgg is the world's independent book-keeping of what the QoS
+// registry was told: counts and RTT bounds over non-cached observations.
+// CheckQoSBounds compares the registry's derived record against it.
+type QoSAgg struct {
+	Samples int
+	Succ    int
+	MinRTT  time.Duration
+	MaxRTT  time.Duration
+}
+
+// Add folds one non-cached observation into the aggregate.
+func (a *QoSAgg) Add(up bool, rtt time.Duration) {
+	a.Samples++
+	if !up {
+		return
+	}
+	if a.Succ == 0 || rtt < a.MinRTT {
+		a.MinRTT = rtt
+	}
+	if rtt > a.MaxRTT {
+		a.MaxRTT = rtt
+	}
+	a.Succ++
+}
+
+// CheckQoSBounds verifies the registry's QoS record against the
+// independently aggregated observations: sample count exact, uptime the
+// exact success ratio, and mean RTT inside the [min, max] envelope of
+// successful round trips (a mean cannot leave the range of its inputs).
+func CheckQoSBounds(step int, service string, agg QoSAgg, q registry.QoS, ok bool) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Step: step, Invariant: InvQoSBounds, Detail: fmt.Sprintf(format, args...)})
+	}
+	if agg.Samples == 0 {
+		if ok && q.Samples != 0 {
+			bad("%s: registry reports %d samples but no observations were fed", service, q.Samples)
+		}
+		return out
+	}
+	if !ok {
+		bad("%s: observations were fed but the registry has no QoS record", service)
+		return out
+	}
+	if q.Samples != agg.Samples {
+		bad("%s: registry reports %d samples, observed %d", service, q.Samples, agg.Samples)
+	}
+	wantUptime := float64(agg.Succ) / float64(agg.Samples)
+	if math.Abs(q.Uptime-wantUptime) > 1e-9 {
+		bad("%s: uptime %.9f, want %.9f (%d/%d)", service, q.Uptime, wantUptime, agg.Succ, agg.Samples)
+	}
+	if agg.Succ == 0 {
+		if q.MeanRTT != 0 {
+			bad("%s: mean RTT %v with zero successful observations, want 0", service, q.MeanRTT)
+		}
+		return out
+	}
+	// The incremental mean is computed in float64 and truncated to a
+	// Duration, so allow 1ns of slack at each bound.
+	if q.MeanRTT < agg.MinRTT-time.Nanosecond || q.MeanRTT > agg.MaxRTT+time.Nanosecond {
+		bad("%s: mean RTT %v outside observed successful range [%v, %v]", service, q.MeanRTT, agg.MinRTT, agg.MaxRTT)
+	}
+	return out
+}

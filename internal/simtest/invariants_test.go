@@ -1,0 +1,149 @@
+package simtest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soc/internal/registry"
+	"soc/internal/telemetry"
+)
+
+// These are mutation-style tests: each checker is fed an intentionally
+// broken fixture and must produce a violation, then the corrected twin
+// and must stay silent. A checker that cannot fail checks nothing.
+
+func wantViolation(t *testing.T, vs []Violation, invariant, substr string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Invariant == invariant && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s violation containing %q in %v", invariant, substr, vs)
+}
+
+func wantClean(t *testing.T, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+func TestCheckCacheOnce(t *testing.T) {
+	broken := map[string]int{"replica-0|inc-1|CreditScore.Score|ssn=1": 2}
+	wantViolation(t, CheckCacheOnce(4, broken), InvCacheOnce, "ran 2 times")
+	clean := map[string]int{
+		"replica-0|inc-1|CreditScore.Score|ssn=1": 1,
+		"replica-0|inc-2|CreditScore.Score|ssn=1": 1, // new incarnation may legally re-run
+	}
+	wantClean(t, CheckCacheOnce(4, clean))
+}
+
+func TestCheckBreakerEdges(t *testing.T) {
+	legal := []Transition{
+		{Step: 1, From: "closed", To: "open"},
+		{Step: 2, From: "open", To: "half-open"},
+		{Step: 3, From: "half-open", To: "closed"},
+		{Step: 4, From: "half-open", To: "open"},
+	}
+	wantClean(t, CheckBreakerEdges(legal))
+
+	illegal := []Transition{{Step: 7, Client: 1, Replica: "http://r0", From: "closed", To: "half-open"}}
+	wantViolation(t, CheckBreakerEdges(illegal), InvBreakerFSM, "closed→half-open")
+	skip := []Transition{{Step: 8, From: "open", To: "closed"}}
+	wantViolation(t, CheckBreakerEdges(skip), InvBreakerFSM, "open→closed")
+}
+
+// span builds a test span; parent zero means root.
+func span(trace byte, id byte, parent byte, name string, kind telemetry.Kind) telemetry.Span {
+	sp := telemetry.Span{Name: name, Kind: kind}
+	sp.TraceID = telemetry.TraceID{trace}
+	sp.SpanID = telemetry.SpanID{id}
+	if parent != 0 {
+		sp.Parent = telemetry.SpanID{parent}
+	}
+	return sp
+}
+
+func TestCheckTraceStepWellFormed(t *testing.T) {
+	root := span(1, 1, 0, "call CreditScore.Score", telemetry.KindClient)
+	attempt := span(1, 2, 1, "attempt", telemetry.KindClient)
+	attempt.Attempt = 1
+	server := span(1, 3, 2, "CreditScore.Score", telemetry.KindServer)
+	wantClean(t, CheckTraceStep(0, StepCall, []telemetry.Span{root, attempt, server}))
+}
+
+func TestCheckTraceStepNonCallStepsExempt(t *testing.T) {
+	wantClean(t, CheckTraceStep(0, StepKill, nil))
+	wantClean(t, CheckTraceStep(0, StepAdvance, nil))
+}
+
+func TestCheckTraceStepNoSpans(t *testing.T) {
+	wantViolation(t, CheckTraceStep(2, StepCall, nil), InvTraceTree, "no spans")
+}
+
+func TestCheckTraceStepSplitTrace(t *testing.T) {
+	a := span(1, 1, 0, "call", telemetry.KindClient)
+	b := span(2, 2, 0, "stray", telemetry.KindServer)
+	wantViolation(t, CheckTraceStep(3, StepCall, []telemetry.Span{a, b}), InvTraceTree, "2 traces")
+}
+
+func TestCheckTraceStepMultipleRoots(t *testing.T) {
+	a := span(1, 1, 0, "call", telemetry.KindClient)
+	b := span(1, 2, 0, "second root", telemetry.KindServer)
+	wantViolation(t, CheckTraceStep(4, StepCall, []telemetry.Span{a, b}), InvTraceTree, "2 roots")
+}
+
+func TestCheckTraceStepOrphanAttempt(t *testing.T) {
+	orphan := span(1, 2, 9, "attempt", telemetry.KindClient) // parent 9 never recorded
+	orphan.Attempt = 2
+	vs := CheckTraceStep(5, StepCall, []telemetry.Span{orphan})
+	wantViolation(t, vs, InvTraceTree, "surfaced as a root")
+	wantViolation(t, vs, InvTraceTree, "not in the trace")
+}
+
+func TestCheckTraceStepCachedDuration(t *testing.T) {
+	root := span(1, 1, 0, "call", telemetry.KindClient)
+	hit := span(1, 2, 1, "cache hit", telemetry.KindCache)
+	hit.Cached = true
+	hit.Duration = 3 * time.Millisecond
+	wantViolation(t, CheckTraceStep(6, StepWorkflow, []telemetry.Span{root, hit}), InvTraceTree, "cached span")
+	hit.Duration = 0
+	wantClean(t, CheckTraceStep(6, StepWorkflow, []telemetry.Span{root, hit}))
+}
+
+func TestCheckDelivery(t *testing.T) {
+	wantClean(t, CheckDelivery(1, 3, 2, 1))
+	wantClean(t, CheckDelivery(1, 0, 0, 0))
+	wantViolation(t, CheckDelivery(2, 2, 1, 0), InvDelivery, "2 requests delivered but 1 terminal")
+	wantViolation(t, CheckDelivery(3, 1, 1, 1), InvDelivery, "1 requests delivered but 2 terminal")
+}
+
+func TestCheckQoSBounds(t *testing.T) {
+	agg := QoSAgg{Samples: 4, Succ: 3, MinRTT: 10 * time.Millisecond, MaxRTT: 30 * time.Millisecond}
+	good := registry.QoS{Uptime: 0.75, MeanRTT: 20 * time.Millisecond, Samples: 4}
+	wantClean(t, CheckQoSBounds(1, "Svc", agg, good, true))
+
+	bad := good
+	bad.Samples = 5
+	wantViolation(t, CheckQoSBounds(2, "Svc", agg, bad, true), InvQoSBounds, "5 samples")
+
+	bad = good
+	bad.Uptime = 0.5
+	wantViolation(t, CheckQoSBounds(3, "Svc", agg, bad, true), InvQoSBounds, "uptime")
+
+	bad = good
+	bad.MeanRTT = 50 * time.Millisecond
+	wantViolation(t, CheckQoSBounds(4, "Svc", agg, bad, true), InvQoSBounds, "outside observed")
+
+	wantViolation(t, CheckQoSBounds(5, "Svc", agg, registry.QoS{}, false), InvQoSBounds, "no QoS record")
+
+	wantViolation(t, CheckQoSBounds(6, "Svc", QoSAgg{}, registry.QoS{Samples: 2}, true), InvQoSBounds, "no observations were fed")
+	wantClean(t, CheckQoSBounds(6, "Svc", QoSAgg{}, registry.QoS{}, false))
+
+	allDown := QoSAgg{Samples: 2}
+	wantViolation(t, CheckQoSBounds(7, "Svc", allDown, registry.QoS{Uptime: 0, MeanRTT: time.Millisecond, Samples: 2}, true),
+		InvQoSBounds, "zero successful")
+	wantClean(t, CheckQoSBounds(7, "Svc", allDown, registry.QoS{Uptime: 0, MeanRTT: 0, Samples: 2}, true))
+}

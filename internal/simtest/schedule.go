@@ -1,0 +1,177 @@
+// Package simtest is the deterministic simulation harness of the
+// dependability stack: whole multi-replica scenarios — resilient
+// clients, hosts, response caches, circuit breakers, fault injection,
+// workflows — run in-process on a seeded in-memory network and a virtual
+// clock, so a run is byte-for-byte reproducible from its seed and a
+// failing schedule shrinks to a minimal replay. The harness is the
+// correctness backstop of the reliability unit: property-based workloads
+// explore schedules no hand-written test would, and invariant checkers
+// validate every step against the contracts the layers promise.
+package simtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Step kinds a schedule is made of.
+const (
+	// StepCall invokes Service.Op as the given client with Args.
+	StepCall = "call"
+	// StepWorkflow runs the harness's two-invoke composition workflow as
+	// the given client (Args feed the workflow's initial variables).
+	StepWorkflow = "workflow"
+	// StepKill marks a replica dead: deliveries fail like a refused
+	// connection until it restarts.
+	StepKill = "kill"
+	// StepRestart boots a dead (or live) replica as a fresh incarnation:
+	// new process state, empty response cache, same network identity.
+	StepRestart = "restart"
+	// StepAdvance moves the virtual clock forward by AdvanceMs — how
+	// breaker cooldowns elapse and cache TTLs age in a simulation.
+	StepAdvance = "advance"
+)
+
+// Step is one event of a simulation schedule. The zero-value fields not
+// used by a kind are omitted from JSON so shrunk schedules stay
+// readable.
+type Step struct {
+	Kind      string            `json:"kind"`
+	Client    int               `json:"client,omitempty"`
+	Service   string            `json:"service,omitempty"`
+	Op        string            `json:"op,omitempty"`
+	Args      map[string]string `json:"args,omitempty"`
+	Replica   int               `json:"replica,omitempty"`
+	AdvanceMs int64             `json:"advanceMs,omitempty"`
+}
+
+// Schedule is a complete, self-contained simulation input: the seed that
+// derives every fault decision plus the explicit step sequence. Replaying
+// a schedule byte-identically reproduces the run that generated it.
+type Schedule struct {
+	Seed  int64  `json:"seed"`
+	Steps []Step `json:"steps"`
+}
+
+// MarshalIndent renders the schedule as indented JSON for replay logs.
+func (s Schedule) MarshalIndent() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("<unmarshalable schedule: %v>", err)
+	}
+	return string(b)
+}
+
+// ParseSchedule decodes a schedule produced by MarshalIndent.
+func ParseSchedule(data []byte) (Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schedule{}, fmt.Errorf("simtest: parsing schedule: %w", err)
+	}
+	return s, nil
+}
+
+// Workload pools: small fixed vocabularies keep the generated argument
+// space dense enough that cache hits, repeated inputs and cross-client
+// collisions actually happen.
+var (
+	ssnPool = []string{
+		"123-45-6789", "111-22-3333", "987-65-4321", "555-00-1234",
+		"222-33-4444", "not-an-ssn", // one invalid form exercises the error path
+	}
+	passwordPool = []string{
+		"correct horse battery staple", "Tr0ub4dor&3", "hunter2",
+		"aA1!aA1!aA1!", "qwerty",
+	}
+	itemPool  = []string{"widget", "gadget", "sprocket", "flange"}
+	pricePool = []string{"1.25", "9.99", "42.00", "0.50"}
+)
+
+// GenSchedule derives a property-based workload from a seed: a random
+// mix of repository-service calls across logical clients, workflow
+// compositions, replica kills/restarts and virtual-clock advances. The
+// same (seed, steps, clients, replicas) always yields the same schedule.
+func GenSchedule(seed int64, steps, clients, replicas int) Schedule {
+	if steps < 1 {
+		steps = 1
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Seed: seed, Steps: make([]Step, 0, steps)}
+	for i := 0; i < steps; i++ {
+		sched.Steps = append(sched.Steps, genStep(rng, clients, replicas))
+	}
+	return sched
+}
+
+func genStep(rng *rand.Rand, clients, replicas int) Step {
+	client := rng.Intn(clients)
+	switch p := rng.Float64(); {
+	case p < 0.58:
+		return genCall(rng, client)
+	case p < 0.66:
+		return Step{Kind: StepWorkflow, Client: client, Args: map[string]string{
+			"ssn":      pick(rng, ssnPool),
+			"password": pick(rng, passwordPool),
+		}}
+	case p < 0.80:
+		return Step{Kind: StepAdvance, AdvanceMs: 50 + rng.Int63n(2950)}
+	case p < 0.89:
+		return Step{Kind: StepKill, Replica: rng.Intn(replicas)}
+	default:
+		return Step{Kind: StepRestart, Replica: rng.Intn(replicas)}
+	}
+}
+
+func genCall(rng *rand.Rand, client int) Step {
+	st := Step{Kind: StepCall, Client: client}
+	switch p := rng.Float64(); {
+	case p < 0.28:
+		st.Service, st.Op = "CreditScore", "Score"
+		st.Args = map[string]string{"ssn": pick(rng, ssnPool)}
+	case p < 0.52:
+		st.Service, st.Op = "RandomString", "CheckStrength"
+		st.Args = map[string]string{"password": pick(rng, passwordPool)}
+	case p < 0.62:
+		// CreateCart takes no arguments; nil Args survives the JSON round
+		// trip (an empty map would be dropped by omitempty and parse back
+		// as nil, breaking schedule equality).
+		st.Service, st.Op = "ShoppingCart", "CreateCart"
+	case p < 0.78:
+		st.Service, st.Op = "ShoppingCart", "AddItem"
+		st.Args = map[string]string{
+			"cart":     cartID(rng),
+			"item":     pick(rng, itemPool),
+			"quantity": strconv.Itoa(1 + rng.Intn(3)),
+			"price":    pick(rng, pricePool),
+		}
+	case p < 0.88:
+		st.Service, st.Op = "ShoppingCart", "Total"
+		st.Args = map[string]string{"cart": cartID(rng)}
+	case p < 0.94:
+		st.Service, st.Op = "ShoppingCart", "RemoveItem"
+		st.Args = map[string]string{"cart": cartID(rng), "item": pick(rng, itemPool)}
+	default:
+		st.Service, st.Op = "ShoppingCart", "Checkout"
+		st.Args = map[string]string{"cart": cartID(rng)}
+	}
+	return st
+}
+
+// cartID guesses a low cart id: CreateCart issues them sequentially from
+// 1, so small guesses hit live carts often enough to exercise state and
+// missing carts often enough to exercise the error paths.
+func cartID(rng *rand.Rand) string {
+	return strconv.Itoa(1 + rng.Intn(5))
+}
+
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}

@@ -1,0 +1,63 @@
+package simtest
+
+// Failing reports whether running the schedule yields any invariant
+// violation (harness errors count as failures too: a schedule the world
+// cannot even execute is worth reporting).
+func Failing(cfg Config, s Schedule) bool {
+	rec, err := Run(cfg, s)
+	return err != nil || len(rec.Violations) > 0
+}
+
+// Shrink greedily minimises a failing schedule: repeatedly try removing
+// chunks of steps — halving the chunk size as removals stop helping —
+// and keep any candidate that still fails. Schedules are self-contained
+// (the seed drives the fault plan, not the step list), so every subset
+// replays deterministically. budget caps the number of simulation runs
+// spent shrinking; the best schedule found within it is returned. The
+// result still fails, and removing any single remaining step (within
+// budget) makes it pass.
+func Shrink(cfg Config, s Schedule, budget int) Schedule {
+	return ShrinkWith(func(c Schedule) bool { return Failing(cfg, c) }, s, budget)
+}
+
+// ShrinkWith is Shrink against an arbitrary failure predicate — the
+// minimisation algorithm itself, decoupled from the simulator so it can
+// be exercised (and trusted) on synthetic predicates.
+func ShrinkWith(failing func(Schedule) bool, s Schedule, budget int) Schedule {
+	fails := func(c Schedule) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return failing(c)
+	}
+	if !fails(s) {
+		return s
+	}
+	best := s
+	chunk := len(best.Steps) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start+chunk <= len(best.Steps); {
+			steps := make([]Step, 0, len(best.Steps)-chunk)
+			steps = append(steps, best.Steps[:start]...)
+			steps = append(steps, best.Steps[start+chunk:]...)
+			if cand := (Schedule{Seed: best.Seed, Steps: steps}); fails(cand) {
+				best = cand
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			if !removed || budget <= 0 {
+				return best
+			}
+			continue
+		}
+		chunk /= 2
+	}
+}

@@ -1,0 +1,600 @@
+package simtest
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/faultinject"
+	"soc/internal/host"
+	"soc/internal/registry"
+	"soc/internal/reliability"
+	"soc/internal/services"
+	"soc/internal/telemetry"
+	"soc/internal/vtime"
+	"soc/internal/workflow"
+)
+
+// simEpoch is the fixed instant every simulation starts at: virtual time
+// is part of the reproducible state, so it cannot depend on when the run
+// happens to execute.
+var simEpoch = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Config sizes a simulated world. The zero value gets workable defaults;
+// durations are virtual time.
+type Config struct {
+	// Replicas is the simulated replica count (default 3).
+	Replicas int
+	// Clients is the logical client count; each gets its own
+	// ResilientClient with private breakers and failover stickiness
+	// (default 3).
+	Clients int
+	// CacheCapacity and CacheTTL size each replica's idempotent-response
+	// cache. Defaults (4096 entries, 24 h virtual) are deliberately large
+	// enough that neither LRU eviction nor TTL expiry legally re-runs a
+	// handler mid-run, which is what makes the cache-once invariant
+	// checkable.
+	CacheCapacity int
+	CacheTTL      time.Duration
+	// Timeout bounds each attempt; BreakerThreshold/BreakerCooldown and
+	// RetryAttempts/RetryBase configure the reliability stack (defaults:
+	// 2 s, 3 failures, 1 s cooldown, 3 attempts, 25 ms base backoff).
+	Timeout          time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	RetryAttempts    int
+	RetryBase        time.Duration
+	// BaseRTT is the virtual wire latency charged per delivery attempt
+	// (default 1 ms).
+	BaseRTT time.Duration
+	// Faults is the per-link fault rule; nil uses DefaultFaults. Point at
+	// a zero Rule for a fault-free world.
+	Faults *faultinject.Rule
+}
+
+// DefaultFaults is the standard chaos mix: errors, drops, the occasional
+// hang, and latency spikes. Hangs are safe under virtual time — they
+// advance the clock to the attempt deadline instead of stalling a
+// goroutine.
+var DefaultFaults = faultinject.Rule{
+	ErrorRate:     0.10,
+	DropRate:      0.07,
+	HangRate:      0.02,
+	MaxHang:       10 * time.Second,
+	LatencyRate:   0.25,
+	Latency:       40 * time.Millisecond,
+	LatencyJitter: 20 * time.Millisecond,
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 3
+	}
+	if c.Clients < 1 {
+		c.Clients = 3
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 24 * time.Hour
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.BaseRTT <= 0 {
+		c.BaseRTT = time.Millisecond
+	}
+	if c.Faults == nil {
+		f := DefaultFaults
+		c.Faults = &f
+	}
+	return c
+}
+
+// Transition is one observed breaker state change, tagged with the step
+// it happened in and the (client, replica) breaker it belongs to.
+type Transition struct {
+	Step    int    `json:"step"`
+	Client  int    `json:"client"`
+	Replica string `json:"replica"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+}
+
+// Observation is one QoS data point the world fed into the registry.
+type Observation struct {
+	Service string
+	Up      bool
+	RTT     time.Duration
+	Cached  bool
+}
+
+// StepRecord is everything one step produced: the outcome, the spans
+// drained from every tracer, delivery and cache counters, and breaker
+// transitions. Invariant checkers consume these.
+type StepRecord struct {
+	Index       int
+	Step        Step
+	Err         string
+	Out         string
+	ElapsedMs   int64
+	Delivered   int
+	ServerSpans int
+	CacheSpans  int
+	Spans       []telemetry.Span
+	Transitions []Transition
+}
+
+// RunRecord is a completed simulation: the schedule, per-step records,
+// the violations found by the invariant checkers, and the canonical
+// event log with its hash (two runs of the same schedule must produce
+// the same hash — that IS the determinism contract).
+type RunRecord struct {
+	Schedule     Schedule
+	Steps        []StepRecord
+	Violations   []Violation
+	HandlerRuns  map[string]int
+	Observations []Observation
+	Log          []string
+	Hash         string
+}
+
+// simReplica is one simulated backend: a network identity that survives
+// restarts, and a process incarnation (host, services, response cache)
+// that does not.
+type simReplica struct {
+	w           *World
+	idx         int
+	name        string
+	baseURL     string
+	alive       bool
+	incarnation int
+	h           *host.Host
+	rt          http.RoundTripper // fault injector wrapped around delivery
+}
+
+// World is one simulated universe: virtual clock, replicas, clients,
+// QoS registry and the per-step counters the invariants read. A World
+// runs single-threaded; determinism relies on sequential stepping.
+type World struct {
+	cfg          Config
+	clock        *vtime.Virtual
+	ctx          context.Context
+	clientTracer *telemetry.Tracer
+	replicas     []*simReplica
+	clients      []*host.ResilientClient
+	qosReg       *registry.QoSRegistry
+
+	stepIdx         int
+	stepDelivered   int
+	stepTransitions []Transition
+	pendingSpans    []telemetry.Span
+	handlerRuns     map[string]int
+	qosAgg          map[string]*QoSAgg
+	observations    []Observation
+}
+
+// NewWorld builds a world for the schedule's seed. Fault plans for each
+// replica link are derived from the seed, so the whole universe is a
+// pure function of (Config, Schedule).
+func NewWorld(cfg Config, seed int64) (*World, error) {
+	cfg = cfg.withDefaults()
+	w := &World{
+		cfg:          cfg,
+		clock:        vtime.NewVirtual(simEpoch),
+		clientTracer: telemetry.NewTracer(4096),
+		handlerRuns:  map[string]int{},
+		qosAgg:       map[string]*QoSAgg{},
+	}
+	w.ctx = vtime.WithClock(context.Background(), w.clock)
+
+	reg := registry.New(registry.WithClock(w.clock.Now), registry.WithLease(100000*time.Hour))
+	w.qosReg = registry.NewQoS(reg)
+	for _, name := range []string{"CreditScore", "RandomString", "ShoppingCart"} {
+		if err := reg.Publish(registry.Entry{Name: name, Endpoint: "sim://" + name}); err != nil {
+			return nil, fmt.Errorf("simtest: publishing %s: %w", name, err)
+		}
+	}
+
+	for i := 0; i < cfg.Replicas; i++ {
+		r := &simReplica{w: w, idx: i, name: fmt.Sprintf("replica-%d", i)}
+		r.baseURL = "http://" + r.name
+		if err := r.boot(); err != nil {
+			return nil, err
+		}
+		inj, err := faultinject.New(faultinject.Plan{
+			Seed:    seed ^ fnv64(r.name),
+			Default: *cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inj.Tracer = w.clientTracer
+		r.rt = inj.Transport(deliverer{r})
+		w.replicas = append(w.replicas, r)
+	}
+
+	urls := make([]string, len(w.replicas))
+	for i, r := range w.replicas {
+		urls[i] = r.baseURL
+	}
+	//soclint:ignore noclientliteral the simulated network cannot hang in wall time — hangs advance the virtual clock to the attempt deadline, and a wall-clock Timeout here would leak real time into a deterministic run
+	httpClient := &http.Client{Transport: linkNet{w}}
+	for ci := 0; ci < cfg.Clients; ci++ {
+		rc, err := host.NewResilientClient(host.Policy{
+			Timeout: cfg.Timeout,
+			Retry: reliability.RetryPolicy{
+				MaxAttempts: cfg.RetryAttempts,
+				BaseDelay:   cfg.RetryBase,
+				MaxDelay:    time.Second,
+			},
+			BreakerThreshold: cfg.BreakerThreshold,
+			BreakerCooldown:  cfg.BreakerCooldown,
+			MaxConcurrent:    16,
+			HTTPClient:       httpClient,
+			Tracer:           w.clientTracer,
+			Clock:            w.clock,
+		}, urls...)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range urls {
+			u, ci := u, ci
+			rc.Breaker(u).OnTransition = func(from, to reliability.BreakerState) {
+				w.stepTransitions = append(w.stepTransitions, Transition{
+					Step: w.stepIdx, Client: ci, Replica: u,
+					From: from.String(), To: to.String(),
+				})
+			}
+		}
+		w.clients = append(w.clients, rc)
+	}
+	return w, nil
+}
+
+// boot starts a fresh incarnation of the replica: new host, new service
+// state, empty response cache on the virtual clock. Idempotent-operation
+// handlers are wrapped to count successful executions per distinct
+// input — the raw data of the cache-once invariant.
+func (r *simReplica) boot() error {
+	r.incarnation++
+	r.alive = true
+	h := host.New()
+	cs, err := services.NewCreditScore()
+	if err != nil {
+		return err
+	}
+	rs, err := services.NewRandomString()
+	if err != nil {
+		return err
+	}
+	sc, err := services.NewShoppingCart(services.NewCarts())
+	if err != nil {
+		return err
+	}
+	for _, svc := range []*core.Service{cs, rs, sc} {
+		svcName, inc, idx, w := svc.Name, r.incarnation, r.idx, r.w
+		for _, op := range svc.Operations() {
+			if !op.Idempotent {
+				continue
+			}
+			opName, orig := op.Name, op.Handler
+			op.Handler = func(ctx context.Context, in core.Values) (core.Values, error) {
+				out, err := orig(ctx, in)
+				if err == nil {
+					key := fmt.Sprintf("replica-%d|inc-%d|%s.%s|%s", idx, inc, svcName, opName, canonValues(in))
+					w.handlerRuns[key]++
+				}
+				return out, err
+			}
+		}
+		if err := h.Mount(svc); err != nil {
+			return err
+		}
+	}
+	cache := h.UseResponseCache(r.w.cfg.CacheCapacity, r.w.cfg.CacheTTL)
+	cache.UseClock(r.w.clock)
+	r.h = h
+	return nil
+}
+
+// deliverer delivers a request to one replica's current incarnation —
+// the in-memory wire. A delivery attempt costs BaseRTT of virtual time
+// whether or not the replica is up.
+type deliverer struct{ r *simReplica }
+
+func (d deliverer) RoundTrip(req *http.Request) (*http.Response, error) {
+	w := d.r.w
+	//soclint:ignore errdiscard crossing a virtual deadline mid-wire still delivers; the timeout layer converts it after the fact
+	_ = vtime.Sleep(req.Context(), w.cfg.BaseRTT)
+	if !d.r.alive {
+		return nil, fmt.Errorf("simnet: %s: connection refused", d.r.name)
+	}
+	w.stepDelivered++
+	rec := httptest.NewRecorder()
+	d.r.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// linkNet routes by URL host to the per-replica fault-injected link.
+type linkNet struct{ w *World }
+
+func (ln linkNet) RoundTrip(req *http.Request) (*http.Response, error) {
+	for _, r := range ln.w.replicas {
+		if r.name == req.URL.Host {
+			return r.rt.RoundTrip(req)
+		}
+	}
+	return nil, fmt.Errorf("simnet: unknown host %q", req.URL.Host)
+}
+
+// Run executes the schedule in a fresh world and returns the full
+// record, invariants checked after every step. The returned error
+// reports harness malfunction only; invariant violations are data.
+func Run(cfg Config, sched Schedule) (*RunRecord, error) {
+	w, err := NewWorld(cfg, sched.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := &RunRecord{Schedule: sched}
+	for i, st := range sched.Steps {
+		sr := w.runStep(i, st)
+		rec.Steps = append(rec.Steps, sr)
+		rec.Log = append(rec.Log, w.logLine(sr))
+		rec.Violations = append(rec.Violations, w.checkStep(sr)...)
+	}
+	rec.HandlerRuns = w.handlerRuns
+	rec.Observations = w.observations
+	sum := sha256.Sum256([]byte(strings.Join(rec.Log, "\n")))
+	rec.Hash = hex.EncodeToString(sum[:])
+	return rec, nil
+}
+
+func (w *World) runStep(i int, st Step) StepRecord {
+	w.stepIdx = i
+	w.stepDelivered = 0
+	w.stepTransitions = w.stepTransitions[:0]
+	w.pendingSpans = w.pendingSpans[:0]
+	sr := StepRecord{Index: i, Step: st}
+	start := w.clock.Now()
+
+	switch st.Kind {
+	case StepCall:
+		client := w.clients[mod(st.Client, len(w.clients))]
+		args := make(core.Values, len(st.Args))
+		for k, v := range st.Args {
+			args[k] = v
+		}
+		out, err := client.Call(w.ctx, st.Service, st.Op, args)
+		sr.Err = errString(err)
+		sr.Out = canonValues(out)
+	case StepWorkflow:
+		client := w.clients[mod(st.Client, len(w.clients))]
+		out, names, err := w.runWorkflow(client, st.Args)
+		sr.Err = errString(err)
+		sr.Out = canonValues(out) + "|activities=" + strings.Join(names, ",")
+	case StepKill:
+		w.replicas[mod(st.Replica, len(w.replicas))].alive = false
+	case StepRestart:
+		r := w.replicas[mod(st.Replica, len(w.replicas))]
+		// Archive anything still in the dying incarnation's ring before
+		// the host is replaced (normally empty: every step drains).
+		w.pendingSpans = append(w.pendingSpans, drain(r.h.Tracer())...)
+		if err := r.boot(); err != nil {
+			sr.Err = errString(err)
+		}
+	case StepAdvance:
+		w.clock.Advance(time.Duration(st.AdvanceMs) * time.Millisecond)
+	default:
+		sr.Err = fmt.Sprintf("simtest: unknown step kind %q", st.Kind)
+	}
+
+	sr.ElapsedMs = int64(w.clock.Now().Sub(start) / time.Millisecond)
+	spans := append([]telemetry.Span(nil), w.pendingSpans...)
+	spans = append(spans, drain(w.clientTracer)...)
+	for _, r := range w.replicas {
+		spans = append(spans, drain(r.h.Tracer())...)
+	}
+	sr.Spans = spans
+	sr.Delivered = w.stepDelivered
+	sr.Transitions = append([]Transition(nil), w.stepTransitions...)
+	for _, sp := range spans {
+		switch sp.Kind {
+		case telemetry.KindServer:
+			sr.ServerSpans++
+		case telemetry.KindCache:
+			sr.CacheSpans++
+		}
+	}
+
+	if st.Kind == StepCall {
+		obs := Observation{
+			Service: st.Service,
+			Up:      sr.Err == "",
+			RTT:     w.clock.Now().Sub(start),
+			Cached:  sr.CacheSpans > 0,
+		}
+		w.observations = append(w.observations, obs)
+		//soclint:ignore errdiscard the three simulated services are always published; a lookup failure would surface in the QoS invariant
+		_ = w.qosReg.ObserveCall(obs.Service, obs.Up, obs.RTT, obs.Cached)
+		if !obs.Cached {
+			agg := w.qosAgg[obs.Service]
+			if agg == nil {
+				agg = &QoSAgg{}
+				w.qosAgg[obs.Service] = agg
+			}
+			agg.Add(obs.Up, obs.RTT)
+		}
+	}
+	return sr
+}
+
+// checkStep runs all five invariant checkers after a step: the per-step
+// ones on this step's record, the cumulative ones on the aggregates so
+// far.
+func (w *World) checkStep(sr StepRecord) []Violation {
+	var out []Violation
+	out = append(out, CheckTraceStep(sr.Index, sr.Step.Kind, sr.Spans)...)
+	out = append(out, CheckDelivery(sr.Index, sr.Delivered, sr.ServerSpans, sr.CacheSpans)...)
+	out = append(out, CheckBreakerEdges(sr.Transitions)...)
+	out = append(out, CheckCacheOnce(sr.Index, w.handlerRuns)...)
+	names := make([]string, 0, len(w.qosAgg))
+	for name := range w.qosAgg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q, ok := w.qosReg.QoSOf(name)
+		out = append(out, CheckQoSBounds(sr.Index, name, *w.qosAgg[name], q, ok)...)
+	}
+	return out
+}
+
+// runWorkflow composes two resilient calls — credit score, then password
+// strength — as a workflow Sequence, so workflow spans join the same
+// trace plane the call steps exercise.
+func (w *World) runWorkflow(client *host.ResilientClient, args map[string]string) (core.Values, []string, error) {
+	inv := workflow.InvokerFunc(func(ctx context.Context, service, operation string, a map[string]any) (map[string]any, error) {
+		out, err := client.Call(ctx, service, operation, core.Values(a))
+		return map[string]any(out), err
+	})
+	wf, err := workflow.New("score-and-check", &workflow.Sequence{
+		Label: "score-and-check",
+		Steps: []workflow.Activity{
+			&workflow.Invoke{
+				Label: "credit-score", Service: "CreditScore", Operation: "Score", Invoker: inv,
+				Inputs: map[string]string{"ssn": "ssn"}, Outputs: map[string]string{"score": "score"},
+			},
+			&workflow.Invoke{
+				Label: "check-strength", Service: "RandomString", Operation: "CheckStrength", Invoker: inv,
+				Inputs: map[string]string{"password": "password"}, Outputs: map[string]string{"strong": "strong"},
+			},
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := telemetry.ContextWithTracer(w.ctx, w.clientTracer)
+	out, tr, err := wf.Run(ctx, map[string]any{"ssn": args["ssn"], "password": args["password"]})
+	var names []string
+	if tr != nil {
+		names = tr.Names()
+	}
+	return core.Values(out), names, err
+}
+
+// logLine renders one step as a canonical event-log line: everything
+// deterministic (virtual times, outcomes, counters), nothing wall-clock
+// or randomized (no span IDs, no durations measured in real time).
+func (w *World) logLine(sr StepRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step=%d t=%dms kind=%s", sr.Index, w.clock.Now().Sub(simEpoch)/time.Millisecond, sr.Step.Kind)
+	switch sr.Step.Kind {
+	case StepCall:
+		fmt.Fprintf(&b, " client=%d op=%s.%s args=%s", sr.Step.Client, sr.Step.Service, sr.Step.Op, canonStringMap(sr.Step.Args))
+	case StepWorkflow:
+		fmt.Fprintf(&b, " client=%d args=%s", sr.Step.Client, canonStringMap(sr.Step.Args))
+	case StepKill, StepRestart:
+		fmt.Fprintf(&b, " replica=%d", sr.Step.Replica)
+	case StepAdvance:
+		fmt.Fprintf(&b, " advance=%dms", sr.Step.AdvanceMs)
+	}
+	fmt.Fprintf(&b, " err=%q out=%s elapsed=%dms delivered=%d server=%d cached=%d",
+		sr.Err, sr.Out, sr.ElapsedMs, sr.Delivered, sr.ServerSpans, sr.CacheSpans)
+	if len(sr.Transitions) > 0 {
+		b.WriteString(" transitions=")
+		for i, t := range sr.Transitions {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "c%d:%s:%s>%s", t.Client, t.Replica, t.From, t.To)
+		}
+	}
+	return b.String()
+}
+
+func drain(t *telemetry.Tracer) []telemetry.Span {
+	s := t.Snapshot()
+	t.Reset()
+	return s
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// canonValues renders a Values map canonically: keys sorted, values in
+// their lexical forms.
+func canonValues(v core.Values) string {
+	if len(v) == 0 {
+		return "-"
+	}
+	keys := v.Keys()
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + core.FormatValue(v[k])
+	}
+	return strings.Join(parts, "&")
+}
+
+func canonStringMap(m map[string]string) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + m[k]
+	}
+	return strings.Join(parts, "&")
+}
+
+func mod(i, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// fnv64 hashes a link name into the injector seed derivation.
+func fnv64(s string) int64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
