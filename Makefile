@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare trace-demo sim
+.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare bench-wal bench-wal-compare trace-demo sim crash
 
 ## ci: the full gate — build, lint (vet + soclint), race-enabled tests,
-## the deterministic simulation corpus, and the message-plane benchmark
-## regression gate
-ci: build lint race sim bench-compare
+## the deterministic simulation corpus, the exhaustive WAL crash-point
+## corpus, and the benchmark regression gates (message plane + WAL)
+ci: build lint race sim crash bench-compare bench-wal-compare
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,17 @@ SIM_STEPS ?= 250
 sim:
 	$(GO) run ./cmd/socsim -seeds $(SIM_SEEDS) -first $(SIM_FIRST) -steps $(SIM_STEPS)
 
+# Crash corpus size: records per corpus file in the every-byte-offset
+# truncation and bit-flip sweeps. Raise (WAL_CRASH_RECORDS=64) for a
+# deeper nightly sweep.
+WAL_CRASH_RECORDS ?= 24
+
+## crash: the WAL crash-point corpus — cut the log at every byte offset
+## and flip every byte, then prove recovery salvages exactly the acked
+## prefix and stays deterministic
+crash:
+	WAL_CRASH_RECORDS=$(WAL_CRASH_RECORDS) $(GO) test -count 1 -run 'TestCrash' ./internal/wal
+
 ## trace-demo: drive one resilient call through injected faults, retry,
 ## failover and the response cache, then print the reassembled trace
 ## trees (the same rendering GET /tracez?format=tree serves)
@@ -80,3 +91,19 @@ bench:
 bench-compare:
 	$(GO) test $(BENCHFLAGS) . | tee bench.out
 	$(GO) run ./cmd/benchdiff -against BENCH_messageplane.json -new bench.out -gate allocs -threshold 10
+
+WAL_BENCHFLAGS := -run '^$$' -bench BenchmarkWAL -benchmem -benchtime 1000x -count 3
+
+## bench-wal: run the WAL append/recover benchmarks (over the
+## deterministic in-memory disk, so allocation counts are exact) and
+## record them as the committed baseline artifact BENCH_wal.json
+bench-wal:
+	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee bench-wal.out
+	$(GO) run ./cmd/benchdiff -new bench-wal.out -gate none -json BENCH_wal.json
+
+## bench-wal-compare: rerun the WAL benchmarks and fail if allocs/op
+## regressed >10% against the recorded baseline — the append path is
+## zero-allocation and must stay that way
+bench-wal-compare:
+	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee bench-wal.out
+	$(GO) run ./cmd/benchdiff -against BENCH_wal.json -new bench-wal.out -gate allocs -threshold 10

@@ -1,7 +1,10 @@
 // Command socsim runs the deterministic simulation harness: seeded
-// property-based workloads over the in-process call plane, invariants
-// checked after every step, failing schedules shrunk to a minimal
-// replay.
+// property-based workloads over the in-process call plane — calls,
+// workflows, durable-directory mutations (publish/unpublish/renew
+// against each replica's write-ahead-logged registry), clock advances,
+// power-cut kills that tear unsynced disk tails, and recovering
+// restarts — with invariants (acked ⇒ durable included) checked after
+// every step and failing schedules shrunk to a minimal replay.
 //
 // Corpus mode (default) sweeps -seeds consecutive seeds starting at
 // -first; replay mode (-seed N) re-runs one seed and prints its event

@@ -19,6 +19,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"soc/internal/host"
@@ -27,6 +28,7 @@ import (
 	"soc/internal/rest"
 	"soc/internal/robot"
 	"soc/internal/services"
+	"soc/internal/wal"
 )
 
 func main() {
@@ -86,9 +88,30 @@ func buildServer(dataDir, baseURL string) (http.Handler, *host.Host, error) {
 		return nil, nil, fmt.Errorf("mounting robot: %w", err)
 	}
 
-	reg := registry.New()
+	// The registry is durable: every publish, unpublish and lease renewal
+	// is fsynced to a write-ahead log under <dataDir>/registry before it
+	// is acknowledged, and restarts recover the directory (snapshot plus
+	// log suffix, torn tails salvaged) before re-seeding the catalog.
+	regFS, err := wal.NewOSFS(filepath.Join(dataDir, "registry"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry dir: %w", err)
+	}
+	reg, err := registry.OpenDurable(regFS, registry.DurableOptions{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening registry: %w", err)
+	}
+	if rec := reg.Recovery(); rec.LastIndex > 0 || rec.Salvaged {
+		log.Printf("wsrepo: registry recovered: %s", rec)
+	}
 	if err := catalogSvcs.PublishAll(reg, baseURL, "wsrepo"); err != nil {
 		return nil, nil, fmt.Errorf("publishing: %w", err)
+	}
+	// directory.xml is the human- and tool-readable UDDI-style export of
+	// the recovered directory, rewritten atomically and durably (temp
+	// file, fsync, rename, directory fsync) so a crash can never leave a
+	// torn export behind.
+	if err := reg.SaveFile(filepath.Join(dataDir, "directory.xml")); err != nil {
+		return nil, nil, fmt.Errorf("exporting directory: %w", err)
 	}
 
 	app, err := mortgageapp.New(dataDir)

@@ -4,6 +4,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,52 @@ func TestBuildServerEndpoints(t *testing.T) {
 func TestBuildServerBadDataDir(t *testing.T) {
 	if _, _, err := buildServer("", ""); err == nil {
 		t.Error("empty dataDir accepted")
+	}
+}
+
+// TestRegistryDurableAcrossRestarts: a service published through the
+// REST API survives a full server rebuild over the same data directory —
+// the registry recovers it from its write-ahead log — and the atomic
+// directory.xml export exists after every boot.
+func TestRegistryDurableAcrossRestarts(t *testing.T) {
+	dataDir := t.TempDir()
+	mux, _, err := buildServer(dataDir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := httptest.NewServer(mux)
+	body := strings.NewReader(`{"name":"ExternalSvc","endpoint":"http://elsewhere/svc",` +
+		`"doc":"a third-party service published at runtime","category":"external/test"}`)
+	resp, err := http.Post(server.URL+"/registry/services", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("publish: %d %s", resp.StatusCode, data)
+	}
+	resp.Body.Close()
+	server.Close()
+
+	if _, err := os.Stat(filepath.Join(dataDir, "directory.xml")); err != nil {
+		t.Errorf("directory.xml not exported: %v", err)
+	}
+
+	// A fresh build over the same data dir is a restart: the runtime
+	// publish must still be there, catalog re-seeding and all.
+	mux2, _, err := buildServer(dataDir, "")
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	server2 := httptest.NewServer(mux2)
+	defer server2.Close()
+	resp, err = http.Get(server2.URL + "/registry/services/ExternalSvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "http://elsewhere/svc") {
+		t.Fatalf("entry did not survive the restart: %d %s", resp.StatusCode, data)
 	}
 }

@@ -54,6 +54,11 @@ type Config struct {
 	// analyzer: packages the deterministic simulation harness runs in
 	// virtual time, where direct wall-clock reads/waits are forbidden.
 	ClockScope []string
+	// DurableScope lists import-path prefixes subject to the
+	// fsyncdiscipline analyzer: packages that persist state the stack
+	// promises to recover after a crash, where fsync-free writes and
+	// rename-before-fsync are forbidden.
+	DurableScope []string
 }
 
 // DefaultConfig is the policy soclint applies to this module: contracts
@@ -92,6 +97,12 @@ func DefaultConfig(moduleDir string) Config {
 			"soc/internal/reliability",
 			"soc/internal/respcache",
 			"soc/internal/vtime",
+		},
+		DurableScope: []string{
+			"soc/internal/registry",
+			"soc/internal/wal",
+			"soc/internal/xmlstore",
+			"soc/cmd/wsrepo",
 		},
 	}
 }
@@ -288,6 +299,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ContractCheck,
 		CtxPropagate,
 		ErrDiscard,
+		FsyncDiscipline,
 		LockSafe,
 		NoClientLiteral,
 		PoolReset,

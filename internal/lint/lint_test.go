@@ -117,6 +117,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"noclientliteral", func(string) Config { return Config{} }},
 		{"poolreset", func(string) Config { return Config{} }},
 		{"tracepropagate", func(string) Config { return Config{CallPlanePath: "soc/internal/callplane"} }},
+		{"fsyncdiscipline", func(p string) Config { return Config{DurableScope: []string{p}} }},
 		{"locksafe", func(p string) Config { return Config{LockBlockScope: []string{p}} }},
 		{"errdiscard", func(p string) Config { return Config{ErrDiscardScope: []string{p}} }},
 		{"contractcheck", func(p string) Config {

@@ -1,0 +1,66 @@
+// Package fsyncdiscipline is the golden fixture for the fsyncdiscipline
+// analyzer: fsync-free writes and rename-before-fsync are findings, the
+// write → sync → rename sequence is not, and an explained ignore
+// directive suppresses.
+package fsyncdiscipline
+
+import "os"
+
+func lazyWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile in a durability-scoped package`
+}
+
+func renameWithoutSync(tmp, path string) error {
+	return os.Rename(tmp, path) // want `os.Rename without a preceding fsync`
+}
+
+func publishProperly(path string, data []byte) error {
+	f, err := os.CreateTemp(".", "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // synced above: no finding
+}
+
+// syncInHelperCounts: the lexical rule accepts any earlier call whose
+// name mentions sync, helpers included.
+func syncInHelperCounts(tmp, path string) error {
+	if err := fsyncAll(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fsyncAll(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// laterSyncDoesNotCount: a Sync after the rename cannot retroactively
+// make the publish safe.
+func laterSyncDoesNotCount(tmp, path string, f *os.File) error {
+	if err := os.Rename(tmp, path); err != nil { // want `os.Rename without a preceding fsync`
+		return err
+	}
+	return f.Sync()
+}
+
+func forwardingAdapter(oldname, newname string) error {
+	//soclint:ignore fsyncdiscipline thin adapter fixture: the caller owns the sync sequencing
+	return os.Rename(oldname, newname)
+}

@@ -27,12 +27,26 @@ import (
 //	GET    /registry/categories
 //	GET    /registry/categories/{cat}    entries under a taxonomy prefix
 type API struct {
-	reg    *Registry
+	reg    Directory
 	router *rest.Router
 }
 
+// Directory is the registry surface the REST API serves. Both *Registry
+// (in-memory) and *DurableRegistry (write-ahead logged) implement it, so
+// a deployment picks durability without touching the API layer.
+type Directory interface {
+	Publish(e Entry) error
+	Unpublish(name string) error
+	Heartbeat(name string) error
+	Get(name string) (Entry, error)
+	List(liveOnly bool) []Entry
+	Search(query string, limit int) ([]Match, error)
+	Categories() []string
+	ByCategory(prefix string) []Entry
+}
+
 // NewAPI wraps a registry in its REST API.
-func NewAPI(reg *Registry) *API {
+func NewAPI(reg Directory) *API {
 	a := &API{reg: reg, router: rest.NewRouter()}
 	a.router.Use(rest.Recovery())
 	must := func(err error) {

@@ -1,11 +1,13 @@
 package registry
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
+	"soc/internal/wal"
 	"soc/internal/xmlkit"
 )
 
@@ -51,6 +53,17 @@ func (r *Registry) Save(w io.Writer) error {
 	}
 	doc := &xmlkit.Document{Root: root}
 	return doc.Write(w)
+}
+
+// SaveFile writes the XML directory document to path atomically: temp
+// file + fsync + rename + directory fsync, so a crash mid-export leaves
+// either the previous document or the new one, never a truncated mix.
+func (r *Registry) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // Load publishes every service element of an XML directory document into

@@ -97,13 +97,21 @@ func New(opts ...Option) *Registry {
 
 var categoryRE = regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+)*$`)
 
-// Publish registers (or re-registers) an entry and grants a fresh lease.
-func (r *Registry) Publish(e Entry) error {
+// validateEntry applies the publish-time structural checks.
+func validateEntry(e Entry) error {
 	if e.Name == "" || e.Endpoint == "" {
 		return fmt.Errorf("%w: name and endpoint are required", ErrInvalid)
 	}
 	if e.Category != "" && !categoryRE.MatchString(e.Category) {
 		return fmt.Errorf("%w: bad category %q", ErrInvalid, e.Category)
+	}
+	return nil
+}
+
+// Publish registers (or re-registers) an entry and grants a fresh lease.
+func (r *Registry) Publish(e Entry) error {
+	if err := validateEntry(e); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -158,6 +166,56 @@ func (r *Registry) unindexLocked(name string) {
 		}
 	}
 	delete(r.docTF, name)
+}
+
+// prepare resolves what Publish would install for e — validation,
+// Published preservation for re-registrations, a fresh lease — without
+// mutating the registry. It is the write-ahead half of a durable publish:
+// the resolved entry is logged first and then installed verbatim via
+// Restore, so log replay reproduces the exact same state.
+func (r *Registry) prepare(e Entry) (Entry, error) {
+	if err := validateEntry(e); err != nil {
+		return Entry{}, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	now := r.now()
+	if old, ok := r.entries[e.Name]; ok {
+		e.Published = old.Published
+	} else {
+		e.Published = now
+	}
+	e.LeaseExpires = now.Add(r.lease)
+	return e, nil
+}
+
+// Restore installs an entry verbatim — Published and LeaseExpires
+// included — and rebuilds its index postings. It is the replay primitive
+// of the durable registry: restoring the same entry always produces the
+// same state, which keeps crash recovery deterministic.
+func (r *Registry) Restore(e Entry) error {
+	if err := validateEntry(e); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copied := e
+	r.entries[e.Name] = &copied
+	r.indexLocked(&copied)
+	return nil
+}
+
+// setLease pins an entry's lease expiry to an exact instant — the replay
+// primitive behind durable heartbeats.
+func (r *Registry) setLease(name string, t time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.LeaseExpires = t
+	return nil
 }
 
 // Heartbeat renews the lease of an entry.

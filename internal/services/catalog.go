@@ -104,9 +104,15 @@ func (c *Catalog) MountAll(h *host.Host) error {
 	return nil
 }
 
+// Publisher is the registry surface PublishAll needs — satisfied by both
+// *registry.Registry and *registry.DurableRegistry.
+type Publisher interface {
+	Publish(e registry.Entry) error
+}
+
 // PublishAll publishes every catalog service into the registry under the
 // given endpoint base URL.
-func (c *Catalog) PublishAll(reg *registry.Registry, baseURL, provider string) error {
+func (c *Catalog) PublishAll(reg Publisher, baseURL, provider string) error {
 	for _, svc := range c.Services {
 		var ops []string
 		for _, op := range svc.Operations() {

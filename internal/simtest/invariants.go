@@ -30,6 +30,7 @@ const (
 	InvTraceTree  = "trace-tree"
 	InvQoSBounds  = "qos-bounds"
 	InvDelivery   = "delivery"
+	InvDurable    = "acked-durable"
 )
 
 // CheckCacheOnce verifies the idempotent-response cache contract: within
@@ -50,6 +51,56 @@ func CheckCacheOnce(step int, runs map[string]int) []Violation {
 		}
 	}
 	return out
+}
+
+// DirectoryReader is the read surface CheckDurable audits — satisfied by
+// *registry.DurableRegistry.
+type DirectoryReader interface {
+	Get(name string) (registry.Entry, error)
+	List(liveOnly bool) []registry.Entry
+}
+
+// CheckDurable verifies the acked ⇒ durable contract for one replica's
+// directory: every entry in the acked ledger is discoverable, field for
+// field (leases and publication times included — recovery must be exact,
+// not just present), and nothing the ledger does not account for has
+// crept in. Because the ledger only moves on acknowledged mutations and
+// the directory recovers from its write-ahead log after crashes, any
+// divergence means an acked write was lost, resurrected or mangled.
+func CheckDurable(step int, replica string, acked map[string]registry.Entry, dir DirectoryReader) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Step: step, Invariant: InvDurable, Detail: fmt.Sprintf(format, args...)})
+	}
+	for name, want := range acked {
+		got, err := dir.Get(name)
+		if err != nil {
+			bad("%s: acked publish of %q is not discoverable: %v", replica, name, err)
+			continue
+		}
+		if !durableEntryEqual(want, got) {
+			bad("%s: entry %q diverged from its acked state: acked %s, have %s",
+				replica, name, durableEntryString(want), durableEntryString(got))
+		}
+	}
+	for _, e := range dir.List(false) {
+		if _, ok := acked[e.Name]; !ok {
+			bad("%s: entry %q present but never acked (resurrected nacked write?)", replica, e.Name)
+		}
+	}
+	return out
+}
+
+func durableEntryEqual(a, b registry.Entry) bool {
+	return a.Name == b.Name && a.Endpoint == b.Endpoint && a.Category == b.Category &&
+		a.Doc == b.Doc && a.Provider == b.Provider &&
+		a.Published.Equal(b.Published) && a.LeaseExpires.Equal(b.LeaseExpires)
+}
+
+func durableEntryString(e registry.Entry) string {
+	return fmt.Sprintf("{endpoint=%s category=%s provider=%s published=%s lease=%s}",
+		e.Endpoint, e.Category, e.Provider,
+		e.Published.UTC().Format(time.RFC3339Nano), e.LeaseExpires.UTC().Format(time.RFC3339Nano))
 }
 
 // legalEdges is the circuit breaker's legal transition relation:

@@ -147,3 +147,53 @@ func TestCheckQoSBounds(t *testing.T) {
 		InvQoSBounds, "zero successful")
 	wantClean(t, CheckQoSBounds(7, "Svc", allDown, registry.QoS{Uptime: 0, MeanRTT: 0, Samples: 2}, true))
 }
+
+// fakeDirectory is a minimal DirectoryReader for mutating the durable
+// invariant's inputs without a real WAL behind them.
+type fakeDirectory map[string]registry.Entry
+
+func (f fakeDirectory) Get(name string) (registry.Entry, error) {
+	e, ok := f[name]
+	if !ok {
+		return registry.Entry{}, registry.ErrNotFound
+	}
+	return e, nil
+}
+
+func (f fakeDirectory) List(bool) []registry.Entry {
+	out := make([]registry.Entry, 0, len(f))
+	for _, e := range f {
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestCheckDurable(t *testing.T) {
+	entry := registry.Entry{
+		Name: "MazeSolver", Endpoint: "sim://alpha", Category: "games/maze",
+		Provider:     "replica-0",
+		Published:    time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC),
+		LeaseExpires: time.Date(2030, 1, 1, 1, 0, 0, 0, time.UTC),
+	}
+	acked := map[string]registry.Entry{entry.Name: entry}
+
+	// Faithful recovery: ledger and directory agree exactly.
+	wantClean(t, CheckDurable(1, "replica-0", acked, fakeDirectory{entry.Name: entry}))
+
+	// Lost write: an acked entry is gone after recovery.
+	wantViolation(t, CheckDurable(2, "replica-0", acked, fakeDirectory{}),
+		InvDurable, "not discoverable")
+
+	// Mangled recovery: present but the lease does not match the ack.
+	stale := entry
+	stale.LeaseExpires = stale.LeaseExpires.Add(-time.Minute)
+	wantViolation(t, CheckDurable(3, "replica-0", acked, fakeDirectory{entry.Name: stale}),
+		InvDurable, "diverged from its acked state")
+
+	// Resurrection: a never-acked (nacked or rolled-back) entry reappears.
+	ghost := entry
+	ghost.Name = "Ghost"
+	wantViolation(t, CheckDurable(4, "replica-0", acked,
+		fakeDirectory{entry.Name: entry, ghost.Name: ghost}),
+		InvDurable, "never acked")
+}

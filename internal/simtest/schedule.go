@@ -32,6 +32,15 @@ const (
 	// StepAdvance moves the virtual clock forward by AdvanceMs — how
 	// breaker cooldowns elapse and cache TTLs age in a simulation.
 	StepAdvance = "advance"
+	// StepPublish registers Service into the target replica's durable
+	// directory (write-ahead logged to its simulated disk). A successful
+	// step is an ACK: the entry must be discoverable on that replica after
+	// any crash — the acked ⇒ durable invariant.
+	StepPublish = "publish"
+	// StepUnpublish durably removes Service from the replica's directory.
+	StepUnpublish = "unpublish"
+	// StepRenew durably renews Service's lease on the replica.
+	StepRenew = "renew"
 )
 
 // Step is one event of a simulation schedule. The zero-value fields not
@@ -87,6 +96,14 @@ var (
 	}
 	itemPool  = []string{"widget", "gadget", "sprocket", "flange"}
 	pricePool = []string{"1.25", "9.99", "42.00", "0.50"}
+	// dirSvcPool names the services the directory steps publish and
+	// remove. Small on purpose: re-publishes, renewals of missing entries
+	// and unpublish races all happen within a run.
+	dirSvcPool = []string{"MazeSolver", "WeatherMap", "TranslateX", "CaptchaGen", "LedgerSync"}
+	// endpointPool gives published entries a couple of distinct endpoints
+	// so re-publishes actually change state.
+	endpointPool = []string{"sim://alpha", "sim://beta", "sim://gamma"}
+	categoryPool = []string{"games/maze", "data/weather", "text/translate"}
 )
 
 // GenSchedule derives a property-based workload from a seed: a random
@@ -114,16 +131,26 @@ func GenSchedule(seed int64, steps, clients, replicas int) Schedule {
 func genStep(rng *rand.Rand, clients, replicas int) Step {
 	client := rng.Intn(clients)
 	switch p := rng.Float64(); {
-	case p < 0.58:
+	case p < 0.50:
 		return genCall(rng, client)
-	case p < 0.66:
+	case p < 0.58:
 		return Step{Kind: StepWorkflow, Client: client, Args: map[string]string{
 			"ssn":      pick(rng, ssnPool),
 			"password": pick(rng, passwordPool),
 		}}
-	case p < 0.80:
+	case p < 0.65:
+		return Step{Kind: StepPublish, Replica: rng.Intn(replicas),
+			Service: pick(rng, dirSvcPool), Args: map[string]string{
+				"endpoint": pick(rng, endpointPool),
+				"category": pick(rng, categoryPool),
+			}}
+	case p < 0.68:
+		return Step{Kind: StepUnpublish, Replica: rng.Intn(replicas), Service: pick(rng, dirSvcPool)}
+	case p < 0.71:
+		return Step{Kind: StepRenew, Replica: rng.Intn(replicas), Service: pick(rng, dirSvcPool)}
+	case p < 0.83:
 		return Step{Kind: StepAdvance, AdvanceMs: 50 + rng.Int63n(2950)}
-	case p < 0.89:
+	case p < 0.91:
 		return Step{Kind: StepKill, Replica: rng.Intn(replicas)}
 	default:
 		return Step{Kind: StepRestart, Replica: rng.Intn(replicas)}

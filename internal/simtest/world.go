@@ -19,6 +19,7 @@ import (
 	"soc/internal/services"
 	"soc/internal/telemetry"
 	"soc/internal/vtime"
+	"soc/internal/wal"
 	"soc/internal/workflow"
 )
 
@@ -57,6 +58,17 @@ type Config struct {
 	// Faults is the per-link fault rule; nil uses DefaultFaults. Point at
 	// a zero Rule for a fault-free world.
 	Faults *faultinject.Rule
+	// DiskFaults is the per-replica disk fault rule applied to the durable
+	// directory's write-ahead log; nil uses DefaultDiskFaults. Point at a
+	// zero DiskRule for perfect disks.
+	DiskFaults *faultinject.DiskRule
+	// SnapshotEvery folds each replica's directory log into a snapshot
+	// after this many records (default 6, small enough that generated
+	// schedules exercise snapshot + compaction + recovery-from-snapshot).
+	SnapshotEvery int
+	// SegmentBytes is the replica WAL rotation threshold (default 2048,
+	// small enough that schedules span multiple segments).
+	SegmentBytes int64
 }
 
 // DefaultFaults is the standard chaos mix: errors, drops, the occasional
@@ -71,6 +83,15 @@ var DefaultFaults = faultinject.Rule{
 	LatencyRate:   0.25,
 	Latency:       40 * time.Millisecond,
 	LatencyJitter: 20 * time.Millisecond,
+}
+
+// DefaultDiskFaults is the standard hostile-disk mix for the durable
+// directory: failed writes, torn (short) writes, failed fsyncs. Crashes
+// additionally tear whatever was written but not synced.
+var DefaultDiskFaults = faultinject.DiskRule{
+	WriteErrorRate: 0.02,
+	ShortWriteRate: 0.05,
+	SyncErrorRate:  0.04,
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +128,16 @@ func (c Config) withDefaults() Config {
 	if c.Faults == nil {
 		f := DefaultFaults
 		c.Faults = &f
+	}
+	if c.DiskFaults == nil {
+		d := DefaultDiskFaults
+		c.DiskFaults = &d
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 6
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 2048
 	}
 	return c
 }
@@ -171,6 +202,14 @@ type simReplica struct {
 	incarnation int
 	h           *host.Host
 	rt          http.RoundTripper // fault injector wrapped around delivery
+
+	// disk is the replica's simulated disk: it survives restarts (it is
+	// the durable medium) and tears its unsynced tails on kill. faultFS
+	// is the same disk behind the write-fault injector (reads pass
+	// through unfaulted, so recovery always sees the disk as it is).
+	disk    *wal.MemFS
+	faultFS wal.FS
+	dreg    *registry.DurableRegistry
 }
 
 // World is one simulated universe: virtual clock, replicas, clients,
@@ -192,6 +231,11 @@ type World struct {
 	handlerRuns     map[string]int
 	qosAgg          map[string]*QoSAgg
 	observations    []Observation
+	// acked is the per-replica ledger of durably acknowledged directory
+	// state: exactly the entries whose publish/renew/unpublish acks the
+	// world has seen. The acked ⇒ durable invariant holds each replica's
+	// directory to it after every step, crashes included.
+	acked []map[string]registry.Entry
 }
 
 // NewWorld builds a world for the schedule's seed. Fault plans for each
@@ -219,6 +263,16 @@ func NewWorld(cfg Config, seed int64) (*World, error) {
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &simReplica{w: w, idx: i, name: fmt.Sprintf("replica-%d", i)}
 		r.baseURL = "http://" + r.name
+		r.disk = wal.NewMemFS(seed ^ fnv64(r.name+"/disk"))
+		di, err := faultinject.NewDisk(faultinject.DiskPlan{
+			Seed: seed ^ fnv64(r.name+"/disk-faults"),
+			Rule: *cfg.DiskFaults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.faultFS = di.FS(r.disk)
+		w.acked = append(w.acked, map[string]registry.Entry{})
 		if err := r.boot(); err != nil {
 			return nil, err
 		}
@@ -315,6 +369,17 @@ func (r *simReplica) boot() error {
 	cache := h.UseResponseCache(r.w.cfg.CacheCapacity, r.w.cfg.CacheTTL)
 	cache.UseClock(r.w.clock)
 	r.h = h
+	// Recover the durable directory from the replica's disk: the write-
+	// ahead log (as salvaged after any crash) rebuilds exactly the acked
+	// directory state of the previous incarnations.
+	dreg, err := registry.OpenDurable(r.faultFS, registry.DurableOptions{
+		WAL:           wal.Options{SegmentBytes: r.w.cfg.SegmentBytes},
+		SnapshotEvery: r.w.cfg.SnapshotEvery,
+	}, registry.WithClock(r.w.clock.Now), registry.WithLease(time.Hour))
+	if err != nil {
+		return err
+	}
+	r.dreg = dreg
 	return nil
 }
 
@@ -396,7 +461,11 @@ func (w *World) runStep(i int, st Step) StepRecord {
 		sr.Err = errString(err)
 		sr.Out = canonValues(out) + "|activities=" + strings.Join(names, ",")
 	case StepKill:
-		w.replicas[mod(st.Replica, len(w.replicas))].alive = false
+		r := w.replicas[mod(st.Replica, len(w.replicas))]
+		r.alive = false
+		// A kill is a power cut, not a clean exit: the disk keeps only
+		// what was fsynced plus a seeded-random torn tail of the rest.
+		r.disk.Crash()
 	case StepRestart:
 		r := w.replicas[mod(st.Replica, len(w.replicas))]
 		// Archive anything still in the dying incarnation's ring before
@@ -404,7 +473,14 @@ func (w *World) runStep(i int, st Step) StepRecord {
 		w.pendingSpans = append(w.pendingSpans, drain(r.h.Tracer())...)
 		if err := r.boot(); err != nil {
 			sr.Err = errString(err)
+		} else {
+			// The recovery report (snapshot index, replayed records,
+			// salvage decisions) feeds the canonical log, so recovery
+			// itself is held to the determinism hash.
+			sr.Out = strings.ReplaceAll(r.dreg.Recovery().String(), " ", ",")
 		}
+	case StepPublish, StepUnpublish, StepRenew:
+		sr.Err, sr.Out = w.runDirectoryStep(st)
 	case StepAdvance:
 		w.clock.Advance(time.Duration(st.AdvanceMs) * time.Millisecond)
 	default:
@@ -451,6 +527,54 @@ func (w *World) runStep(i int, st Step) StepRecord {
 	return sr
 }
 
+// runDirectoryStep executes one durable-directory mutation against the
+// target replica and settles the acked ledger: only a nil error is an
+// ack, and only acks move the ledger. The outcome string renders the
+// resulting lease deterministically (virtual milliseconds since epoch).
+func (w *World) runDirectoryStep(st Step) (errStr, out string) {
+	r := w.replicas[mod(st.Replica, len(w.replicas))]
+	if !r.alive {
+		return fmt.Sprintf("simtest: %s is down", r.name), "-"
+	}
+	ledger := w.acked[r.idx]
+	switch st.Kind {
+	case StepPublish:
+		err := r.dreg.Publish(registry.Entry{
+			Name:     st.Service,
+			Endpoint: st.Args["endpoint"],
+			Category: st.Args["category"],
+			Doc:      "simulated directory entry " + st.Service,
+			Provider: r.name,
+		})
+		if err != nil {
+			return errString(err), "-"
+		}
+		stored, err := r.dreg.Get(st.Service)
+		if err != nil {
+			return "simtest: acked publish not readable: " + err.Error(), "-"
+		}
+		ledger[st.Service] = stored
+		return "", fmt.Sprintf("lease=%dms", stored.LeaseExpires.Sub(simEpoch)/time.Millisecond)
+	case StepUnpublish:
+		if err := r.dreg.Unpublish(st.Service); err != nil {
+			return errString(err), "-"
+		}
+		delete(ledger, st.Service)
+		return "", "removed"
+	case StepRenew:
+		if err := r.dreg.Heartbeat(st.Service); err != nil {
+			return errString(err), "-"
+		}
+		stored, err := r.dreg.Get(st.Service)
+		if err != nil {
+			return "simtest: acked renew not readable: " + err.Error(), "-"
+		}
+		ledger[st.Service] = stored
+		return "", fmt.Sprintf("lease=%dms", stored.LeaseExpires.Sub(simEpoch)/time.Millisecond)
+	}
+	return "simtest: unknown directory step " + st.Kind, "-"
+}
+
 // checkStep runs all five invariant checkers after a step: the per-step
 // ones on this step's record, the cumulative ones on the aggregates so
 // far.
@@ -468,6 +592,14 @@ func (w *World) checkStep(sr StepRecord) []Violation {
 	for _, name := range names {
 		q, ok := w.qosReg.QoSOf(name)
 		out = append(out, CheckQoSBounds(sr.Index, name, *w.qosAgg[name], q, ok)...)
+	}
+	for i, r := range w.replicas {
+		if !r.alive {
+			// A dead replica's directory is unreadable by definition; its
+			// ledger is settled the moment it restarts and recovers.
+			continue
+		}
+		out = append(out, CheckDurable(sr.Index, r.name, w.acked[i], r.dreg)...)
 	}
 	return out
 }
@@ -518,6 +650,10 @@ func (w *World) logLine(sr StepRecord) string {
 		fmt.Fprintf(&b, " client=%d args=%s", sr.Step.Client, canonStringMap(sr.Step.Args))
 	case StepKill, StepRestart:
 		fmt.Fprintf(&b, " replica=%d", sr.Step.Replica)
+	case StepPublish:
+		fmt.Fprintf(&b, " replica=%d service=%s args=%s", sr.Step.Replica, sr.Step.Service, canonStringMap(sr.Step.Args))
+	case StepUnpublish, StepRenew:
+		fmt.Fprintf(&b, " replica=%d service=%s", sr.Step.Replica, sr.Step.Service)
 	case StepAdvance:
 		fmt.Fprintf(&b, " advance=%dms", sr.Step.AdvanceMs)
 	}

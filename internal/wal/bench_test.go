@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the hot append path over the in-memory
+// disk: frame encode + CRC + write + sync bookkeeping. Gated by
+// cmd/benchdiff against BENCH_wal.json (allocs/op must not regress).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, size := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			fs := NewMemFS(1)
+			l, _, err := Open(fs, Options{SegmentBytes: 1 << 30})
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatalf("Append: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWALRecover measures replaying a 512-record log with one
+// snapshot — the restart path a replica pays after a crash.
+func BenchmarkWALRecover(b *testing.B) {
+	fs := NewMemFS(2)
+	l, _, err := Open(fs, Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	payload := make([]byte, 128)
+	for i := 0; i < 256; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Snapshot(make([]byte, 4096)); err != nil {
+		b.Fatalf("Snapshot: %v", err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatalf("Append: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Open(fs, Options{SegmentBytes: 16 << 10}); err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// crashRecords is the generated-log size for the crash-point corpus. The
+// default keeps `go test` fast; `make crash` raises it via the
+// WAL_CRASH_RECORDS environment knob for a denser sweep.
+func crashRecords(t *testing.T) int {
+	t.Helper()
+	n := 8
+	if env := os.Getenv("WAL_CRASH_RECORDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("WAL_CRASH_RECORDS=%q: want a positive integer", env)
+		}
+		n = v
+	}
+	return n
+}
+
+// buildCrashCorpus appends n records into a single segment and returns
+// the raw segment bytes, the segment name, and the byte offset where
+// each record's frame ends (boundaries[0] is the header end).
+func buildCrashCorpus(t *testing.T, n int) (raw []byte, segName string, boundaries []int) {
+	t.Helper()
+	fs := NewMemFS(42)
+	l, _ := reopen(t, fs, Options{SegmentBytes: 1 << 30})
+	boundaries = []int{headerLen}
+	off := headerLen
+	for i := 1; i <= n; i++ {
+		payload := crashPayload(i)
+		mustAppend(t, l, payload)
+		off += frameHeader + len(payload)
+		boundaries = append(boundaries, off)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	segName = names[0]
+	raw, ok := fs.RawFile(segName)
+	if !ok {
+		t.Fatalf("segment %s missing", segName)
+	}
+	if len(raw) != off {
+		t.Fatalf("segment is %d bytes, boundaries say %d", len(raw), off)
+	}
+	return raw, segName, boundaries
+}
+
+func crashPayload(i int) string {
+	// Variable lengths so frame boundaries land on odd offsets.
+	return fmt.Sprintf("record-%03d-%s", i, "xxxxx"[:i%5])
+}
+
+// durablePrefix returns how many whole records fit in the first cut
+// bytes, and where the last of them ends.
+func durablePrefix(boundaries []int, cut int) (records, end int) {
+	records, end = 0, boundaries[0]
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= cut {
+			records, end = i, boundaries[i]
+		}
+	}
+	return records, end
+}
+
+// TestCrashPointCorpusTruncation is the property test the issue asks
+// for: crash the log at EVERY byte offset (a torn write that persisted
+// exactly that prefix), recover, and assert the durable prefix is intact
+// and the salvage point is reported exactly.
+func TestCrashPointCorpusTruncation(t *testing.T) {
+	n := crashRecords(t)
+	raw, segName, boundaries := buildCrashCorpus(t, n)
+	for cut := 0; cut <= len(raw); cut++ {
+		fs := NewMemFS(int64(cut))
+		fs.WriteDurable(segName, raw[:cut])
+		l, rec, err := Open(fs, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		wantRecords, end := durablePrefix(boundaries, cut)
+		if cut < headerLen {
+			// Not even a valid header: the segment is dropped wholesale.
+			if len(rec.Records) != 0 {
+				t.Fatalf("cut=%d: recovered %d records from headerless file", cut, len(rec.Records))
+			}
+			if cut > 0 && (!rec.Info.Salvaged || rec.Info.DroppedSegments != 1) {
+				t.Fatalf("cut=%d: info %+v, want dropped segment", cut, rec.Info)
+			}
+			continue
+		}
+		if len(rec.Records) != wantRecords {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(rec.Records), wantRecords)
+		}
+		for i, r := range rec.Records {
+			want := crashPayload(i + 1)
+			if r.Index != uint64(i+1) || string(r.Data) != want {
+				t.Fatalf("cut=%d: record %d = (%d,%q), want (%d,%q)", cut, i, r.Index, r.Data, i+1, want)
+			}
+		}
+		wantDropped := int64(cut - end)
+		if rec.Info.DroppedBytes != wantDropped {
+			t.Fatalf("cut=%d: DroppedBytes=%d, want %d", cut, rec.Info.DroppedBytes, wantDropped)
+		}
+		if (wantDropped > 0) != rec.Info.Salvaged {
+			t.Fatalf("cut=%d: Salvaged=%t with %d dropped bytes", cut, rec.Info.Salvaged, wantDropped)
+		}
+		// The recovered log must stay writable: the salvaged tail may not
+		// block new appends, and they must land after the durable prefix.
+		idx, err := l.Append([]byte("post-crash"))
+		if err != nil {
+			t.Fatalf("cut=%d: post-recovery append: %v", cut, err)
+		}
+		if idx != uint64(wantRecords)+1 {
+			t.Fatalf("cut=%d: post-recovery index %d, want %d", cut, idx, wantRecords+1)
+		}
+	}
+}
+
+// TestCrashPointCorpusBitFlip flips each byte of the generated log in
+// turn (at-rest corruption) and asserts recovery keeps exactly the
+// records before the damaged frame and reports the salvage.
+func TestCrashPointCorpusBitFlip(t *testing.T) {
+	n := crashRecords(t)
+	raw, segName, boundaries := buildCrashCorpus(t, n)
+	for off := 0; off < len(raw); off++ {
+		fs := NewMemFS(int64(off))
+		fs.WriteDurable(segName, raw)
+		if err := fs.FlipBit(segName, off); err != nil {
+			t.Fatalf("off=%d: FlipBit: %v", off, err)
+		}
+		_, rec, err := Open(fs, Options{})
+		if err != nil {
+			t.Fatalf("off=%d: Open: %v", off, err)
+		}
+		// The flipped byte damages the frame containing it; every record
+		// whose frame ends at or before that frame's start must survive.
+		wantRecords, _ := durablePrefix(boundaries, off)
+		if off < headerLen {
+			wantRecords = 0
+		}
+		if len(rec.Records) != wantRecords {
+			t.Fatalf("off=%d: recovered %d records, want %d", off, len(rec.Records), wantRecords)
+		}
+		for i, r := range rec.Records {
+			want := crashPayload(i + 1)
+			if string(r.Data) != want {
+				t.Fatalf("off=%d: record %d = %q, want %q", off, i, r.Data, want)
+			}
+		}
+		if !rec.Info.Salvaged {
+			t.Fatalf("off=%d: corruption not reported: %+v", off, rec.Info)
+		}
+	}
+}
+
+// TestCrashRecoveryCycleDeterministic runs a write/crash/recover cycle
+// twice from the same seed and asserts byte-identical disks and
+// identical recovery reports — the property the simulation harness's
+// hash-equality check leans on.
+func TestCrashRecoveryCycleDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		fs := NewMemFS(seed)
+		trace := ""
+		l, rec, err := Open(fs, Options{SegmentBytes: 128})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 6; i++ {
+				data := fmt.Sprintf("r%d-i%d", round, i)
+				if idx, err := l.Append([]byte(data)); err == nil {
+					trace += fmt.Sprintf("ack %d %s\n", idx, data)
+				}
+			}
+			if round == 1 {
+				if err := l.Snapshot([]byte(fmt.Sprintf("snap-round-%d", round))); err != nil {
+					t.Fatalf("Snapshot: %v", err)
+				}
+			}
+			// Leave an unsynced partial frame behind so the crash has a
+			// torn tail for the seeded rng to tear.
+			l.mu.Lock()
+			if l.active != nil {
+				frame := appendFrame(nil, []byte(fmt.Sprintf("unsynced-r%d", round)))
+				if _, err := l.active.Write(frame[:len(frame)-3]); err != nil {
+					l.mu.Unlock()
+					t.Fatalf("raw write: %v", err)
+				}
+			}
+			l.mu.Unlock()
+			fs.Crash()
+			l, rec, err = Open(fs, Options{SegmentBytes: 128})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			trace += "recover " + rec.Info.String() + "\n"
+		}
+		return trace
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n--- run A\n%s--- run B\n%s", a, b)
+	}
+	if run(8) == a {
+		t.Fatal("different seeds produced identical traces; rng not wired through")
+	}
+}

@@ -1,19 +1,23 @@
 // Package xmlstore is the XML-file record store behind the Figure 4 web
 // application, whose provider explicitly persists accounts to an
-// "account.xml" file: typed records as XML elements, atomic file rewrites
-// (write-temp-then-rename), concurrent access via an RW mutex, and simple
-// field matching. It is deliberately a file-backed store, not a database —
+// "account.xml" file: typed records as XML elements, atomic durable file
+// rewrites (write-temp, fsync, rename, fsync the directory), a
+// corruption-tolerant loader that salvages torn files instead of erroring
+// wholesale, concurrent access via an RW mutex, and simple field
+// matching. It is deliberately a file-backed store, not a database —
 // matching what the course project actually uses.
 package xmlstore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
+	"soc/internal/wal"
 	"soc/internal/xmlkit"
 )
 
@@ -31,15 +35,36 @@ type Record struct {
 
 // Store is an XML-file-backed record collection.
 type Store struct {
-	mu   sync.RWMutex
-	path string
-	root string // root element name, e.g. "accounts"
-	item string // record element name, e.g. "account"
-	recs map[string]Record
+	mu     sync.RWMutex
+	path   string
+	root   string // root element name, e.g. "accounts"
+	item   string // record element name, e.g. "account"
+	recs   map[string]Record
+	report LoadReport
+}
+
+// LoadReport describes what Open found on disk: a clean file, or
+// corruption it tolerated. A salvaged load keeps every record that could
+// still be decoded and remembers what it had to give up — callers decide
+// whether that is acceptable for their data.
+type LoadReport struct {
+	// Salvaged is true when the file did not parse wholesale and the
+	// loader fell back to recovering the parseable prefix (a torn write
+	// from a crashed process leaves exactly that shape).
+	Salvaged bool
+	// SkippedItems counts records dropped for structural damage: a
+	// missing id or an unparseable element.
+	SkippedItems int
+	// ParseErr is the original whole-document parse error when Salvaged,
+	// kept for diagnostics.
+	ParseErr string
 }
 
 // Open loads (or initializes) a store at path with the given root and
-// record element names.
+// record element names. A damaged file — torn tail from a crashed
+// writer, or structurally broken records — does not fail the open:
+// the loader salvages every decodable record and reports what it
+// skipped via Report.
 func Open(path, root, item string) (*Store, error) {
 	if path == "" || root == "" || item == "" {
 		return nil, errors.New("xmlstore: path, root and item are required")
@@ -54,7 +79,12 @@ func Open(path, root, item string) (*Store, error) {
 	}
 	doc, err := xmlkit.ParseDocumentString(string(data))
 	if err != nil {
-		return nil, fmt.Errorf("xmlstore: parsing %s: %w", path, err)
+		doc = salvageDocument(string(data), root, item)
+		if doc == nil {
+			return nil, fmt.Errorf("xmlstore: parsing %s: %w", path, err)
+		}
+		s.report.Salvaged = true
+		s.report.ParseErr = err.Error()
 	}
 	if doc.Root.Name != root {
 		return nil, fmt.Errorf("xmlstore: %s has root <%s>, want <%s>", path, doc.Root.Name, root)
@@ -65,7 +95,8 @@ func Open(path, root, item string) (*Store, error) {
 		}
 		id, _ := el.Attr("id")
 		if id == "" {
-			return nil, fmt.Errorf("xmlstore: %s contains <%s> without id", path, item)
+			s.report.SkippedItems++
+			continue
 		}
 		rec := Record{ID: id, Fields: map[string]string{}}
 		for _, f := range el.Elements() {
@@ -76,8 +107,46 @@ func Open(path, root, item string) (*Store, error) {
 	return s, nil
 }
 
-// flushLocked writes the store atomically (temp file + rename). Callers
-// hold the write lock.
+// salvageDocument recovers the parseable prefix of a damaged store file:
+// it cuts the raw bytes at the last complete closing item tag, reseals
+// the root element and reparses. A file torn mid-record by a crash loses
+// only the torn record; anything before it survives. Returns nil when
+// nothing can be recovered.
+func salvageDocument(data, root, item string) *xmlkit.Document {
+	closeTag := "</" + item + ">"
+	cut := strings.LastIndex(data, closeTag)
+	if cut < 0 {
+		// No complete record; an intact opening root still means a valid
+		// empty store.
+		cut = strings.Index(data, "<"+root+">")
+		if cut < 0 {
+			return nil
+		}
+		cut += len("<" + root + ">")
+		doc, err := xmlkit.ParseDocumentString(data[:cut] + "</" + root + ">")
+		if err != nil {
+			return nil
+		}
+		return doc
+	}
+	doc, err := xmlkit.ParseDocumentString(data[:cut+len(closeTag)] + "</" + root + ">")
+	if err != nil {
+		return nil
+	}
+	return doc
+}
+
+// Report returns what Open found on disk (clean load, or the salvage
+// decisions it made).
+func (s *Store) Report() LoadReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.report
+}
+
+// flushLocked writes the store atomically and durably (temp file,
+// fsync, rename, directory fsync — the full crash-safe sequence, shared
+// with the WAL engine). Callers hold the write lock.
 func (s *Store) flushLocked() error {
 	root := xmlkit.NewElement(s.root)
 	ids := make([]string, 0, len(s.recs))
@@ -100,25 +169,11 @@ func (s *Store) flushLocked() error {
 		}
 	}
 	doc := &xmlkit.Document{Root: root}
-	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".xmlstore-*")
-	if err != nil {
-		return fmt.Errorf("xmlstore: temp file: %w", err)
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		return fmt.Errorf("xmlstore: rendering: %w", err)
 	}
-	tmpName := tmp.Name()
-	if err := doc.Write(tmp); err != nil {
-		tmp.Close()
-		//soclint:ignore errdiscard best-effort temp-file cleanup; the write error is what matters
-		os.Remove(tmpName)
-		return fmt.Errorf("xmlstore: writing: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		//soclint:ignore errdiscard best-effort temp-file cleanup; the close error is what matters
-		os.Remove(tmpName)
-		return err
-	}
-	if err := os.Rename(tmpName, s.path); err != nil {
-		//soclint:ignore errdiscard best-effort temp-file cleanup; the rename error is what matters
-		os.Remove(tmpName)
+	if err := wal.WriteFileAtomic(s.path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("xmlstore: replacing %s: %w", s.path, err)
 	}
 	return nil

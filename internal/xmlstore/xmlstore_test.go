@@ -100,8 +100,80 @@ func TestOpenValidation(t *testing.T) {
 	}
 	noID := filepath.Join(dir, "noid.xml")
 	_ = os.WriteFile(noID, []byte("<accounts><account><name>x</name></account></accounts>"), 0o644)
-	if _, err := Open(noID, "accounts", "account"); err == nil {
-		t.Error("record without id accepted")
+	s, err := Open(noID, "accounts", "account")
+	if err != nil {
+		t.Fatalf("id-less record must be skipped, not fatal: %v", err)
+	}
+	if s.Len() != 0 || s.Report().SkippedItems != 1 {
+		t.Errorf("len=%d report=%+v, want 0 records and 1 skipped", s.Len(), s.Report())
+	}
+}
+
+// TestSalvageTornFile: a file cut mid-record — the shape a crashed
+// writer leaves — loads every complete record and reports the salvage.
+func TestSalvageTornFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "accounts.xml")
+	s, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, id := range []string{"alice", "bob", "carol"} {
+		if err := s.Insert(Record{ID: id, Fields: map[string]string{"name": id}}); err != nil {
+			t.Fatalf("insert %s: %v", id, err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Tear the file in the middle of the last record.
+	cut := len(data) - len("rol</name></account></accounts>")
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+
+	re, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatalf("torn file must salvage, not fail: %v", err)
+	}
+	rep := re.Report()
+	if !rep.Salvaged || rep.ParseErr == "" {
+		t.Errorf("report = %+v, want Salvaged with the parse error recorded", rep)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("salvaged %d records, want the 2 complete ones: %v", re.Len(), re.All())
+	}
+	for _, id := range []string{"alice", "bob"} {
+		if rec, err := re.Get(id); err != nil || rec.Fields["name"] != id {
+			t.Errorf("record %q did not survive the tear: %+v %v", id, rec, err)
+		}
+	}
+	// The next flush heals the file: a further reopen is clean.
+	if err := re.Insert(Record{ID: "dave", Fields: map[string]string{"name": "dave"}}); err != nil {
+		t.Fatalf("insert after salvage: %v", err)
+	}
+	healed, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatalf("reopen after heal: %v", err)
+	}
+	if healed.Report().Salvaged || healed.Len() != 3 {
+		t.Fatalf("heal failed: report=%+v len=%d", healed.Report(), healed.Len())
+	}
+}
+
+// TestSalvageNoCompleteRecord: a file torn before any record closes
+// salvages to an empty store as long as the root opened.
+func TestSalvageNoCompleteRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "accounts.xml")
+	_ = os.WriteFile(path, []byte(`<accounts><account id="a"><nam`), 0o644)
+	s, err := Open(path, "accounts", "account")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !s.Report().Salvaged || s.Len() != 0 {
+		t.Fatalf("report=%+v len=%d, want empty salvaged store", s.Report(), s.Len())
 	}
 }
 
