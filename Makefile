@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint soclint contracts test race chaos short bench bench-compare bench-wal bench-wal-compare trace-demo sim crash
+.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare trace-demo sim crash
 
-## ci: the full gate — build, lint (vet + soclint), race-enabled tests,
-## the deterministic simulation corpus, the exhaustive WAL crash-point
-## corpus, and the benchmark regression gates (message plane + WAL)
-ci: build lint race sim crash bench-compare bench-wal-compare
+## ci: the full gate — build, lint (vet + soclint in machine-readable
+## mode), race-enabled tests, the deterministic simulation corpus, the
+## exhaustive WAL crash-point corpus, and the benchmark regression gates
+## (message plane + WAL)
+ci: build lint-ci race sim crash bench-compare bench-wal-compare
 
 build:
 	$(GO) build ./...
@@ -15,11 +16,21 @@ vet:
 
 ## lint: the static-analysis gate — go vet plus the repo's own soclint
 ## analyzers (contract drift, context propagation, body closing, lock
-## discipline, client timeouts, error discards, pool reset discipline)
+## discipline and ordering, goroutine-leak and atomic-access discipline,
+## client timeouts, error discards, pool reset discipline). Test files
+## are analyzed too; soclint prints its wall-clock cost on stderr.
 lint: vet soclint
+
+## lint-ci: the same gate with soclint emitting one JSON object per
+## finding (suppressed findings included, carrying their ignore reason)
+## for machine consumption
+lint-ci: vet soclint-json
 
 soclint:
 	$(GO) run ./cmd/soclint ./...
+
+soclint-json:
+	$(GO) run ./cmd/soclint -json ./...
 
 ## contracts: regenerate the golden WSDL contracts that contractcheck
 ## verifies registrations against; run after changing any service

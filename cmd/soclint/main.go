@@ -16,22 +16,46 @@
 //	-contracts dir   golden WSDL directory for contractcheck
 //	                 (default <module>/contracts)
 //	-only a,b        run only the named analyzers
+//	-json            one JSON object per finding on stdout (suppressed
+//	                 findings included, carrying their ignore reason)
+//	-notests a,b     exclude _test.go files from the named analyzers
 //	-list            print the registered analyzers and exit
+//
+// Test files are part of the analyzed code: each package's in-package
+// _test.go files join its analysis pass, and external test packages
+// (package foo_test) are analyzed as their own units, for the analyzers
+// that opt in (the concurrency ones — tests spawn goroutines and take
+// locks too). Interprocedural analyzers share one module-wide flow graph
+// built once per run. Wall-clock timing is always reported on stderr so
+// `make lint` shows what the analysis costs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"soc/internal/lint"
+	"soc/internal/lint/flow"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the machine-readable record: one per line on stdout.
+type jsonFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	IgnoredBy string `json:"ignored_by,omitempty"`
 }
 
 func run(args []string, stdout, stderr *os.File) int {
@@ -39,6 +63,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	contractsDir := fs.String("contracts", "", "golden WSDL contract directory (default <module>/contracts)")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (suppressed findings included)")
+	noTests := fs.String("notests", "", "comma-separated analyzer names that must not see _test.go files")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -47,7 +73,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	analyzers := lint.DefaultAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -65,6 +91,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		analyzers = selected
 	}
 
+	start := time.Now()
 	moduleDir, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintf(stderr, "soclint: %v\n", err)
@@ -75,6 +102,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "soclint: %v\n", err)
 		return 2
 	}
+	loader.Tests = true
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -90,15 +118,46 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *contractsDir != "" {
 		cfg.ContractsDir = *contractsDir
 	}
+	if *noTests != "" {
+		for _, name := range strings.Split(*noTests, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.NoTestAnalyzers = append(cfg.NoTestAnalyzers, name)
+			}
+		}
+	}
 	runner := &lint.Runner{Analyzers: analyzers, Config: cfg}
 
-	var all []lint.Finding
+	// Load every unit first: the per-path analysis packages plus the
+	// external test packages riding along with them.
+	var units []*lint.Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "soclint: %v\n", err)
 			return 2
 		}
+		units = append(units, pkg)
+		xpkg, err := loader.ExternalTests(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "soclint: %v\n", err)
+			return 2
+		}
+		if xpkg != nil {
+			units = append(units, xpkg)
+		}
+	}
+
+	// One module-wide flow graph when any selected analyzer is
+	// interprocedural; its fact base is every loaded unit.
+	for _, a := range analyzers {
+		if a.Flow {
+			runner.Flow = flow.Build(loader.FileSet(), flowPackages(units))
+			break
+		}
+	}
+
+	var all []lint.Finding
+	for _, pkg := range units {
 		findings, err := runner.RunPackage(pkg)
 		if err != nil {
 			fmt.Fprintf(stderr, "soclint: %v\n", err)
@@ -107,18 +166,59 @@ func run(args []string, stdout, stderr *os.File) int {
 		all = append(all, findings...)
 	}
 	lint.SortFindings(all)
-	for _, f := range all {
-		pos := f.Pos
-		if rel, err := filepath.Rel(moduleDir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+
+	relativize := func(f lint.Finding) lint.Finding {
+		if rel, err := filepath.Rel(moduleDir, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
 		}
-		fmt.Fprintf(stdout, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+		return f
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		encodeErr := error(nil)
+		emit := func(f lint.Finding) {
+			f = relativize(f)
+			err := enc.Encode(jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message, IgnoredBy: f.IgnoredBy,
+			})
+			if err != nil && encodeErr == nil {
+				encodeErr = err
+			}
+		}
+		for _, f := range all {
+			emit(f)
+		}
+		suppressed := runner.Suppressed
+		lint.SortFindings(suppressed)
+		for _, f := range suppressed {
+			emit(f)
+		}
+		if encodeErr != nil {
+			fmt.Fprintf(stderr, "soclint: writing JSON output: %v\n", encodeErr)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			f = relativize(f)
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	fmt.Fprintf(stderr, "soclint: analyzed %d package(s) in %s\n", len(units), time.Since(start).Round(time.Millisecond))
 	if len(all) > 0 {
-		fmt.Fprintf(stderr, "soclint: %d finding(s) in %d package(s)\n", len(all), len(paths))
+		fmt.Fprintf(stderr, "soclint: %d finding(s)\n", len(all))
 		return 1
 	}
 	return 0
+}
+
+// flowPackages adapts the loaded units for the flow graph builder.
+func flowPackages(units []*lint.Package) []*flow.Package {
+	var out []*flow.Package
+	for _, u := range units {
+		out = append(out, u.FlowPackage())
+	}
+	return out
 }
 
 // findModuleRoot walks up from the working directory to the go.mod.

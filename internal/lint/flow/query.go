@@ -1,0 +1,324 @@
+package flow
+
+import (
+	"go/token"
+	"sort"
+)
+
+// AcqWitness explains how a lock class is reached from a function: the
+// acquisition site plus the synchronous call chain leading to it.
+type AcqWitness struct {
+	Lock Class
+	// Base is the instance expression at the acquisition site.
+	Base string
+	Pos  token.Pos
+	// Via is the call chain (display names) from the queried function
+	// exclusive to the acquiring function inclusive; empty for direct
+	// acquisitions.
+	Via []string
+}
+
+// TransitiveAcquires returns every lock class acquired by f or any
+// function reachable over synchronous edges (Static and Deferred calls;
+// Spawn, Dynamic and Dispatch edges are excluded: a goroutine does not
+// inherit its spawner's locks, and the dynamic candidate sets are too
+// coarse for ordering), with one witness per class. Results are
+// memoized; recursion is cut at in-progress nodes (an under-
+// approximation for recursive call cycles, documented in DESIGN).
+func (g *Graph) TransitiveAcquires(f *Func) map[string]AcqWitness {
+	if f == nil {
+		return nil
+	}
+	if m, ok := g.acquiresMemo[f]; ok {
+		return m
+	}
+	if g.inProgress[f] {
+		return nil
+	}
+	g.inProgress[f] = true
+	defer delete(g.inProgress, f)
+
+	out := map[string]AcqWitness{}
+	for _, acq := range f.Summary.Acquires {
+		if _, ok := out[acq.Lock.Key]; !ok {
+			out[acq.Lock.Key] = AcqWitness{Lock: acq.Lock, Base: acq.Base, Pos: acq.Pos}
+		}
+	}
+	for _, call := range f.Calls {
+		if call.Kind != Static && call.Kind != Deferred {
+			continue
+		}
+		if call.Callee == nil || call.Callee == f {
+			continue
+		}
+		for key, w := range g.TransitiveAcquires(call.Callee) {
+			if _, ok := out[key]; ok {
+				continue
+			}
+			via := make([]string, 0, len(w.Via)+1)
+			via = append(via, call.Callee.Name)
+			via = append(via, w.Via...)
+			out[key] = AcqWitness{Lock: w.Lock, Base: w.Base, Pos: w.Pos, Via: via}
+		}
+	}
+	g.acquiresMemo[f] = out
+	return out
+}
+
+// LockEdge is one observed acquisition order: From was held when To was
+// acquired, either directly or through the recorded call chain.
+type LockEdge struct {
+	From, To Class
+	// HeldAt is where From was acquired, AcqAt where To was acquired.
+	HeldAt, AcqAt token.Pos
+	// Fn is the function in which the ordering was observed (the one
+	// holding From).
+	Fn *Func
+	// Via is the synchronous call chain from Fn to the function that
+	// acquires To; empty when both happen in Fn.
+	Via []string
+}
+
+// LockOrderEdges computes the global lock-acquisition-order graph
+// restricted to lock classes declared in packages satisfying inScope.
+// Same-class edges are kept only when the instance bases match (c.mu
+// held while calling c.helper() that relocks c.mu is a genuine
+// self-deadlock; two Breaker instances locking the one Breaker.mu class
+// in sequence is not an ordering fact), because classes cannot separate
+// instances.
+func (g *Graph) LockOrderEdges(inScope func(pkgPath string) bool) []LockEdge {
+	var edges []LockEdge
+	seen := map[[2]string]bool{}
+	add := func(e LockEdge) {
+		if !inScope(e.From.PkgPath) || !inScope(e.To.PkgPath) {
+			return
+		}
+		k := [2]string{e.From.Key, e.To.Key}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, e)
+	}
+	for _, f := range g.SortedFuncs() {
+		for _, acq := range f.Summary.Acquires {
+			for _, h := range acq.Held {
+				if h.Lock.Key == acq.Lock.Key && h.Base != acq.Base {
+					continue // distinct instances of one class
+				}
+				add(LockEdge{From: h.Lock, To: acq.Lock, HeldAt: h.Pos, AcqAt: acq.Pos, Fn: f})
+			}
+		}
+		for _, cu := range f.Summary.CallsUnder {
+			if cu.Call.Callee == nil {
+				continue
+			}
+			for _, w := range sortedAcquires(g.TransitiveAcquires(cu.Call.Callee)) {
+				for _, h := range cu.Held {
+					if h.Lock.Key == w.Lock.Key {
+						// Same class through a call: only a real
+						// self-cycle when the callee's receiver is the
+						// same instance the lock was taken through.
+						if cu.RecvBase == "" || h.Base != cu.RecvBase {
+							continue
+						}
+					}
+					via := make([]string, 0, len(w.Via)+1)
+					via = append(via, cu.Call.Callee.Name)
+					via = append(via, w.Via...)
+					add(LockEdge{From: h.Lock, To: w.Lock, HeldAt: h.Pos, AcqAt: w.Pos, Fn: f, Via: via})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// sortedAcquires gives deterministic iteration order over a witness map.
+func sortedAcquires(m map[string]AcqWitness) []AcqWitness {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]AcqWitness, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// LockCycle is one deadlock-capable cycle in the lock-order graph.
+type LockCycle struct {
+	// Edges form the cycle: Edges[i].To == Edges[i+1].From, and the
+	// last edge closes back to Edges[0].From.
+	Edges []LockEdge
+}
+
+// LockCycles finds cycles in the order graph: every strongly connected
+// component with a cycle contributes its shortest cycle through its
+// lexicographically smallest lock, plus each self-loop. Fixing the
+// reported cycle and re-running surfaces any remaining ones — reporting
+// one witness per component keeps findings readable instead of
+// enumerating the exponential cycle space.
+func (g *Graph) LockCycles(inScope func(pkgPath string) bool) []LockCycle {
+	edges := g.LockOrderEdges(inScope)
+	adj := map[string][]LockEdge{}
+	nodes := map[string]bool{}
+	names := map[string]string{}
+	var cycles []LockCycle
+	for _, e := range edges {
+		names[e.From.Key], names[e.To.Key] = e.From.Name, e.To.Name
+		if e.From.Key == e.To.Key {
+			cycles = append(cycles, LockCycle{Edges: []LockEdge{e}})
+			continue
+		}
+		adj[e.From.Key] = append(adj[e.From.Key], e)
+		nodes[e.From.Key], nodes[e.To.Key] = true, true
+	}
+	for _, scc := range stronglyConnected(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Start from the display-wise smallest lock so the report reads
+		// the same regardless of declaration order in the source.
+		start := scc[0]
+		for _, n := range scc[1:] {
+			if names[n] < names[start] || (names[n] == names[start] && n < start) {
+				start = n
+			}
+		}
+		if c := shortestCycle(start, inSCC, adj); c != nil {
+			cycles = append(cycles, LockCycle{Edges: c})
+		}
+	}
+	return cycles
+}
+
+// stronglyConnected returns the SCCs of the edge-bearing node set, each
+// component's nodes sorted, components ordered by first node.
+func stronglyConnected(nodes map[string]bool, adj map[string][]LockEdge) [][]string {
+	sortedNodes := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sortedNodes = append(sortedNodes, n)
+	}
+	sort.Strings(sortedNodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.To.Key
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range sortedNodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// shortestCycle BFSes inside one SCC from start back to start and
+// returns the edge list of a shortest cycle.
+func shortestCycle(start string, inSCC map[string]bool, adj map[string][]LockEdge) []LockEdge {
+	type hop struct {
+		node string
+		via  *LockEdge
+		prev *hop
+	}
+	queue := []*hop{{node: start}}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		for i := range adj[h.node] {
+			e := &adj[h.node][i]
+			if !inSCC[e.To.Key] {
+				continue
+			}
+			if e.To.Key == start {
+				var path []LockEdge
+				for cur := (&hop{via: e, prev: h}); cur != nil && cur.via != nil; cur = cur.prev {
+					path = append([]LockEdge{*cur.via}, path...)
+				}
+				return path
+			}
+			if visited[e.To.Key] {
+				continue
+			}
+			visited[e.To.Key] = true
+			queue = append(queue, &hop{node: e.To.Key, via: e, prev: h})
+		}
+	}
+	return nil
+}
+
+// ReachesDoneSelect reports whether f (or any function reachable over
+// static edges within depth) waits on context cancellation: a select
+// case or receive on some ctx.Done().
+func (g *Graph) ReachesDoneSelect(f *Func, depth int) bool {
+	if f == nil || depth < 0 {
+		return false
+	}
+	if f.Summary.SelectsOnDone {
+		return true
+	}
+	for _, call := range f.Calls {
+		if call.Kind != Static && call.Kind != Deferred {
+			continue
+		}
+		if call.Callee != nil && call.Callee != f && g.ReachesDoneSelect(call.Callee, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Spawns returns every go statement in the graph, ordered by position.
+func (g *Graph) Spawns() []SpawnSite {
+	var out []SpawnSite
+	for _, f := range g.SortedFuncs() {
+		out = append(out, f.Summary.Spawns...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -27,6 +27,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"soc/internal/lint/flow"
 )
 
 // Config carries the repository-specific policy knobs shared by the
@@ -59,6 +61,28 @@ type Config struct {
 	// promises to recover after a crash, where fsync-free writes and
 	// rename-before-fsync are forbidden.
 	DurableScope []string
+	// LockOrderScope lists import-path prefixes whose mutexes
+	// participate in the global lock-acquisition-order graph of the
+	// lockorder analyzer; a cycle among their locks is a potential
+	// deadlock.
+	LockOrderScope []string
+	// GoLeakScope lists import-path prefixes subject to the goleak
+	// analyzer: every `go` statement there must have a provable
+	// termination path.
+	GoLeakScope []string
+	// RequestPathScope lists import-path prefixes on the request path,
+	// where goleak additionally requires that goroutines spawned inside
+	// loops are joined or pooled (reliability.Bulkhead or equivalent) —
+	// unbounded per-request fan-out is how hosts fall over.
+	RequestPathScope []string
+	// AtomicScope lists import-path prefixes subject to the
+	// atomicdiscipline analyzer: a word accessed via sync/atomic
+	// anywhere may never be accessed plainly elsewhere.
+	AtomicScope []string
+	// NoTestAnalyzers names analyzers that must NOT see _test.go files
+	// even though they declare Tests: true — the per-analyzer knob for
+	// excluding test code from the concurrency checks.
+	NoTestAnalyzers []string
 }
 
 // DefaultConfig is the policy soclint applies to this module: contracts
@@ -104,6 +128,29 @@ func DefaultConfig(moduleDir string) Config {
 			"soc/internal/xmlstore",
 			"soc/cmd/wsrepo",
 		},
+		LockOrderScope: []string{
+			"soc/internal/host",
+			"soc/internal/registry",
+			"soc/internal/respcache",
+			"soc/internal/reliability",
+			"soc/internal/telemetry",
+			"soc/internal/workflow",
+		},
+		GoLeakScope: []string{
+			"soc", "soc/",
+		},
+		RequestPathScope: []string{
+			"soc/internal/host",
+			"soc/internal/registry",
+			"soc/internal/respcache",
+			"soc/internal/rest",
+			"soc/internal/soap",
+			"soc/internal/workflow",
+			"soc/internal/eventbus",
+		},
+		AtomicScope: []string{
+			"soc", "soc/",
+		},
 	}
 }
 
@@ -135,15 +182,28 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description.
 	Doc string
+	// Tests marks analyzers that also examine _test.go files (tests
+	// spawn goroutines and take locks too); Config.NoTestAnalyzers can
+	// switch this off per analyzer without editing the registry.
+	Tests bool
+	// Flow marks analyzers that query the interprocedural flow graph;
+	// drivers build the module-wide graph once when any selected
+	// analyzer sets it.
+	Flow bool
 	// Run applies the check to one typechecked package.
 	Run func(*Pass) error
 }
 
 // Finding is one reported violation.
 type Finding struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos      token.Position `json:"-"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+	// IgnoredBy carries the reason text of the //soclint:ignore
+	// directive that suppressed this finding; empty for active
+	// findings. Suppressed findings never fail a run — they exist so
+	// machine-readable output can show what the directives are hiding.
+	IgnoredBy string `json:"ignored_by,omitempty"`
 }
 
 func (f Finding) String() string {
@@ -155,7 +215,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Config   Config
 
-	Fset  *token.FileSet
+	Fset *token.FileSet
+	// Files are the files this analyzer examines: the package sources,
+	// plus its _test.go files when the analyzer sets Tests and
+	// Config.NoTestAnalyzers does not veto it.
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
@@ -163,52 +226,112 @@ type Pass struct {
 	Path string
 	Dir  string
 
-	suppressed map[string]map[int]map[string]bool // file → line → analyzer set
+	suppressed map[string]map[int]map[string]string // file → line → analyzer → reason
 	findings   *[]Finding
+	suppressedOut *[]Finding
+	flowGraph     func() *flow.Graph
 }
 
-// Reportf records a finding at pos unless an ignore directive covers it.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if set := p.suppressed[position.Filename]; set != nil {
-		if set[position.Line][p.Analyzer.Name] {
-			return
+// FlowGraph returns the interprocedural view backing this pass: the
+// module-wide graph when the driver built one, else a graph of just
+// this package (which is exactly right for fixture tests). The graph's
+// fact base always includes _test.go files of the packages it covers.
+func (p *Pass) FlowGraph() *flow.Graph { return p.flowGraph() }
+
+// InFiles reports whether pos falls inside one of the files this pass
+// examines — how interprocedural analyzers keep module-wide results
+// from being reported once per package.
+func (p *Pass) InFiles(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return true
 		}
 	}
-	*p.findings = append(*p.findings, Finding{
+	return false
+}
+
+// Reportf records a finding at pos. A covering ignore directive routes
+// the finding to the suppressed list (surfaced by -json) instead of the
+// active one.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	f := Finding{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if set := p.suppressed[position.Filename]; set != nil {
+		if reason, ok := set[position.Line][p.Analyzer.Name]; ok {
+			f.IgnoredBy = reason
+			if p.suppressedOut != nil {
+				*p.suppressedOut = append(*p.suppressedOut, f)
+			}
+			return
+		}
+	}
+	*p.findings = append(*p.findings, f)
 }
 
 // Runner applies a set of analyzers to loaded packages.
 type Runner struct {
 	Analyzers []*Analyzer
 	Config    Config
+	// Flow is the module-wide interprocedural graph; nil makes each
+	// pass fall back to a per-package graph.
+	Flow *flow.Graph
+	// Suppressed accumulates findings silenced by ignore directives
+	// across RunPackage calls, for machine-readable output.
+	Suppressed []Finding
+
+	pkgFlows map[*Package]*flow.Graph
+}
+
+// flowFor returns the graph a pass over pkg should query.
+func (r *Runner) flowFor(pkg *Package) func() *flow.Graph {
+	return func() *flow.Graph {
+		if r.Flow != nil {
+			return r.Flow
+		}
+		if r.pkgFlows == nil {
+			r.pkgFlows = map[*Package]*flow.Graph{}
+		}
+		if g, ok := r.pkgFlows[pkg]; ok {
+			return g
+		}
+		g := flow.Build(pkg.Fset, []*flow.Package{pkg.FlowPackage()})
+		r.pkgFlows[pkg] = g
+		return g
+	}
 }
 
 // directiveFinding is a malformed-ignore report produced during comment
 // scanning, before any analyzer runs.
 const directiveAnalyzer = "soclint"
 
-// RunPackage runs every analyzer over pkg and returns the findings
-// sorted by position.
+// RunPackage runs every analyzer over pkg and returns the active
+// findings sorted by position; directive-suppressed findings accumulate
+// on r.Suppressed.
 func (r *Runner) RunPackage(pkg *Package) ([]Finding, error) {
 	var findings []Finding
 	suppressed := scanDirectives(pkg, &findings)
 	for _, a := range r.Analyzers {
+		files := pkg.Files
+		if a.Tests && !contains(r.Config.NoTestAnalyzers, a.Name) {
+			files = append(append([]*ast.File(nil), files...), pkg.TestFiles...)
+		}
 		pass := &Pass{
-			Analyzer:   a,
-			Config:     r.Config,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			Info:       pkg.Info,
-			Path:       pkg.Path,
-			Dir:        pkg.Dir,
-			suppressed: suppressed,
-			findings:   &findings,
+			Analyzer:      a,
+			Config:        r.Config,
+			Fset:          pkg.Fset,
+			Files:         files,
+			Pkg:           pkg.Types,
+			Info:          pkg.Info,
+			Path:          pkg.Path,
+			Dir:           pkg.Dir,
+			suppressed:    suppressed,
+			findings:      &findings,
+			suppressedOut: &r.Suppressed,
+			flowGraph:     r.flowFor(pkg),
 		}
 		if err := a.Run(pass); err != nil {
 			return findings, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
@@ -216,6 +339,15 @@ func (r *Runner) RunPackage(pkg *Package) ([]Finding, error) {
 	}
 	SortFindings(findings)
 	return findings, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // SortFindings orders findings by file, line, column, analyzer.
@@ -235,12 +367,14 @@ func SortFindings(fs []Finding) {
 	})
 }
 
-// scanDirectives indexes //soclint:ignore directives per file and line.
-// The directive covers its own line and, when it stands alone on a line,
-// the following line as well.
-func scanDirectives(pkg *Package, findings *[]Finding) map[string]map[int]map[string]bool {
-	out := map[string]map[int]map[string]bool{}
-	for _, f := range pkg.Files {
+// scanDirectives indexes //soclint:ignore directives per file and line
+// (test files included — tests carry exceptions too). The directive
+// covers its own line and, when it stands alone on a line, the
+// following line as well; the mapped value is the directive's reason.
+func scanDirectives(pkg *Package, findings *[]Finding) map[string]map[int]map[string]string {
+	out := map[string]map[int]map[string]string{}
+	files := append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//soclint:ignore")
@@ -259,17 +393,17 @@ func scanDirectives(pkg *Package, findings *[]Finding) map[string]map[int]map[st
 				}
 				file := out[pos.Filename]
 				if file == nil {
-					file = map[int]map[string]bool{}
+					file = map[int]map[string]string{}
 					out[pos.Filename] = file
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					set := file[line]
 					if set == nil {
-						set = map[string]bool{}
+						set = map[string]string{}
 						file[line] = set
 					}
 					for _, n := range names {
-						set[n] = true
+						set[n] = reason
 					}
 				}
 			}
@@ -294,12 +428,15 @@ func splitDirective(text string) (names []string, reason string) {
 // DefaultAnalyzers returns the full registry in reporting order.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
+		AtomicDiscipline,
 		BodyClose,
 		ClockDiscipline,
 		ContractCheck,
 		CtxPropagate,
 		ErrDiscard,
 		FsyncDiscipline,
+		GoLeak,
+		LockOrder,
 		LockSafe,
 		NoClientLiteral,
 		PoolReset,

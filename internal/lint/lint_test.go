@@ -26,6 +26,10 @@ func testLoader(t *testing.T) *Loader {
 			return
 		}
 		loaderVal, loaderErr = NewLoader(root)
+		if loaderErr == nil {
+			// Mirror the soclint driver: test files are analyzed too.
+			loaderVal.Tests = true
+		}
 	})
 	if loaderErr != nil {
 		t.Fatalf("loader: %v", loaderErr)
@@ -120,6 +124,11 @@ func TestGoldenFixtures(t *testing.T) {
 		{"fsyncdiscipline", func(p string) Config { return Config{DurableScope: []string{p}} }},
 		{"locksafe", func(p string) Config { return Config{LockBlockScope: []string{p}} }},
 		{"errdiscard", func(p string) Config { return Config{ErrDiscardScope: []string{p}} }},
+		{"lockorder", func(p string) Config { return Config{LockOrderScope: []string{p}} }},
+		{"goleak", func(p string) Config {
+			return Config{GoLeakScope: []string{p}, RequestPathScope: []string{p}}
+		}},
+		{"atomicdiscipline", func(p string) Config { return Config{AtomicScope: []string{p}} }},
 		{"contractcheck", func(p string) Config {
 			return Config{
 				ContractsDir:  filepath.Join("testdata", "contracts"),

@@ -1,0 +1,65 @@
+// Package atomicdiscipline is the golden fixture for the
+// atomicdiscipline analyzer: words accessed both atomically and plainly
+// (directly and through accessor helpers) must be flagged; consistent
+// users must stay silent.
+package atomicdiscipline
+
+import "sync/atomic"
+
+type Counter struct {
+	n    int64
+	hits int64
+}
+
+// Inc accesses n atomically — from here on every plain access of n is a
+// data race.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Read() int64 {
+	return c.n // want `plain access of atomicdiscipline\.Counter\.n`
+}
+
+// bump is an accessor helper: its parameter is used atomically, so any
+// word whose address reaches it is atomic by transitivity.
+func bump(p *int64) {
+	atomic.AddInt64(p, 1)
+}
+
+// forward chains the pointer one level deeper.
+func forward(p *int64) {
+	bump(p)
+}
+
+func (c *Counter) Hit() {
+	forward(&c.hits)
+}
+
+func (c *Counter) Hits() int64 {
+	return c.hits // want `plain access of atomicdiscipline\.Counter\.hits`
+}
+
+// Gauge uses atomics consistently: silent.
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(x int64) { atomic.StoreInt64(&g.v, x) }
+
+func (g *Gauge) Get() int64 { return atomic.LoadInt64(&g.v) }
+
+// Plain never touches atomics: silent.
+type Plain struct{ n int64 }
+
+func (p *Plain) Inc() { p.n++ }
+
+// flags is a package-level word accessed atomically here...
+var flags uint32
+
+func setFlag(bit uint32) {
+	atomic.OrUint32(&flags, bit)
+}
+
+// ...and plainly here.
+func resetFlags() {
+	flags = 0 // want `plain access of atomicdiscipline\.flags`
+}

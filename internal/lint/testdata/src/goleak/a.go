@@ -1,0 +1,122 @@
+// Package goleak is the golden fixture for the goleak analyzer: leaky
+// spawns that must be flagged and each accepted termination discipline,
+// which must stay silent.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leakySend parks forever: the channel is unbuffered and nothing in the
+// module ever receives from it.
+func leakySend() {
+	ch := make(chan int)
+	go func() { // want `send on goleak\.ch can block forever`
+		ch <- 1
+	}()
+}
+
+// leakyRecv parks forever: nothing sends to or closes the channel.
+func leakyRecv() {
+	go func() { // want `receive on goleak\.ch2 can block forever`
+		<-ch2
+	}()
+}
+
+var ch2 chan int
+
+// spin never terminates and has no escape.
+func spin() {
+	go func() { // want `loops forever with no ctx\.Done select or closed-channel escape`
+		for {
+		}
+	}()
+}
+
+// opaque spawns a function value whose body the analysis cannot see.
+func opaque(f func()) {
+	go f() // want `opaque function value`
+}
+
+// joined is the WaitGroup discipline.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// cancellable is the context discipline: cancellation reaches a select.
+func cancellable(ctx context.Context, in chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-in:
+			_ = v
+		}
+	}()
+}
+
+// bounded sends into guaranteed capacity and returns.
+func bounded() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// quitLoop ranges a loop with a closed-channel escape.
+func quitLoop() {
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+	close(quit)
+}
+
+// fanout spawns per loop iteration on the request path without joining —
+// the unbounded fan-out shape Bulkhead exists to prevent.
+func fanout(items []int) {
+	for _, it := range items {
+		go func(it int) { // want `request-path loop spawns an unjoined goroutine per iteration`
+			_ = it * 2
+		}(it)
+	}
+}
+
+// fanoutJoined is the same loop with a WaitGroup join: fine.
+func fanoutJoined(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			_ = it
+		}(it)
+	}
+	wg.Wait()
+}
+
+// fanoutDrained joins by draining a result channel: fine.
+func fanoutDrained(items []int) int {
+	res := make(chan int, 8)
+	for _, it := range items {
+		go func(it int) {
+			res <- it
+		}(it)
+	}
+	total := 0
+	for range items {
+		total += <-res
+	}
+	return total
+}

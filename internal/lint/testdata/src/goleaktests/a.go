@@ -1,0 +1,8 @@
+// Package goleaktests is the fixture for analyzing _test.go files: the
+// package's source is clean, the leak is in its in-package test file,
+// so a finding appears only when the loader and runner let the goleak
+// analyzer see test files.
+package goleaktests
+
+// Work is here so the directory is a buildable package on its own.
+func Work() int { return 42 }

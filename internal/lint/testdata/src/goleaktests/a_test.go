@@ -1,0 +1,13 @@
+package goleaktests
+
+import "testing"
+
+// TestLeaky spawns a goroutine that parks forever on an unbuffered
+// channel nothing receives from — the leak the goleak analyzer must
+// see inside a _test.go file.
+func TestLeaky(t *testing.T) {
+	ch := make(chan int)
+	go func() {
+		ch <- Work()
+	}()
+}

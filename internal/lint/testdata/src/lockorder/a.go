@@ -1,0 +1,75 @@
+// Package lockorder is the golden fixture for the lockorder analyzer:
+// an AB/BA inversion across two functions, an interprocedural
+// self-deadlock through a helper, and correctly ordered pairs that must
+// stay silent.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var a A
+
+var b B
+
+// ab nests b.mu under a.mu — half of the inversion. The cycle is
+// reported once, anchored at the first edge's holding acquisition.
+func ab() {
+	a.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockorder\.A\.mu -> lockorder\.B\.mu -> lockorder\.A\.mu`
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ba nests a.mu under b.mu — the other half.
+func ba() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *C) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// relock calls a helper that re-acquires the mutex the caller already
+// holds on the same instance: a guaranteed self-deadlock, found through
+// the call graph with the helper named in the witness.
+func (c *C) relock() int {
+	c.mu.Lock() // want `lock-order cycle \(potential deadlock\): lockorder\.C\.mu -> lockorder\.C\.mu.*via lockorder\.C\.get`
+	defer c.mu.Unlock()
+	return c.get()
+}
+
+type D struct{ mu sync.Mutex }
+
+var d D
+
+// nestedConsistent nests d.mu under a.mu here and everywhere — a
+// consistent order is not a cycle and must stay silent.
+func nestedConsistent() {
+	a.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// twoInstances locks two distinct instances of one class in sequence —
+// classes cannot separate instances, so this must NOT count as a
+// self-cycle (the bases differ).
+func twoInstances(x, y *C) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
