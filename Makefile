@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare trace-demo sim crash
+.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare bench-contention bench-contention-record load-smoke trace-demo sim crash
 
 ## ci: the full gate — build, lint (vet + soclint in machine-readable
 ## mode), race-enabled tests, the deterministic simulation corpus, the
-## exhaustive WAL crash-point corpus, and the benchmark regression gates
-## (message plane + WAL)
-ci: build lint-ci race sim crash bench-compare bench-wal-compare
+## exhaustive WAL crash-point corpus, the benchmark regression gates
+## (message plane + WAL + contention), and the open-loop load smoke
+ci: build lint-ci race sim crash bench-compare bench-wal-compare bench-contention load-smoke
+
+# Raw benchmark output lands outside the tree: committed artifacts are
+# the BENCH_*.json baselines, never the text dumps.
+BENCH_OUT_DIR := $(if $(TMPDIR),$(TMPDIR),/tmp)/soc-bench
 
 build:
 	$(GO) build ./...
@@ -92,16 +96,18 @@ BENCHFLAGS := -run '^$$' -bench BenchmarkMessagePlane -benchmem -benchtime 1000x
 ## bench: run the hot-path message-plane benchmarks and record them as
 ## the committed baseline artifact BENCH_messageplane.json
 bench:
-	$(GO) test $(BENCHFLAGS) . | tee bench.out
-	$(GO) run ./cmd/benchdiff -new bench.out -gate none -json BENCH_messageplane.json
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(BENCHFLAGS) . | tee $(BENCH_OUT_DIR)/bench.out
+	$(GO) run ./cmd/benchdiff -new $(BENCH_OUT_DIR)/bench.out -gate none -json BENCH_messageplane.json
 
 ## bench-compare: rerun the message-plane benchmarks and fail if
 ## allocs/op regressed >10% against the recorded baseline (time is
 ## reported but not gated: CI machines are noisy, allocation counts
 ## are deterministic)
 bench-compare:
-	$(GO) test $(BENCHFLAGS) . | tee bench.out
-	$(GO) run ./cmd/benchdiff -against BENCH_messageplane.json -new bench.out -gate allocs -threshold 10
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(BENCHFLAGS) . | tee $(BENCH_OUT_DIR)/bench.out
+	$(GO) run ./cmd/benchdiff -against BENCH_messageplane.json -new $(BENCH_OUT_DIR)/bench.out -gate allocs -threshold 10
 
 WAL_BENCHFLAGS := -run '^$$' -bench BenchmarkWAL -benchmem -benchtime 1000x -count 3
 
@@ -109,12 +115,44 @@ WAL_BENCHFLAGS := -run '^$$' -bench BenchmarkWAL -benchmem -benchtime 1000x -cou
 ## deterministic in-memory disk, so allocation counts are exact) and
 ## record them as the committed baseline artifact BENCH_wal.json
 bench-wal:
-	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee bench-wal.out
-	$(GO) run ./cmd/benchdiff -new bench-wal.out -gate none -json BENCH_wal.json
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee $(BENCH_OUT_DIR)/bench-wal.out
+	$(GO) run ./cmd/benchdiff -new $(BENCH_OUT_DIR)/bench-wal.out -gate none -json BENCH_wal.json
 
 ## bench-wal-compare: rerun the WAL benchmarks and fail if allocs/op
 ## regressed >10% against the recorded baseline — the append path is
 ## zero-allocation and must stay that way
 bench-wal-compare:
-	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee bench-wal.out
-	$(GO) run ./cmd/benchdiff -against BENCH_wal.json -new bench-wal.out -gate allocs -threshold 10
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee $(BENCH_OUT_DIR)/bench-wal.out
+	$(GO) run ./cmd/benchdiff -against BENCH_wal.json -new $(BENCH_OUT_DIR)/bench-wal.out -gate allocs -threshold 10
+
+# Contention suite settings: fixed iteration count for deterministic
+# allocs/op, three runs for medians. 50 iterations keeps the saturated
+# variants (NumCPU x 128 goroutines, each running b.N times) inside a
+# CI-friendly wall clock.
+CONTENTION_BENCHFLAGS := -run '^$$' -bench BenchmarkContention -benchmem -benchtime 50x -count 3
+
+## bench-contention: rerun the low/high-concurrency contention suite and
+## gate against the committed BENCH_contention.json baseline — allocs/op
+## per benchmark at 10%, plus each family's parallel-contention ratio
+## (parallel ns / serial ns), the dimension that catches a reintroduced
+## global lock without flaking on oversubscribed wall-time noise
+bench-contention:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(CONTENTION_BENCHFLAGS) . | tee $(BENCH_OUT_DIR)/bench-contention.out
+	$(GO) run ./cmd/benchdiff -against BENCH_contention.json -new $(BENCH_OUT_DIR)/bench-contention.out -gate contention -threshold 10
+
+## bench-contention-record: re-record the contention baseline artifact
+## (run on a quiet machine; commit the result)
+bench-contention-record:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(CONTENTION_BENCHFLAGS) . | tee $(BENCH_OUT_DIR)/bench-contention.out
+	$(GO) run ./cmd/benchdiff -new $(BENCH_OUT_DIR)/bench-contention.out -gate none -json BENCH_contention.json
+
+## load-smoke: deterministic open-loop load check — a virtual-clock
+## socload run with an injected 100ms server stall must still offer the
+## full arrival schedule (the stall lands in the latency tail, never in
+## the request count: the coordinated-omission guarantee, gated in CI)
+load-smoke:
+	$(GO) run ./cmd/socload -virtual -rate 2000 -duration 2s -stall 100ms -assert-open-loop

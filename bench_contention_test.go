@@ -1,0 +1,365 @@
+// Contention benchmarks: the hot-path message plane measured under
+// concurrency, not one goroutine at a time. Every dimension runs three
+// ways, following the goavro low/high pattern:
+//
+//   - serial:    the plain single-goroutine loop (comparable to
+//     BenchmarkMessagePlane numbers);
+//   - parallel:  b.RunParallel at 4x GOMAXPROCS — the "low" concurrency
+//     shape, worker-pool style;
+//   - saturated: NumCPU x satFactor goroutines each driving b.N
+//     iterations — deliberate oversubscription, the goavro "High"
+//     variant. Reported ns/op here is wall time per b.N, so it scales
+//     with the goroutine count; compare saturated runs only against
+//     other saturated runs.
+//
+// The suite is gated by `make bench-contention` against
+// BENCH_contention.json (ns/op and the parallel-contention ratio; see
+// cmd/benchdiff -gate contention).
+package soc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"soc/internal/core"
+	"soc/internal/host"
+	"soc/internal/registry"
+	"soc/internal/respcache"
+	"soc/internal/services"
+	"soc/internal/soap"
+	"soc/internal/telemetry"
+)
+
+// satFactor scales the saturated variant: NumCPU x satFactor goroutines.
+// Large enough that preemption inside a critical section forms a convoy
+// on a global lock, small enough that `make ci` stays fast.
+const satFactor = 128
+
+// benchWriter is a minimal ResponseWriter: header map, status, byte
+// count. httptest.NewRecorder clones the header map on WriteHeader and
+// buffers the body, which costs more than the server path under test;
+// a real server writes headers to the wire without cloning, so this is
+// the more honest harness. Pooled because the end-to-end benches share
+// one op closure across goroutines.
+type benchWriter struct {
+	header http.Header
+	status int
+	n      int
+}
+
+func (w *benchWriter) Header() http.Header { return w.header }
+func (w *benchWriter) WriteHeader(c int)   { w.status = c }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+var benchWriterPool = sync.Pool{New: func() any {
+	return &benchWriter{header: make(http.Header, 8)}
+}}
+
+func getBenchWriter() *benchWriter {
+	w := benchWriterPool.Get().(*benchWriter)
+	w.status = 0
+	w.n = 0
+	clear(w.header)
+	return w
+}
+
+// lowAndHigh runs op serially, under RunParallel, and under NumCPU x
+// satFactor oversubscribed goroutines (each iterating b.N times).
+func lowAndHigh(b *testing.B, op func()) {
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				op()
+			}
+		})
+	})
+	b.Run("saturated", func(b *testing.B) {
+		concurrency := runtime.NumCPU() * satFactor
+		var wg sync.WaitGroup
+		wg.Add(concurrency)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for c := 0; c < concurrency; c++ {
+			go func() {
+				defer wg.Done()
+				for n := 0; n < b.N; n++ {
+					op()
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// BenchmarkContention is the concurrency companion of
+// BenchmarkMessagePlane: the same hot paths, hammered from many
+// goroutines at once, so a single global lock shows up as a convoy
+// instead of hiding inside an uncontended fast path.
+func BenchmarkContention(b *testing.B) {
+	b.Run("invoke-cached", benchContentionInvokeCached)
+	b.Run("registry-lookup", benchContentionRegistryLookup)
+	b.Run("registry-lookup-publish", benchContentionLookupDuringPublish)
+	b.Run("soap-encode", benchContentionSOAPEncode)
+	b.Run("soap-decode", benchContentionSOAPDecode)
+	b.Run("dispatch", benchContentionDispatch)
+	b.Run("respcache-hit", benchContentionRespcacheHit)
+	b.Run("telemetry-record", benchContentionTelemetryRecord)
+}
+
+// benchContentionInvokeCached drives the idempotent-response-cache hit
+// path end to end through host dispatch: router match, cache keying,
+// cache lookup, replay, cache-hit telemetry.
+func benchContentionInvokeCached(b *testing.B) {
+	encSvc, err := services.NewEncryption()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sealed, err := encSvc.Invoke(context.Background(), "Encrypt", core.Values{
+		"passphrase": "correct horse battery", "plaintext": "the quick brown fox",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	decryptURL := "/services/Encryption/invoke/Decrypt?" + url.Values{
+		"passphrase": {"correct horse battery"},
+		"ciphertext": {sealed.Str("ciphertext")},
+	}.Encode()
+	h := host.New()
+	h.MustMount(encSvc)
+	h.UseResponseCache(128, time.Hour)
+	warm := httptest.NewRequest(http.MethodGet, decryptURL, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, warm)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", w.Code, w.Body.String())
+	}
+	// Build requests by hand around one pre-parsed URL: the handlers only
+	// read r.URL, and httptest.NewRequest would otherwise dominate the
+	// loop, hiding the server-side cost we are gating.
+	target, err := url.Parse(decryptURL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Requests are pooled like the writers: each in-flight request is
+	// exclusively owned between Get and Put, so reuse is race-free even
+	// though the op closure is shared across goroutines.
+	reqPool := sync.Pool{New: func() any {
+		return &http.Request{
+			Method: http.MethodGet, URL: target,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: make(http.Header), Host: "bench.local",
+			RemoteAddr: "192.0.2.1:1234", RequestURI: decryptURL,
+		}
+	}}
+	lowAndHigh(b, func() {
+		req := reqPool.Get().(*http.Request)
+		rec := getBenchWriter()
+		h.ServeHTTP(rec, req)
+		if rec.status != http.StatusOK {
+			panic(fmt.Sprintf("status %d", rec.status))
+		}
+		benchWriterPool.Put(rec)
+		reqPool.Put(req)
+	})
+}
+
+func seededRegistry(b *testing.B, n int) *registry.Registry {
+	b.Helper()
+	reg := registry.New(registry.WithLease(24 * time.Hour))
+	for i := 0; i < n; i++ {
+		err := reg.Publish(registry.Entry{
+			Name:       fmt.Sprintf("Service%d", i),
+			Doc:        fmt.Sprintf("sample service number %d for keyword testing", i),
+			Endpoint:   "http://example/svc",
+			Category:   "testing",
+			Operations: []string{"GetQuote", "PlaceOrder"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// benchContentionRegistryLookup is pure keyword search over a 500-entry
+// directory — the discovery hot path with no writers in sight.
+func benchContentionRegistryLookup(b *testing.B) {
+	reg := seededRegistry(b, 500)
+	lowAndHigh(b, func() {
+		if _, err := reg.Search("sample keyword service", 10); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// benchContentionLookupDuringPublish is the same search with a provider
+// continuously republishing entries — the scenario where a single
+// RWMutex lets every publish stall every lookup. The publisher runs for
+// the whole benchmark and stops when the measured loops are done.
+func benchContentionLookupDuringPublish(b *testing.B) {
+	reg := seededRegistry(b, 500)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			err := reg.Publish(registry.Entry{
+				Name:       fmt.Sprintf("Service%d", i%500),
+				Doc:        fmt.Sprintf("sample service number %d for keyword testing", i%500),
+				Endpoint:   "http://example/svc",
+				Category:   "testing",
+				Operations: []string{"GetQuote", "PlaceOrder"},
+			})
+			if err != nil {
+				panic(err)
+			}
+			i++
+		}
+	}()
+	lowAndHigh(b, func() {
+		if _, err := reg.Search("sample keyword service", 10); err != nil {
+			panic(err)
+		}
+	})
+	close(done)
+	wg.Wait()
+}
+
+func benchSOAPMessage(b *testing.B) (soap.Message, []byte) {
+	b.Helper()
+	msg := soap.Message{
+		Operation:  "Echo",
+		Namespace:  "http://soc.example/echo",
+		Params:     map[string]string{"text": "the quick <brown> fox & friends"},
+		ParamOrder: []string{"text"},
+	}
+	encoded, err := soap.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return msg, encoded
+}
+
+func benchContentionSOAPEncode(b *testing.B) {
+	msg, _ := benchSOAPMessage(b)
+	lowAndHigh(b, func() {
+		if _, err := soap.Encode(msg); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchContentionSOAPDecode(b *testing.B) {
+	_, encoded := benchSOAPMessage(b)
+	lowAndHigh(b, func() {
+		m, err := soap.Decode(bytes.NewReader(encoded))
+		if err != nil || m.Operation != "Echo" {
+			panic(err)
+		}
+	})
+}
+
+// benchContentionDispatch is in-process SOAP dispatch: router match +
+// decode + invoke + encode, no network, many goroutines.
+func benchContentionDispatch(b *testing.B) {
+	echo, err := core.NewService("Echo", "http://soc.example/echo", "echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	echo.MustAddOperation(core.Operation{
+		Name:   "Echo",
+		Input:  []core.Param{{Name: "text", Type: core.String}},
+		Output: []core.Param{{Name: "echo", Type: core.String}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			return core.Values{"echo": in.Str("text")}, nil
+		},
+	})
+	h := host.New()
+	h.MustMount(echo)
+	_, encoded := benchSOAPMessage(b)
+	target := &url.URL{Path: "/services/Echo/soap"}
+	lowAndHigh(b, func() {
+		req := &http.Request{
+			Method: http.MethodPost, URL: target,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: make(http.Header), Host: "bench.local",
+			RemoteAddr: "192.0.2.1:1234", RequestURI: target.Path,
+			Body: io.NopCloser(bytes.NewReader(encoded)), ContentLength: int64(len(encoded)),
+		}
+		rec := getBenchWriter()
+		h.ServeHTTP(rec, req)
+		if rec.status != http.StatusOK {
+			panic(fmt.Sprintf("status %d", rec.status))
+		}
+		benchWriterPool.Put(rec)
+	})
+}
+
+// benchContentionRespcacheHit hits the response cache directly (no host
+// around it) across a spread of warm keys, so per-shard locking — not
+// dispatch cost — dominates.
+func benchContentionRespcacheHit(b *testing.B) {
+	c := respcache.New(256, time.Hour)
+	entry := &respcache.Entry{Status: 200, Header: http.Header{"Content-Type": {"application/json"}}, Body: []byte(`{"ok":true}`)}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("op\x00key-%d", i)
+		c.Do(keys[i], func() (*respcache.Entry, bool) { return entry, true })
+	}
+	var seq atomic.Uint32
+	nextKey := func() string {
+		// A lock-free rotating key pick, so the bench scaffold never
+		// becomes the convoy it is trying to measure.
+		return keys[seq.Add(1)%uint32(len(keys))]
+	}
+	lowAndHigh(b, func() {
+		e, hit := c.Do(nextKey(), func() (*respcache.Entry, bool) { return entry, true })
+		if !hit || e == nil {
+			panic("expected warm hit")
+		}
+	})
+}
+
+// benchContentionTelemetryRecord exercises the per-call instrument path:
+// one latency Record plus one cache-hit count, the two folds every
+// dispatch performs.
+func benchContentionTelemetryRecord(b *testing.B) {
+	m := telemetry.NewMetrics()
+	lowAndHigh(b, func() {
+		m.Record("Svc.Op", 42*time.Microsecond, false)
+		m.RecordCached("Svc.Op")
+	})
+}

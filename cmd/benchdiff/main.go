@@ -6,12 +6,20 @@
 // Usage:
 //
 //	benchdiff -new new.txt [-old old.txt | -against baseline.json] \
-//	          [-threshold 10] [-gate allocs|time|both|none] [-json out.json]
+//	          [-threshold 10] [-gate allocs|time|both|none|contention] \
+//	          [-json out.json]
 //
 // -old parses a raw benchmark text file as the baseline; -against reads
 // the "new" side of a previously written JSON report instead. With no
 // baseline at all, benchdiff just summarizes -new (and can record it with
 // -json); nothing gates.
+//
+// The contention gate is for lowAndHigh-style suites whose benchmarks
+// come in Name/serial, Name/parallel and Name/saturated variants: it
+// gates allocs/op per benchmark plus each family's parallel/serial
+// ns ratio — the contention blow-up factor, which stays near 1.0 for a
+// lock-free hot path and is far more CI-stable than raw oversubscribed
+// wall time (saturated ratios are reported but never fail the gate).
 package main
 
 import (
@@ -47,7 +55,7 @@ func run(oldPath, newPath, against string, threshold float64, gate, jsonOut stri
 		return fmt.Errorf("-old and -against are mutually exclusive")
 	}
 	switch gate {
-	case "allocs", "time", "both", "none":
+	case "allocs", "time", "both", "none", "contention":
 	default:
 		return fmt.Errorf("unknown -gate %q", gate)
 	}

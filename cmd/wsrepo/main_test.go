@@ -15,8 +15,8 @@ func TestBuildServerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(h.Names()); got != 12 { // 11 catalog services + Robot
-		t.Errorf("mounted services = %d, want 12", got)
+	if got := len(h.Names()); got != 13 { // 12 catalog services + Robot
+		t.Errorf("mounted services = %d, want 13", got)
 	}
 	server := httptest.NewServer(mux)
 	defer server.Close()

@@ -82,9 +82,9 @@ func TestIntegrationFullRepository(t *testing.T) {
 		t.Fatalf("cross-binding round trip = %q", soapBack["plaintext"])
 	}
 
-	// 4. All eleven catalog services are listed by the host.
+	// 4. All twelve catalog services are listed by the host.
 	list, err := svcClient.List(ctx)
-	if err != nil || len(list) != 11 {
+	if err != nil || len(list) != 12 {
 		t.Fatalf("host list = %d services, %v", len(list), err)
 	}
 }

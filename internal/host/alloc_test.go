@@ -6,6 +6,8 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync"
 	"testing"
 
 	"soc/internal/core"
@@ -47,5 +49,60 @@ func TestDispatchAllocCeiling(t *testing.T) {
 	}
 	if allocs > 40 {
 		t.Errorf("dispatch allocates %.1f/op, ceiling 40", allocs)
+	}
+}
+
+// TestDispatchAllocCeilingParallel re-pins the dispatch budget with the
+// request running from interleaved goroutines — the schedule where a
+// shared-state regression (a lock guarding an alloc-heavy slow path, a
+// pool defeated by contention) shows up as allocs the serial test never
+// sees. Each goroutine owns its recorder and request; only the host is
+// shared.
+func TestDispatchAllocCeilingParallel(t *testing.T) {
+	svc, err := core.NewService("Noop", "http://soc.example/noop", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:   "Ping",
+		Output: []core.Param{{Name: "ok", Type: core.Bool}},
+		Handler: func(_ context.Context, _ core.Values) (core.Values, error) {
+			return core.Values{"ok": true}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	h.MustMount(svc)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/services/Noop/invoke/Ping", nil))
+
+	const workers, iters = 8, 400
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := httptest.NewRequest(http.MethodGet, "/services/Noop/invoke/Ping", nil)
+			rec := httptest.NewRecorder()
+			for i := 0; i < iters; i++ {
+				rec.Body.Reset()
+				h.ServeHTTP(rec, r)
+			}
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}()
+	}
+	wg.Wait()
+	runtime.ReadMemStats(&after)
+	// The per-goroutine request/recorder setup amortizes to noise over
+	// the iteration count; the ceiling carries headroom for it.
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(workers*iters)
+	if allocs > 44 {
+		t.Errorf("parallel dispatch allocates %.1f/op, ceiling 44", allocs)
 	}
 }

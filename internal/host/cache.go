@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -60,7 +61,12 @@ func (h *Host) cacheMiddleware(c *respcache.Cache) rest.Middleware {
 				return e, e.Status == http.StatusOK
 			})
 			if hit {
-				w.Header().Set("X-Cache", "HIT")
+				// Direct canonical-key assignment of a shared value slice:
+				// Header.Set canonicalizes and allocates a fresh []string on
+				// every hit, which is measurable on the replay path. The
+				// shared slices are full (len == cap), so a handler appending
+				// to one reallocates instead of mutating it.
+				w.Header()["X-Cache"] = xCacheHit
 				// A hit is a zero-duration cached span in the caller's
 				// trace — and deliberately NOT a latency sample: cached
 				// answers would flatter every latency-derived QoS score.
@@ -68,7 +74,7 @@ func (h *Host) cacheMiddleware(c *respcache.Cache) rest.Middleware {
 				h.tracer.Event(sc, telemetry.KindCache, opKey, "respcache", "hit")
 				h.instr.RecordCached(opKey)
 			} else {
-				w.Header().Set("X-Cache", "MISS")
+				w.Header()["X-Cache"] = xCacheMiss
 			}
 			entry.WriteTo(w)
 		}
@@ -104,6 +110,7 @@ func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, st
 		return "", "", false
 	}
 	var b strings.Builder
+	b.Grow(len(r.Method) + len(r.URL.RawQuery) + 40)
 	b.WriteString(r.Method)
 	b.WriteByte(0)
 	b.WriteString(rest.Negotiate(r))
@@ -112,19 +119,23 @@ func (h *Host) invokeKey(r *http.Request, m *mounted, opName string) (string, st
 	b.WriteByte(0)
 	switch r.Method {
 	case http.MethodGet:
-		q := r.URL.Query()
-		keys := make([]string, 0, len(q))
-		for k := range q {
-			if k == "format" {
-				continue // already part of the negotiated-format component
+		// Parse the raw query into sorted pairs directly: building a full
+		// url.Values map per request was the hottest call on the cache-hit
+		// path. Semantics match the map form — first value per key wins,
+		// keys sorted, "format" excluded (it is already the negotiated
+		// component above).
+		var qbuf [8]queryPair
+		pairs := parseQueryPairs(qbuf[:0], r.URL.RawQuery)
+		sortPairs(pairs)
+		prev := ""
+		for i, kv := range pairs {
+			if kv.k == "format" || (i > 0 && kv.k == prev) {
+				continue
 			}
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			b.WriteString(k)
+			prev = kv.k
+			b.WriteString(kv.k)
 			b.WriteByte(1)
-			b.WriteString(q.Get(k))
+			b.WriteString(kv.v)
 			b.WriteByte(0)
 		}
 	case http.MethodPost:
@@ -176,6 +187,66 @@ func (h *Host) soapKey(r *http.Request, m *mounted) (string, string, bool) {
 		b.WriteByte(0)
 	}
 	return b.String(), m.metricKey(msg.Operation), true
+}
+
+// Shared X-Cache header values, assigned by canonical key so the hit
+// path never pays Header.Set's canonicalization or slice allocation.
+var (
+	xCacheHit  = []string{"HIT"}
+	xCacheMiss = []string{"MISS"}
+)
+
+// queryPair is one raw-query key/value, unescaped.
+type queryPair struct{ k, v string }
+
+// sortPairs orders pairs by key with a stable insertion sort — queries
+// have a handful of parameters, and sort.SliceStable's reflection costs
+// more than the sort itself at that size. Stability keeps the first
+// parsed value first among duplicate keys.
+func sortPairs(pairs []queryPair) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].k < pairs[j-1].k; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+// parseQueryPairs splits a raw query into unescaped key/value pairs
+// appended to dst, mirroring url.ParseQuery's tolerant semantics — pairs
+// containing semicolons or invalid escapes are skipped, a pair without
+// '=' reads as an empty value — without allocating a url.Values map.
+// Unescaping runs only for tokens that actually contain escapes. Callers
+// pass a stack-backed dst so typical queries never touch the heap.
+func parseQueryPairs(dst []queryPair, raw string) []queryPair {
+	pairs := dst
+	for raw != "" {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if strings.ContainsAny(k, "%+") {
+			ku, err := url.QueryUnescape(k)
+			if err != nil {
+				continue
+			}
+			k = ku
+		}
+		if strings.ContainsAny(v, "%+") {
+			vu, err := url.QueryUnescape(v)
+			if err != nil {
+				continue
+			}
+			v = vu
+		}
+		pairs = append(pairs, queryPair{k: k, v: v})
+	}
+	return pairs
 }
 
 // swapBody reads the request body (bounded) and replaces it with an

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soc/internal/core"
@@ -71,8 +72,12 @@ const tracerCapacity = 512
 // tracer ring (GET /tracez) and folds into the shared instrument set
 // (GET /metricz, GET /services/{name}/stats).
 type Host struct {
-	mu     sync.RWMutex
-	mounts map[string]*mounted
+	// wmu serializes Mount; lookups read the mounts map through an
+	// atomic pointer (copy-on-write), so the per-request path — which
+	// resolves the mount table two or three times per request — never
+	// touches a lock.
+	wmu    sync.Mutex
+	mounts atomic.Pointer[map[string]*mounted]
 	router *rest.Router
 	instr  *telemetry.Metrics
 	tracer *telemetry.Tracer
@@ -85,26 +90,31 @@ type Host struct {
 // New returns an empty host.
 func New() *Host {
 	h := &Host{
-		mounts: make(map[string]*mounted),
 		router: rest.NewRouter(),
 		instr:  telemetry.NewMetrics(),
 		tracer: telemetry.NewTracer(tracerCapacity),
 	}
+	empty := make(map[string]*mounted)
+	h.mounts.Store(&empty)
 	h.router.Use(rest.Recovery())
 	must := func(err error) {
 		if err != nil {
 			panic(err) // static routes; failure is a programming bug
 		}
 	}
+	// Invocation routes first: the router scans same-method routes in
+	// registration order, and every call pays for the routes ahead of its
+	// own. The patterns are pairwise disjoint, so ordering only affects
+	// scan cost, never which handler wins.
+	must(h.router.GET("/services/{name}/invoke/{op}", h.handleInvoke))
+	must(h.router.POST("/services/{name}/invoke/{op}", h.handleInvoke))
+	must(h.router.POST("/services/{name}/soap", h.handleSOAP))
+	must(h.router.GET("/services/{name}/stats", h.handleStats))
+	must(h.router.GET("/services/{name}", h.handleDescribe))
+	must(h.router.GET("/services", h.handleList))
 	must(h.router.GET("/healthz", h.handleHealthz))
 	must(h.router.GET("/tracez", h.handleTracez))
 	must(h.router.GET("/metricz", h.handleMetricz))
-	must(h.router.GET("/services", h.handleList))
-	must(h.router.GET("/services/{name}/stats", h.handleStats))
-	must(h.router.GET("/services/{name}", h.handleDescribe))
-	must(h.router.POST("/services/{name}/soap", h.handleSOAP))
-	must(h.router.POST("/services/{name}/invoke/{op}", h.handleInvoke))
-	must(h.router.GET("/services/{name}/invoke/{op}", h.handleInvoke))
 	return h
 }
 
@@ -119,9 +129,10 @@ func (h *Host) Mount(svc *core.Service) error {
 	if svc == nil {
 		return fmt.Errorf("%w: nil service", ErrMount)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, dup := h.mounts[svc.Name]; dup {
+	h.wmu.Lock()
+	defer h.wmu.Unlock()
+	old := *h.mounts.Load()
+	if _, dup := old[svc.Name]; dup {
 		return fmt.Errorf("%w: duplicate service %q", ErrMount, svc.Name)
 	}
 	m := &mounted{
@@ -170,7 +181,12 @@ func (h *Host) Mount(svc *core.Service) error {
 			return err
 		}
 	}
-	h.mounts[svc.Name] = m
+	next := make(map[string]*mounted, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[svc.Name] = m
+	h.mounts.Store(&next)
 	return nil
 }
 
@@ -197,19 +213,16 @@ func (h *Host) Service(name string) (*core.Service, bool) {
 	return m.svc, true
 }
 
-// mount returns the precompiled dispatch table for a service.
+// mount returns the precompiled dispatch table for a service — one
+// atomic load, no lock.
 func (h *Host) mount(name string) (*mounted, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	m, ok := h.mounts[name]
+	m, ok := (*h.mounts.Load())[name]
 	return m, ok
 }
 
 // Names lists mounted service names, sorted.
 func (h *Host) Names() []string {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.namesLocked()
+	return mountNames(*h.mounts.Load())
 }
 
 // ServeHTTP implements http.Handler.
@@ -246,19 +259,18 @@ type serviceDesc struct {
 }
 
 func (h *Host) handleList(w http.ResponseWriter, r *http.Request, _ rest.Params) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	out := make([]serviceSummary, 0, len(h.mounts))
-	for _, name := range h.namesLocked() {
-		s := h.mounts[name].svc
+	mounts := *h.mounts.Load()
+	out := make([]serviceSummary, 0, len(mounts))
+	for _, name := range mountNames(mounts) {
+		s := mounts[name].svc
 		out = append(out, serviceSummary{Name: s.Name, Namespace: s.Namespace, Doc: s.Doc, Category: s.Category})
 	}
 	rest.WriteResponse(w, r, http.StatusOK, out)
 }
 
-func (h *Host) namesLocked() []string {
-	out := make([]string, 0, len(h.mounts))
-	for n := range h.mounts {
+func mountNames(mounts map[string]*mounted) []string {
+	out := make([]string, 0, len(mounts))
+	for n := range mounts {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -329,9 +341,9 @@ type healthReport struct {
 // whenever it can answer at all (a dead host can't).
 func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Params) {
 	stats := h.Stats()
-	h.mu.RLock()
-	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(h.mounts))}
-	for name, m := range h.mounts {
+	mounts := *h.mounts.Load()
+	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(mounts))}
+	for name, m := range mounts {
 		svc := m.svc
 		sh := serviceHealth{Status: "ok", Operations: len(svc.Operations())}
 		for _, op := range svc.Operations() {
@@ -345,7 +357,6 @@ func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Para
 		}
 		report.Services[name] = sh
 	}
-	h.mu.RUnlock()
 	rest.WriteResponse(w, r, http.StatusOK, report)
 }
 

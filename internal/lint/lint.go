@@ -118,6 +118,7 @@ func DefaultConfig(moduleDir string) Config {
 		CallPlanePath: "soc/internal/callplane",
 		ClockScope: []string{
 			"soc/internal/faultinject",
+			"soc/internal/loadgen",
 			"soc/internal/reliability",
 			"soc/internal/respcache",
 			"soc/internal/vtime",

@@ -148,18 +148,45 @@ type Diff struct {
 	Regression bool `json:"regression"`
 }
 
+// ContentionDiff is the old→new movement of one benchmark family's
+// contention ratio: variant ns/op divided by the family's serial ns/op.
+// A contention-free hot path keeps the parallel ratio near 1.0 on any
+// core count; a shared lock convoy pushes it up — which makes the ratio
+// a far more stable CI gate than raw saturated wall time.
+type ContentionDiff struct {
+	// Family is the benchmark name without the variant suffix, plus the
+	// variant being ratioed ("parallel" or "saturated").
+	Family  string `json:"family"`
+	Variant string `json:"variant"`
+	// OldRatio and NewRatio are variant-ns / serial-ns; OldRatio is 0
+	// when the baseline lacks the family.
+	OldRatio float64 `json:"oldRatio"`
+	NewRatio float64 `json:"newRatio"`
+	// DeltaPct is the percentage movement of the ratio (negative is an
+	// improvement).
+	DeltaPct float64 `json:"deltaPct"`
+	// Regression marks a gated ratio worsening past the threshold.
+	Regression bool `json:"regression"`
+}
+
 // Report is the full comparison, serialized as BENCH_*.json artifacts.
 type Report struct {
 	// ThresholdPct is the allowed worsening before a diff counts as a
 	// regression.
 	ThresholdPct float64 `json:"thresholdPct"`
-	// Gate names the gated metric: "allocs", "time", "both" or "none".
+	// Gate names the gated metric: "allocs", "time", "both", "none" or
+	// "contention" (allocs plus the parallel-contention ratio).
 	Gate string `json:"gate"`
 	// New holds the current run's summaries; Old the baseline's (empty
 	// when recording a first baseline).
 	Old   map[string]Summary `json:"old,omitempty"`
 	New   map[string]Summary `json:"new"`
 	Diffs []Diff             `json:"diffs,omitempty"`
+	// Contention holds the ratio diffs when the contention gate is
+	// active. Only the "parallel" variant gates: saturated wall time on
+	// an oversubscribed box is too noisy to fail CI on, so its ratios
+	// ride along as informational rows.
+	Contention []ContentionDiff `json:"contention,omitempty"`
 }
 
 func pctDelta(oldV, newV float64) float64 {
@@ -197,18 +224,109 @@ func Compare(old, new map[string]Summary, thresholdPct float64, gate string) Rep
 			d.Regression = timeReg
 		case "both":
 			d.Regression = timeReg || allocReg
-		case "none":
+		case "none", "contention":
+			// contention gates allocs per name below via the ratio rows;
+			// raw per-name time is reported, not gated.
+			if gate == "contention" {
+				d.Regression = allocReg
+			}
 		default: // "allocs"
 			d.Regression = allocReg
 		}
 		rep.Diffs = append(rep.Diffs, d)
 	}
+	if gate == "contention" {
+		rep.Contention = compareContention(old, new, thresholdPct)
+	}
 	return rep
+}
+
+// contentionVariants are the lowAndHigh variants ratioed against serial.
+var contentionVariants = []string{"parallel", "saturated"}
+
+// ContentionRatios extracts family+variant → variant-ns/serial-ns ratios
+// from one run's summaries. Families are benchmark names of the form
+// "Name/variant" where variant is serial, parallel or saturated.
+func ContentionRatios(sum map[string]Summary) map[string]float64 {
+	out := make(map[string]float64)
+	for name, s := range sum {
+		i := strings.LastIndexByte(name, '/')
+		if i < 0 {
+			continue
+		}
+		family, variant := name[:i], name[i+1:]
+		ok := false
+		for _, v := range contentionVariants {
+			if variant == v {
+				ok = true
+			}
+		}
+		if !ok {
+			continue
+		}
+		serial, found := sum[family+"/serial"]
+		if !found || serial.NsPerOp <= 0 || s.NsPerOp <= 0 {
+			continue
+		}
+		out[family+"/"+variant] = s.NsPerOp / serial.NsPerOp
+	}
+	return out
+}
+
+// The parallel-ratio gate only fires where it measures the workload and
+// not the harness: families whose serial cost is below minGatedSerialNs
+// are skipped — RunParallel's per-iteration synchronization is a fixed
+// cost around a microsecond on a busy box, so the ratio of a cheap op
+// measures the scheduler, not the lock structure. The request-path and
+// directory families the gate exists for (cached invoke, dispatch,
+// registry search) all sit comfortably above the floor. A ratio at or
+// below contentionRatioFloor is contention-free by definition — parallel
+// goroutines finishing within 1.5x of the serial loop have no convoy
+// worth failing CI over, whatever the percentage movement.
+const (
+	minGatedSerialNs     = 5000.0
+	contentionRatioFloor = 1.5
+)
+
+// compareContention diffs the ratio sets; only parallel ratios of
+// gate-eligible families (see above) can mark a regression.
+func compareContention(old, new map[string]Summary, thresholdPct float64) []ContentionDiff {
+	oldR, newR := ContentionRatios(old), ContentionRatios(new)
+	keys := make([]string, 0, len(newR))
+	for k := range newR {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ContentionDiff, 0, len(keys))
+	for _, k := range keys {
+		i := strings.LastIndexByte(k, '/')
+		d := ContentionDiff{
+			Family:   k[:i],
+			Variant:  k[i+1:],
+			OldRatio: oldR[k],
+			NewRatio: newR[k],
+		}
+		if d.OldRatio > 0 {
+			d.DeltaPct = pctDelta(d.OldRatio, d.NewRatio)
+			serial := new[d.Family+"/serial"].NsPerOp
+			d.Regression = d.Variant == "parallel" &&
+				serial >= minGatedSerialNs &&
+				d.NewRatio > contentionRatioFloor &&
+				d.DeltaPct > thresholdPct
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // HasRegression reports whether any diff crossed the gate.
 func (r Report) HasRegression() bool {
 	for _, d := range r.Diffs {
+		if d.Regression {
+			return true
+		}
+	}
+	for _, d := range r.Contention {
 		if d.Regression {
 			return true
 		}
@@ -239,5 +357,17 @@ func (r Report) Format(w io.Writer) {
 		fmt.Fprintf(w, "%s %-50s time %12.1f → %12.1f ns/op (%+6.1f%%)  allocs %8.0f → %8.0f (%+6.1f%%)\n",
 			mark, d.Name, d.Old.NsPerOp, d.New.NsPerOp, d.TimeDeltaPct,
 			d.Old.AllocsPerOp, d.New.AllocsPerOp, d.AllocDeltaPct)
+	}
+	for _, d := range r.Contention {
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		gated := "informational"
+		if d.Variant == "parallel" {
+			gated = "gated"
+		}
+		fmt.Fprintf(w, "%s %-50s %s/serial ratio %8.2f → %8.2f (%+6.1f%%, %s)\n",
+			mark, d.Family, d.Variant, d.OldRatio, d.NewRatio, d.DeltaPct, gated)
 	}
 }

@@ -94,3 +94,63 @@ func TestCompareWithinThreshold(t *testing.T) {
 		t.Error("9% worsening flagged at a 10% threshold")
 	}
 }
+
+func TestContentionRatios(t *testing.T) {
+	sum := map[string]Summary{
+		"BenchmarkContention/hit/serial":    {NsPerOp: 100},
+		"BenchmarkContention/hit/parallel":  {NsPerOp: 110},
+		"BenchmarkContention/hit/saturated": {NsPerOp: 12800},
+		"BenchmarkContention/orphan":        {NsPerOp: 50}, // no variant suffix
+	}
+	got := ContentionRatios(sum)
+	if len(got) != 2 {
+		t.Fatalf("ratios = %v, want parallel and saturated entries", got)
+	}
+	if r := got["BenchmarkContention/hit/parallel"]; r < 1.09 || r > 1.11 {
+		t.Fatalf("parallel ratio = %v, want 1.1", r)
+	}
+	if r := got["BenchmarkContention/hit/saturated"]; r != 128 {
+		t.Fatalf("saturated ratio = %v, want 128", r)
+	}
+}
+
+func TestCompareContentionGate(t *testing.T) {
+	mk := func(serial, par, sat float64) map[string]Summary {
+		return map[string]Summary{
+			"B/hit/serial":    {NsPerOp: serial, AllocsPerOp: 1},
+			"B/hit/parallel":  {NsPerOp: par, AllocsPerOp: 1},
+			"B/hit/saturated": {NsPerOp: sat, AllocsPerOp: 1},
+		}
+	}
+	// Parallel ratio 1.0 → 2.0 on a 10µs op: a lock convoy appeared.
+	rep := Compare(mk(10000, 10000, 1300000), mk(10000, 20000, 1300000), 10, "contention")
+	if !rep.HasRegression() {
+		t.Fatal("parallel ratio +100% not flagged by contention gate")
+	}
+	// Saturated ratio doubling alone is informational, not a failure.
+	rep = Compare(mk(10000, 10500, 1300000), mk(10000, 10500, 2600000), 10, "contention")
+	if rep.HasRegression() {
+		t.Fatal("saturated ratio movement must not gate")
+	}
+	if len(rep.Contention) != 2 {
+		t.Fatalf("contention rows = %d, want 2", len(rep.Contention))
+	}
+	// Sub-microsecond families never gate on ratio: RunParallel's own
+	// synchronization dominates them.
+	rep = Compare(mk(100, 100, 13000), mk(100, 300, 13000), 10, "contention")
+	if rep.HasRegression() {
+		t.Fatal("nanosecond-scale ratio movement must not gate")
+	}
+	// A ratio still at or under the contention-free floor never gates,
+	// whatever the percentage movement.
+	rep = Compare(mk(10000, 10000, 1300000), mk(10000, 14000, 1300000), 10, "contention")
+	if rep.HasRegression() {
+		t.Fatal("ratio 1.4 is under the convoy floor and must not gate")
+	}
+	// Alloc regressions still gate under contention.
+	worse := mk(10000, 10500, 1300000)
+	worse["B/hit/serial"] = Summary{NsPerOp: 10000, AllocsPerOp: 2}
+	if rep := Compare(mk(10000, 10500, 1300000), worse, 10, "contention"); !rep.HasRegression() {
+		t.Fatal("alloc doubling not flagged under contention gate")
+	}
+}

@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLookupDuringPublishConsistent drives readers through the RCU
+// snapshot path while a writer republishes the same entry with paired
+// Doc/Endpoint values: every Get must observe one of the two complete
+// versions, never a torn mix — the atomicity the copy-on-write snapshot
+// exists to guarantee.
+func TestLookupDuringPublishConsistent(t *testing.T) {
+	r := seeded(t)
+	versions := map[string]string{
+		"alpha flavored directory entry": "http://alpha",
+		"bravo flavored directory entry": "http://bravo",
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			doc, ep := "alpha flavored directory entry", "http://alpha"
+			if i%2 == 1 {
+				doc, ep = "bravo flavored directory entry", "http://bravo"
+			}
+			if err := r.Publish(Entry{Name: "Flip", Doc: doc, Endpoint: ep}); err != nil {
+				t.Errorf("republish: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		e, err := r.Get("Flip")
+		if err != nil {
+			continue // not yet published on the first iterations
+		}
+		if want, ok := versions[e.Doc]; !ok || e.Endpoint != want {
+			t.Fatalf("torn read: doc %q with endpoint %q", e.Doc, e.Endpoint)
+		}
+	}
+	<-done
+}
+
+// TestSearchDuringHeartbeatAndEvict runs the full read surface (Search,
+// List, ByCategory, Categories) against concurrent lease renewal and
+// eviction — the mixed read/write schedule the striped QoS store and the
+// snapshot swap must survive under the race detector.
+func TestSearchDuringHeartbeatAndEvict(t *testing.T) {
+	r := seeded(t)
+	for i := 0; i < 32; i++ {
+		e := Entry{
+			Name:     fmt.Sprintf("Bulk%d", i),
+			Doc:      "bulk service used for concurrent eviction pressure",
+			Endpoint: "http://bulk",
+			Category: "bulk",
+		}
+		if err := r.Publish(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			//soclint:ignore errdiscard entries may lapse mid-loop; readers tolerate it
+			_ = r.Heartbeat(fmt.Sprintf("Bulk%d", i%32))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.Evict(0)
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		if _, err := r.Search("service", 0); err != nil {
+			t.Fatalf("Search during heartbeat/evict: %v", err)
+		}
+		r.List(true)
+		r.ByCategory("bulk")
+		r.Categories()
+	}
+	wg.Wait()
+}

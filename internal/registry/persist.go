@@ -100,11 +100,8 @@ func (r *Registry) Load(rd io.Reader) (int, error) {
 		// Preserve the recorded publication time when present.
 		if ts := el.ChildText("published"); ts != "" {
 			if when, err := time.Parse(time.RFC3339, ts); err == nil {
-				r.mu.Lock()
-				if stored, ok := r.entries[name]; ok {
-					stored.Published = when
-				}
-				r.mu.Unlock()
+				//soclint:ignore errdiscard the entry was published two lines up; a concurrent unpublish just forfeits the recorded time
+				_ = r.setPublished(name, when)
 			}
 		}
 		n++

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"time"
@@ -21,10 +22,49 @@ type QoS struct {
 	Samples int `json:"samples"`
 }
 
-// qosStore tracks QoS per service name alongside a registry.
-type qosStore struct {
+// qosShardCount stripes the QoS store so per-call ObserveCall writes from
+// concurrent dispatches don't convoy on one mutex. Power of two for mask
+// selection.
+const qosShardCount = 16
+
+// qosShard is one stripe of the QoS store.
+type qosShard struct {
 	mu sync.RWMutex
 	m  map[string]QoS
+}
+
+// qosStore tracks QoS per service name alongside a registry, lock-striped
+// by name hash.
+type qosStore struct {
+	seed   maphash.Seed
+	shards [qosShardCount]qosShard
+}
+
+func (s *qosStore) shard(name string) *qosShard {
+	return &s.shards[maphash.String(s.seed, name)&(qosShardCount-1)]
+}
+
+func (s *qosStore) get(name string) (QoS, bool) {
+	sh := s.shard(name)
+	sh.mu.RLock()
+	q, ok := sh.m[name]
+	sh.mu.RUnlock()
+	return q, ok
+}
+
+func (s *qosStore) set(name string, q QoS) {
+	sh := s.shard(name)
+	sh.mu.Lock()
+	sh.m[name] = q
+	sh.mu.Unlock()
+}
+
+// update applies fn to the record for name under the stripe write lock.
+func (s *qosStore) update(name string, fn func(QoS) QoS) {
+	sh := s.shard(name)
+	sh.mu.Lock()
+	sh.m[name] = fn(sh.m[name])
+	sh.mu.Unlock()
 }
 
 // QoSRegistry decorates a Registry with QoS records and quality-weighted
@@ -36,7 +76,12 @@ type QoSRegistry struct {
 
 // NewQoS wraps a registry.
 func NewQoS(r *Registry) *QoSRegistry {
-	return &QoSRegistry{Registry: r, qos: qosStore{m: map[string]QoS{}}}
+	qr := &QoSRegistry{Registry: r}
+	qr.qos.seed = maphash.MakeSeed()
+	for i := range qr.qos.shards {
+		qr.qos.shards[i].m = map[string]QoS{}
+	}
+	return qr
 }
 
 // ReportQoS records (or replaces) the measured QoS of a service.
@@ -47,9 +92,7 @@ func (r *QoSRegistry) ReportQoS(name string, q QoS) error {
 	if _, err := r.Get(name); err != nil {
 		return err
 	}
-	r.qos.mu.Lock()
-	defer r.qos.mu.Unlock()
-	r.qos.m[name] = q
+	r.qos.set(name, q)
 	return nil
 }
 
@@ -65,21 +108,20 @@ func (r *QoSRegistry) ObserveProbe(name string, up bool, rtt time.Duration) erro
 	if _, err := r.Get(name); err != nil {
 		return err
 	}
-	r.qos.mu.Lock()
-	defer r.qos.mu.Unlock()
-	q := r.qos.m[name]
-	n := float64(q.Samples)
-	upVal := 0.0
-	if up {
-		upVal = 1
-		// Only successful probes measure a real round trip; failures are
-		// often instant (connection refused) and would flatter the mean.
-		succ := q.Uptime * n // successful samples so far
-		q.MeanRTT = time.Duration((float64(q.MeanRTT)*succ + float64(rtt)) / (succ + 1))
-	}
-	q.Uptime = (q.Uptime*n + upVal) / (n + 1)
-	q.Samples++
-	r.qos.m[name] = q
+	r.qos.update(name, func(q QoS) QoS {
+		n := float64(q.Samples)
+		upVal := 0.0
+		if up {
+			upVal = 1
+			// Only successful probes measure a real round trip; failures are
+			// often instant (connection refused) and would flatter the mean.
+			succ := q.Uptime * n // successful samples so far
+			q.MeanRTT = time.Duration((float64(q.MeanRTT)*succ + float64(rtt)) / (succ + 1))
+		}
+		q.Uptime = (q.Uptime*n + upVal) / (n + 1)
+		q.Samples++
+		return q
+	})
 	return nil
 }
 
@@ -108,10 +150,7 @@ func (r *QoSRegistry) ProbeFeed(name string) func(replica string, up bool, rtt t
 
 // QoSOf returns the recorded QoS and whether one exists.
 func (r *QoSRegistry) QoSOf(name string) (QoS, bool) {
-	r.qos.mu.RLock()
-	defer r.qos.mu.RUnlock()
-	q, ok := r.qos.m[name]
-	return q, ok
+	return r.qos.get(name)
 }
 
 // QoSMatch is a quality-weighted search result.
@@ -136,35 +175,54 @@ func quality(q QoS, ok bool) float64 {
 	return q.Uptime * latencyFactor
 }
 
+// qosScored is a quality-weighted candidate before entry materialization.
+type qosScored struct {
+	name      string
+	relevance float64
+	quality   float64
+	score     float64
+}
+
 // SearchQoS ranks live entries by relevance × quality. It scores from
-// the unsorted candidate set and sorts exactly once on the final
+// the unsorted candidate set, sorts exactly once on the final
 // quality-weighted score (the relevance ordering Search would impose is
-// thrown away here, so computing it would be wasted work).
+// thrown away here, so computing it would be wasted work), and copies
+// full entries only for the top `limit` survivors.
 func (r *QoSRegistry) SearchQoS(query string, limit int) ([]QoSMatch, error) {
 	qTokens := tokenize(query)
 	if len(qTokens) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrInvalid)
 	}
-	base := r.searchMatches(qTokens)
-	out := make([]QoSMatch, 0, len(base))
-	for _, m := range base {
-		q, ok := r.QoSOf(m.Entry.Name)
+	s := r.Registry.load()
+	ranked := s.searchScored(qTokens, r.Registry.now())
+	weighted := make([]qosScored, 0, len(ranked))
+	for _, m := range ranked {
+		q, ok := r.qos.get(m.name)
 		qual := quality(q, ok)
-		out = append(out, QoSMatch{
-			Entry:     m.Entry,
-			Relevance: m.Score,
-			Quality:   qual,
-			Score:     m.Score * qual,
+		weighted = append(weighted, qosScored{
+			name:      m.name,
+			relevance: m.score,
+			quality:   qual,
+			score:     m.score * qual,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	sort.Slice(weighted, func(i, j int) bool {
+		if weighted[i].score != weighted[j].score {
+			return weighted[i].score > weighted[j].score
 		}
-		return out[i].Entry.Name < out[j].Entry.Name
+		return weighted[i].name < weighted[j].name
 	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	if limit > 0 && len(weighted) > limit {
+		weighted = weighted[:limit]
+	}
+	out := make([]QoSMatch, len(weighted))
+	for i, w := range weighted {
+		out[i] = QoSMatch{
+			Entry:     *s.entries[w.name],
+			Relevance: w.relevance,
+			Quality:   w.quality,
+			Score:     w.score,
+		}
 	}
 	return out, nil
 }

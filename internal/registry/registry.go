@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,9 +54,13 @@ type Entry struct {
 // Available reports whether the entry's lease is current at t.
 func (e *Entry) Available(t time.Time) bool { return t.Before(e.LeaseExpires) }
 
-// Registry is an in-memory service directory, safe for concurrent use.
-type Registry struct {
-	mu      sync.RWMutex
+// snapshot is one immutable registry state. Readers load it atomically
+// and never take a lock; writers build a copied successor under wmu and
+// publish it with one atomic store (RCU). Entries and posting maps are
+// shared structurally between snapshots — a write copies only the outer
+// maps and the inner values it touches, and nothing reachable from a
+// published snapshot is ever mutated again.
+type snapshot struct {
 	entries map[string]*Entry
 	// index is the inverted keyword index: token → entry name →
 	// normalized term frequency. It is maintained incrementally on
@@ -66,7 +71,18 @@ type Registry struct {
 	// docTF remembers each entry's term-frequency vector so its postings
 	// can be removed when the entry changes or leaves.
 	docTF map[string]map[string]float64
-	// lease is the duration granted on publish and heartbeat.
+	// minLease is the earliest lease expiry across entries. While the
+	// query clock is before it, every entry is live and search skips all
+	// per-entry liveness checks (the common steady-state fast path).
+	minLease time.Time
+}
+
+// Registry is an in-memory service directory, safe for concurrent use.
+// Lookups are lock-free snapshot reads; publishes serialize on a writer
+// mutex and never block a reader.
+type Registry struct {
+	wmu   sync.Mutex
+	snap  atomic.Pointer[snapshot]
 	lease time.Duration
 	now   func() time.Time
 }
@@ -83,16 +99,56 @@ func WithClock(now func() time.Time) Option { return func(r *Registry) { r.now =
 // New returns an empty registry.
 func New(opts ...Option) *Registry {
 	r := &Registry{
-		entries: make(map[string]*Entry),
-		index:   make(map[string]map[string]float64),
-		docTF:   make(map[string]map[string]float64),
-		lease:   5 * time.Minute,
-		now:     time.Now,
+		lease: 5 * time.Minute,
+		now:   time.Now,
 	}
+	r.snap.Store(&snapshot{
+		entries: map[string]*Entry{},
+		index:   map[string]map[string]float64{},
+		docTF:   map[string]map[string]float64{},
+	})
 	for _, o := range opts {
 		o(r)
 	}
 	return r
+}
+
+// load returns the current immutable snapshot.
+func (r *Registry) load() *snapshot { return r.snap.Load() }
+
+// cloneForWrite copies the current snapshot's outer maps. The caller must
+// hold wmu, mutate only via the snapshot's copy-on-write helpers (or by
+// installing fresh *Entry values), and install the result with publish.
+func (r *Registry) cloneForWrite() *snapshot {
+	old := r.snap.Load()
+	ns := &snapshot{
+		entries: make(map[string]*Entry, len(old.entries)+1),
+		index:   make(map[string]map[string]float64, len(old.index)),
+		docTF:   make(map[string]map[string]float64, len(old.docTF)),
+	}
+	for k, v := range old.entries {
+		ns.entries[k] = v
+	}
+	for k, v := range old.index {
+		ns.index[k] = v
+	}
+	for k, v := range old.docTF {
+		ns.docTF[k] = v
+	}
+	return ns
+}
+
+// publish recomputes the snapshot's lease horizon and installs it as the
+// current state. The caller must hold wmu.
+func (r *Registry) publish(ns *snapshot) {
+	first := true
+	for _, e := range ns.entries {
+		if first || e.LeaseExpires.Before(ns.minLease) {
+			ns.minLease = e.LeaseExpires
+			first = false
+		}
+	}
+	r.snap.Store(ns)
 }
 
 var categoryRE = regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+)*$`)
@@ -113,25 +169,28 @@ func (r *Registry) Publish(e Entry) error {
 	if err := validateEntry(e); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
 	now := r.now()
-	if old, ok := r.entries[e.Name]; ok {
+	ns := r.cloneForWrite()
+	if old, ok := ns.entries[e.Name]; ok {
 		e.Published = old.Published
 	} else {
 		e.Published = now
 	}
 	e.LeaseExpires = now.Add(r.lease)
 	copied := e
-	r.entries[e.Name] = &copied
-	r.indexLocked(&copied)
+	ns.entries[e.Name] = &copied
+	ns.indexEntry(&copied)
+	r.publish(ns)
 	return nil
 }
 
-// indexLocked (re)computes the entry's term-frequency vector and installs
-// its postings. Must hold the write lock.
-func (r *Registry) indexLocked(e *Entry) {
-	r.unindexLocked(e.Name)
+// indexEntry (re)computes the entry's term-frequency vector and installs
+// its postings, copying each touched posting map (never mutating one
+// shared with a published snapshot).
+func (s *snapshot) indexEntry(e *Entry) {
+	s.unindex(e.Name)
 	toks := docTokens(e)
 	tf := make(map[string]float64, len(toks))
 	for _, t := range toks {
@@ -141,31 +200,39 @@ func (r *Registry) indexLocked(e *Entry) {
 	for t := range tf {
 		tf[t] /= norm
 	}
-	r.docTF[e.Name] = tf
+	s.docTF[e.Name] = tf
 	for t, v := range tf {
-		post := r.index[t]
-		if post == nil {
-			post = make(map[string]float64)
-			r.index[t] = post
+		old := s.index[t]
+		post := make(map[string]float64, len(old)+1)
+		for n, pv := range old {
+			post[n] = pv
 		}
 		post[e.Name] = v
+		s.index[t] = post
 	}
 }
 
-// unindexLocked removes the entry's postings. Must hold the write lock.
-func (r *Registry) unindexLocked(name string) {
-	tf, ok := r.docTF[name]
+// unindex removes the entry's postings, copying each touched posting map.
+func (s *snapshot) unindex(name string) {
+	tf, ok := s.docTF[name]
 	if !ok {
 		return
 	}
 	for t := range tf {
-		post := r.index[t]
-		delete(post, name)
-		if len(post) == 0 {
-			delete(r.index, t)
+		old := s.index[t]
+		if len(old) <= 1 {
+			delete(s.index, t)
+			continue
 		}
+		post := make(map[string]float64, len(old)-1)
+		for n, v := range old {
+			if n != name {
+				post[n] = v
+			}
+		}
+		s.index[t] = post
 	}
-	delete(r.docTF, name)
+	delete(s.docTF, name)
 }
 
 // prepare resolves what Publish would install for e — validation,
@@ -177,10 +244,9 @@ func (r *Registry) prepare(e Entry) (Entry, error) {
 	if err := validateEntry(e); err != nil {
 		return Entry{}, err
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	s := r.load()
 	now := r.now()
-	if old, ok := r.entries[e.Name]; ok {
+	if old, ok := s.entries[e.Name]; ok {
 		e.Published = old.Published
 	} else {
 		e.Published = now
@@ -197,56 +263,75 @@ func (r *Registry) Restore(e Entry) error {
 	if err := validateEntry(e); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	ns := r.cloneForWrite()
 	copied := e
-	r.entries[e.Name] = &copied
-	r.indexLocked(&copied)
+	ns.entries[e.Name] = &copied
+	ns.indexEntry(&copied)
+	r.publish(ns)
 	return nil
 }
 
 // setLease pins an entry's lease expiry to an exact instant — the replay
 // primitive behind durable heartbeats.
 func (r *Registry) setLease(name string, t time.Time) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[name]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	e.LeaseExpires = t
-	return nil
+	return r.updateEntry(name, func(e *Entry) { e.LeaseExpires = t })
 }
 
 // Heartbeat renews the lease of an entry.
 func (r *Registry) Heartbeat(name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[name]
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	expires := r.now().Add(r.lease)
+	return r.updateEntryLocked(name, func(e *Entry) { e.LeaseExpires = expires })
+}
+
+// setPublished pins an entry's publication time — used when loading a
+// directory document that recorded one.
+func (r *Registry) setPublished(name string, when time.Time) error {
+	return r.updateEntry(name, func(e *Entry) { e.Published = when })
+}
+
+// updateEntry applies fn to a copy of the named entry and publishes the
+// resulting snapshot (postings are unaffected: indexed fields never
+// change through this path).
+func (r *Registry) updateEntry(name string, fn func(*Entry)) error {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	return r.updateEntryLocked(name, fn)
+}
+
+func (r *Registry) updateEntryLocked(name string, fn func(*Entry)) error {
+	ns := r.cloneForWrite()
+	e, ok := ns.entries[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	e.LeaseExpires = r.now().Add(r.lease)
+	copied := *e
+	fn(&copied)
+	ns.entries[name] = &copied
+	r.publish(ns)
 	return nil
 }
 
 // Unpublish removes an entry.
 func (r *Registry) Unpublish(name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	ns := r.cloneForWrite()
+	if _, ok := ns.entries[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	delete(r.entries, name)
-	r.unindexLocked(name)
+	delete(ns.entries, name)
+	ns.unindex(name)
+	r.publish(ns)
 	return nil
 }
 
 // Get returns the entry by name.
 func (r *Registry) Get(name string) (Entry, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[name]
+	e, ok := r.load().entries[name]
 	if !ok {
 		return Entry{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -256,11 +341,10 @@ func (r *Registry) Get(name string) (Entry, error) {
 // List returns all entries sorted by name. When liveOnly, lapsed leases
 // are filtered out.
 func (r *Registry) List(liveOnly bool) []Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	s := r.load()
 	now := r.now()
-	out := make([]Entry, 0, len(r.entries))
-	for _, e := range r.entries {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
 		if liveOnly && !e.Available(now) {
 			continue
 		}
@@ -301,16 +385,20 @@ func (r *Registry) Categories() []string {
 // Evict removes entries whose lease lapsed more than grace ago; it returns
 // the evicted names.
 func (r *Registry) Evict(grace time.Duration) []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
 	now := r.now()
 	var evicted []string
-	for name, e := range r.entries {
+	ns := r.cloneForWrite()
+	for name, e := range ns.entries {
 		if now.Sub(e.LeaseExpires) > grace {
-			delete(r.entries, name)
-			r.unindexLocked(name)
+			delete(ns.entries, name)
+			ns.unindex(name)
 			evicted = append(evicted, name)
 		}
+	}
+	if len(evicted) > 0 {
+		r.publish(ns)
 	}
 	sort.Strings(evicted)
 	return evicted
@@ -357,82 +445,118 @@ func camelSplit(s string) string {
 // Search ranks live entries against the query with TF-IDF cosine-like
 // scoring and returns matches in descending score order. Empty queries
 // are invalid. Scoring walks the inverted index postings for the query
-// tokens only — the corpus is never re-tokenized per query.
+// tokens only — the corpus is never re-tokenized per query — and full
+// entries are materialized only for the top `limit` results, after
+// ranking.
 func (r *Registry) Search(query string, limit int) ([]Match, error) {
 	qTokens := tokenize(query)
 	if len(qTokens) == 0 {
 		return nil, fmt.Errorf("%w: empty query", ErrInvalid)
 	}
-	matches := r.searchMatches(qTokens)
-	sortMatches(matches)
-	if limit > 0 && len(matches) > limit {
-		matches = matches[:limit]
+	s := r.load()
+	ranked := s.searchScored(qTokens, r.now())
+	sortScored(ranked)
+	if limit > 0 && len(ranked) > limit {
+		ranked = ranked[:limit]
+	}
+	if len(ranked) == 0 {
+		return nil, nil
+	}
+	matches := make([]Match, len(ranked))
+	for i, sc := range ranked {
+		matches[i] = Match{Entry: *s.entries[sc.name], Score: sc.score}
 	}
 	return matches, nil
 }
 
-func sortMatches(matches []Match) {
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].Score != matches[j].Score {
-			return matches[i].Score > matches[j].Score
+// scored is a ranked result before entry materialization: copying a full
+// Entry per candidate is the dominant cost of a wide search, so ranking
+// carries only (name, score) and the caller copies the survivors.
+type scored struct {
+	name  string
+	score float64
+}
+
+// sortScored orders by score descending, name ascending — the Search
+// result contract.
+func sortScored(ranked []scored) {
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
 		}
-		return matches[i].Entry.Name < matches[j].Entry.Name
+		return ranked[i].name < ranked[j].name
 	})
 }
 
-// searchMatches scores live entries against the query tokens, unsorted.
+// searchScored scores live entries against the query tokens, unsorted.
 // Term frequencies come from the index as built at publish time; document
 // frequency and corpus size are computed over live entries at query time,
-// keeping scores identical to a full scan of the live corpus.
-func (r *Registry) searchMatches(qTokens []string) []Match {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	now := r.now()
-	n := 0
-	for _, e := range r.entries {
-		if e.Available(now) {
-			n++
-		}
-	}
-	if n == 0 {
+// keeping scores identical to a full scan of the live corpus. When the
+// snapshot's lease horizon says every entry is live (the steady state),
+// all per-entry liveness checks collapse to map-length reads.
+func (s *snapshot) searchScored(qTokens []string, now time.Time) []scored {
+	if len(s.entries) == 0 {
 		return nil
+	}
+	allLive := now.Before(s.minLease)
+	n := len(s.entries)
+	if !allLive {
+		n = 0
+		for _, e := range s.entries {
+			if e.Available(now) {
+				n++
+			}
+		}
+		if n == 0 {
+			return nil
+		}
 	}
 	nf := float64(n)
 	var scores map[string]float64
 	for _, q := range qTokens {
-		post := r.index[q]
+		post := s.index[q]
 		if len(post) == 0 {
 			continue
 		}
-		df := 0
-		for name := range post {
-			if e, ok := r.entries[name]; ok && e.Available(now) {
-				df++
+		df := len(post)
+		if !allLive {
+			df = 0
+			for name := range post {
+				if e, ok := s.entries[name]; ok && e.Available(now) {
+					df++
+				}
 			}
-		}
-		if df == 0 {
-			continue
+			if df == 0 {
+				continue
+			}
 		}
 		idf := math.Log(1 + nf/float64(df))
 		if scores == nil {
 			scores = make(map[string]float64, len(post))
 		}
-		for name, tf := range post {
-			if e, ok := r.entries[name]; ok && e.Available(now) {
+		if allLive {
+			for name, tf := range post {
 				scores[name] += tf * idf
+			}
+		} else {
+			for name, tf := range post {
+				if e, ok := s.entries[name]; ok && e.Available(now) {
+					scores[name] += tf * idf
+				}
 			}
 		}
 	}
-	var matches []Match
-	for name, sc := range scores {
-		matches = append(matches, Match{Entry: *r.entries[name], Score: sc})
+	if len(scores) == 0 {
+		return nil
 	}
-	return matches
+	out := make([]scored, 0, len(scores))
+	for name, sc := range scores {
+		out = append(out, scored{name: name, score: sc})
+	}
+	return out
 }
 
 // Len reports the number of entries (including lapsed ones).
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.entries)
+	return len(r.load().entries)
 }

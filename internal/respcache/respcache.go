@@ -6,12 +6,19 @@
 // The cache stores complete responses (status, headers, body) under an
 // opaque key the caller derives from the operation identity and its
 // canonicalized parameters; see soc/internal/host for the keying rules.
+//
+// Internally the cache is lock-striped into power-of-two shards (one
+// shard for small capacities, so tiny caches keep exact global LRU
+// order). The hit path takes only a shard read-lock and records recency
+// with an atomic touch sequence, so concurrent hits never serialize on a
+// write lock; eviction resolves the least-recent touch at insert time.
 package respcache
 
 import (
-	"container/list"
+	"hash/maphash"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soc/internal/vtime"
@@ -24,20 +31,27 @@ type Entry struct {
 	Body   []byte
 }
 
+// cloneHeader deep-copies h with exactly-sized value slices, so the
+// stored slices can later be aliased into response headers append-safely
+// (any append reallocates instead of scribbling on the cached copy).
 func cloneHeader(h http.Header) http.Header {
 	out := make(http.Header, len(h))
 	for k, v := range h {
-		out[k] = append([]string(nil), v...)
+		vv := make([]string, len(v))
+		copy(vv, v)
+		out[k] = vv
 	}
 	return out
 }
 
-// WriteTo replays the entry to w. Headers are copied, never aliased, so a
-// cached entry can serve many writers concurrently.
+// WriteTo replays the entry to w. Header value slices are aliased, not
+// copied — they are treated as immutable once cached (Recorder.Entry
+// stores exactly-sized copies, so an append on the response side
+// reallocates rather than mutating the shared cache entry).
 func (e *Entry) WriteTo(w http.ResponseWriter) {
 	dst := w.Header()
 	for k, v := range e.Header {
-		dst[k] = append([]string(nil), v...)
+		dst[k] = v
 	}
 	w.WriteHeader(e.Status)
 	_, _ = w.Write(e.Body)
@@ -51,49 +65,98 @@ type flight struct {
 	entry *Entry
 }
 
+// item is one cached entry inside a shard. entry and expires are written
+// only under the shard write lock; touched is bumped by readers holding
+// just the read lock, so it is atomic.
 type item struct {
-	key     string
 	entry   *Entry
 	expires time.Time
+	touched atomic.Uint64
 }
+
+// shard is one lock stripe: its own map, flights, counters, and LRU
+// clock. Recency is a per-shard atomic sequence stamped on every access;
+// eviction (only on insert past capacity) scans the shard for the
+// minimum stamp — shards are small, so the scan is a handful of loads.
+type shard struct {
+	mu       sync.RWMutex
+	capacity int
+	items    map[string]*item
+	flights  map[string]*flight
+	seq      atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+}
+
+// clockFn adapts a time source for atomic storage.
+type clockFn func() time.Time
 
 // Cache is a TTL'd LRU response cache with singleflight fill, safe for
 // concurrent use.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ttl      time.Duration
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
-	flights  map[string]*flight
-	now      func() time.Time
+	shards []*shard
+	mask   uint64
+	ttl    time.Duration
+	seed   maphash.Seed
+	now    atomic.Pointer[clockFn]
+}
 
-	hits, misses uint64
+// shardCount picks the power-of-two stripe count for a capacity: roughly
+// one shard per eight entries, capped at 16. Small caches get a single
+// shard and therefore exact global LRU order.
+func shardCount(capacity int) int {
+	n := 1
+	for n*2 <= capacity/8 && n < 16 {
+		n *= 2
+	}
+	return n
 }
 
 // New returns a cache holding at most capacity entries for at most ttl
 // each. capacity <= 0 panics; ttl <= 0 means entries never expire (the
-// LRU bound still applies).
+// LRU bound still applies, per shard).
 func New(capacity int, ttl time.Duration) *Cache {
 	if capacity <= 0 {
 		panic("respcache: capacity must be positive")
 	}
-	return &Cache{
-		capacity: capacity,
-		ttl:      ttl,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element),
-		flights:  make(map[string]*flight),
-		//soclint:ignore clockdiscipline real-clock default behind the injectable SetClock/UseClock hooks
-		now: time.Now,
+	n := shardCount(capacity)
+	c := &Cache{
+		shards: make([]*shard, n),
+		mask:   uint64(n - 1),
+		ttl:    ttl,
+		seed:   maphash.MakeSeed(),
 	}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		c.shards[i] = &shard{
+			capacity: cap,
+			items:    make(map[string]*item),
+			flights:  make(map[string]*flight),
+		}
+	}
+	//soclint:ignore clockdiscipline real-clock default behind the injectable SetClock/UseClock hooks
+	fn := clockFn(time.Now)
+	c.now.Store(&fn)
+	return c
 }
+
+func (c *Cache) shardFor(key string) *shard {
+	if c.mask == 0 {
+		return c.shards[0]
+	}
+	return c.shards[maphash.String(c.seed, key)&c.mask]
+}
+
+func (c *Cache) clock() clockFn { return *c.now.Load() }
 
 // SetClock replaces the time source, for deterministic expiry tests.
 func (c *Cache) SetClock(now func() time.Time) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now = now
+	fn := clockFn(now)
+	c.now.Store(&fn)
 }
 
 // UseClock points the cache's TTL arithmetic at clk (vtime.Clock); nil
@@ -109,53 +172,65 @@ func (c *Cache) UseClock(clk vtime.Clock) {
 }
 
 // Len reports the number of cached entries (including any expired ones
-// not yet evicted by access).
+// not yet evicted by insertion pressure).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.RLock()
+		n += len(s.items)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats reports cumulative hits (served without invoking fill, whether
 // from a fresh entry or a joined flight) and misses.
 func (c *Cache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, s := range c.shards {
+		hits += s.hits.Load()
+		misses += s.misses.Load()
+	}
+	return hits, misses
 }
 
-// getLocked returns the fresh entry for key, promoting it; expired
-// entries are removed on the way.
-func (c *Cache) getLocked(key string) (*Entry, bool) {
-	el, ok := c.items[key]
+// get returns the fresh entry for key under the shard read lock, stamping
+// its recency. Expired entries read as misses and are left for insertion
+// pressure (or a replacing put) to clear — deleting here would need the
+// write lock the hit path exists to avoid.
+func (s *shard) get(key string, now func() time.Time, ttl time.Duration) (*Entry, bool) {
+	it, ok := s.items[key]
 	if !ok {
 		return nil, false
 	}
-	it := el.Value.(*item)
-	if c.ttl > 0 && !c.now().Before(it.expires) {
-		c.ll.Remove(el)
-		delete(c.items, key)
+	if ttl > 0 && !now().Before(it.expires) {
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
+	it.touched.Store(s.seq.Add(1))
 	return it.entry, true
 }
 
-// putLocked inserts (or replaces) the entry and evicts the LRU tail past
-// capacity.
-func (c *Cache) putLocked(key string, e *Entry) {
-	expires := c.now().Add(c.ttl)
-	if el, ok := c.items[key]; ok {
-		it := el.Value.(*item)
+// put inserts (or replaces) the entry under the shard write lock and
+// evicts least-recently-touched items past the shard capacity (expired
+// items lose ties by construction: they haven't been touched recently).
+func (s *shard) put(key string, e *Entry, now func() time.Time, ttl time.Duration) {
+	expires := now().Add(ttl)
+	if it, ok := s.items[key]; ok {
 		it.entry, it.expires = e, expires
-		c.ll.MoveToFront(el)
+		it.touched.Store(s.seq.Add(1))
 		return
 	}
-	c.items[key] = c.ll.PushFront(&item{key: key, entry: e, expires: expires})
-	for c.ll.Len() > c.capacity {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*item).key)
+	it := &item{entry: e, expires: expires}
+	it.touched.Store(s.seq.Add(1))
+	s.items[key] = it
+	for len(s.items) > s.capacity {
+		var coldKey string
+		coldSeq := uint64(1<<64 - 1)
+		for k, cand := range s.items {
+			if t := cand.touched.Load(); t <= coldSeq {
+				coldKey, coldSeq = k, t
+			}
+		}
+		delete(s.items, coldKey)
 	}
 }
 
@@ -166,46 +241,69 @@ func (c *Cache) putLocked(key string, e *Entry) {
 // either the entry was fresh in cache, or an identical in-flight request
 // produced it.
 func (c *Cache) Do(key string, fill func() (*Entry, bool)) (e *Entry, hit bool) {
-	c.mu.Lock()
-	if e, ok := c.getLocked(key); ok {
-		c.hits++
-		c.mu.Unlock()
+	s := c.shardFor(key)
+	now := c.clock()
+
+	// Fast path: a fresh entry or a joinable flight needs only the
+	// shard read lock, so concurrent hits don't serialize.
+	s.mu.RLock()
+	if e, ok := s.get(key, now, c.ttl); ok {
+		s.mu.RUnlock()
+		s.hits.Add(1)
 		return e, true
 	}
-	if f, ok := c.flights[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.RUnlock()
+		s.hits.Add(1)
+		f.wg.Wait()
+		return f.entry, true
+	}
+	s.mu.RUnlock()
+
+	// Slow path: take the write lock and re-check, since another miss
+	// may have filled or opened a flight in the window.
+	s.mu.Lock()
+	if e, ok := s.get(key, now, c.ttl); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return e, true
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
 		f.wg.Wait()
 		return f.entry, true
 	}
 	f := &flight{}
 	f.wg.Add(1)
-	c.flights[key] = f
-	c.misses++
-	c.mu.Unlock()
+	s.flights[key] = f
+	s.misses.Add(1)
+	s.mu.Unlock()
 
 	entry, store := fill()
 	f.entry = entry
 
-	c.mu.Lock()
-	delete(c.flights, key)
+	s.mu.Lock()
+	delete(s.flights, key)
 	if store && entry != nil {
-		c.putLocked(key, entry)
+		s.put(key, entry, now, c.ttl)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	f.wg.Done()
 	return entry, false
 }
 
 // Invalidate drops the entry for key, if present.
 func (c *Cache) Invalidate(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.Remove(el)
-		delete(c.items, key)
-	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	delete(s.items, key)
+	s.mu.Unlock()
 }
+
+// Shards reports the stripe count, for tests asserting the sharding
+// policy.
+func (c *Cache) Shards() int { return len(c.shards) }
 
 // Recorder is an http.ResponseWriter that captures the response for
 // caching while it is produced.

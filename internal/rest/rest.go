@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 )
@@ -153,25 +154,24 @@ func parsePattern(pattern string) ([]segment, error) {
 }
 
 // match walks the path against the route's segments in place — no
-// strings.Split, and a Params map is allocated only for routes that
-// actually bind parameters (exactly sized; static routes get nil, which
-// reads as empty).
+// strings.Split. Parameter values are collected in a small stack buffer
+// and the Params map is built only after the whole route matched
+// (exactly sized; static routes get nil, which reads as empty) — a
+// near-miss route that binds a parameter before failing on a later
+// segment costs zero allocations.
 func match(rte *route, path string) (Params, bool) {
 	rest := strings.Trim(path, "/")
 	hasParts := rest != ""
-	var p Params
+	vals := make([]string, 0, 8) // stays on the stack for realistic patterns
+	wildVal, matchedWild := "", false
 	for si := range rte.segments {
 		s := &rte.segments[si]
 		if s.wild {
-			if p == nil {
-				p = make(Params, rte.nparams+1)
-			}
 			if hasParts {
-				p["*"] = rest
-			} else {
-				p["*"] = ""
+				wildVal = rest
 			}
-			return p, true
+			matchedWild, hasParts = true, false
+			break
 		}
 		if !hasParts {
 			return nil, false
@@ -185,10 +185,7 @@ func match(rte *route, path string) (Params, bool) {
 		}
 		switch {
 		case s.param != "":
-			if p == nil {
-				p = make(Params, rte.nparams)
-			}
-			p[s.param] = part
+			vals = append(vals, part)
 		case s.literal != part:
 			return nil, false
 		}
@@ -196,24 +193,57 @@ func match(rte *route, path string) (Params, bool) {
 	if hasParts {
 		return nil, false
 	}
+	if len(vals) == 0 && !matchedWild {
+		return nil, true
+	}
+	size := rte.nparams
+	if matchedWild {
+		size++
+	}
+	p := make(Params, size)
+	i := 0
+	for si := range rte.segments {
+		s := &rte.segments[si]
+		if s.wild {
+			break
+		}
+		if s.param != "" {
+			p[s.param] = vals[i]
+			i++
+		}
+	}
+	if matchedWild {
+		p["*"] = wildVal
+	}
 	return p, true
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The hot loop considers only routes
+// whose method matches, so a path shared across methods (GET and POST
+// invoke, say) never pays for a Params map it will not dispatch with;
+// the Allow set for 405 responses is recomputed on the cold path.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	var allowed []string
 	for i := range rt.routes {
 		rte := &rt.routes[i]
+		if rte.method != r.Method {
+			continue
+		}
 		params, ok := match(rte, r.URL.Path)
 		if !ok {
 			continue
 		}
-		if rte.method != r.Method {
-			allowed = append(allowed, rte.method)
-			continue
-		}
 		rte.wrapped(w, r, params)
 		return
+	}
+	var allowed []string
+	for i := range rt.routes {
+		rte := &rt.routes[i]
+		if rte.method == r.Method {
+			continue
+		}
+		if _, ok := match(rte, r.URL.Path); ok {
+			allowed = append(allowed, rte.method)
+		}
 	}
 	if len(allowed) > 0 {
 		if rt.MethodNotAllowed != nil {
@@ -243,16 +273,30 @@ func (rt *Router) Routes() []string {
 }
 
 // Negotiate picks "json" or "xml" from the request's Accept header,
-// defaulting to JSON. An explicit format query parameter wins.
+// defaulting to JSON. An explicit format query parameter wins. The scan
+// is allocation-free: the raw query is searched for the format pair
+// directly (a full url.Values parse per request was the single hottest
+// call on the cached-invoke path), and the Accept header is walked in
+// place.
 func Negotiate(r *http.Request) string {
-	if f := r.URL.Query().Get("format"); f == "xml" || f == "json" {
-		return f
+	if raw := r.URL.RawQuery; raw != "" {
+		if f := queryFormat(raw); f == "xml" || f == "json" {
+			return f
+		}
 	}
 	accept := r.Header.Get("Accept")
 	// First acceptable of our two supported types wins.
-	for _, part := range strings.Split(accept, ",") {
-		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
-		switch mt {
+	for accept != "" {
+		var part string
+		if i := strings.IndexByte(accept, ','); i >= 0 {
+			part, accept = accept[:i], accept[i+1:]
+		} else {
+			part, accept = accept, ""
+		}
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = part[:i]
+		}
+		switch strings.TrimSpace(part) {
 		case "application/xml", "text/xml":
 			return "xml"
 		case "application/json":
@@ -260,6 +304,36 @@ func Negotiate(r *http.Request) string {
 		}
 	}
 	return "json"
+}
+
+// queryFormat extracts the first format parameter value from a raw query
+// string, mirroring url.ParseQuery's tolerant handling (pairs containing
+// semicolons are skipped; escaped values are unescaped only when needed).
+func queryFormat(raw string) string {
+	for raw != "" {
+		var pair string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			pair, raw = raw, ""
+		}
+		if strings.IndexByte(pair, ';') >= 0 {
+			continue
+		}
+		v, ok := strings.CutPrefix(pair, "format=")
+		if !ok {
+			continue
+		}
+		if strings.ContainsAny(v, "%+") {
+			u, err := url.QueryUnescape(v)
+			if err != nil {
+				continue
+			}
+			v = u
+		}
+		return v
+	}
+	return ""
 }
 
 // WriteResponse encodes v in the negotiated format with the given status.

@@ -83,6 +83,7 @@ func NewCatalog(dataDir string) (*Catalog, error) {
 		func() (*core.Service, error) { return NewMessageBuffer(c.Buffers) },
 		func() (*core.Service, error) { return credit, nil },
 		func() (*core.Service, error) { return NewMortgage(c.Accounts, lookup) },
+		NewCompute,
 	}
 	for _, build := range builders {
 		svc, err := build()

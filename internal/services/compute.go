@@ -1,0 +1,166 @@
+package services
+
+import (
+	"context"
+	"fmt"
+
+	"soc/internal/collatz"
+	"soc/internal/core"
+	"soc/internal/maze"
+)
+
+// Bounds on the compute service's request cost: one Collatz validation
+// request enumerates at most this many numbers, and generated mazes stay
+// small enough that a response is a few KB of ASCII.
+const (
+	maxCollatzRange = 100000
+	maxMazeSide     = 64
+)
+
+// NewCompute builds the pure-computation service: Collatz-conjecture
+// validation (the paper's Figure 3 performance workload) and maze
+// generation/scoring from the CSE101 robot environment, exposed as
+// service operations. Every operation is a pure function of its inputs
+// (maze generation is deterministic in its seed), so all of them are
+// declared Idempotent and answer repeats from the response cache — the
+// cached-idempotent leg of the heavy-traffic load mix.
+func NewCompute() (*core.Service, error) {
+	svc, err := core.NewService("Compute", NamespacePrefix+"compute",
+		"pure compute workloads: Collatz validation and maze generation/scoring")
+	if err != nil {
+		return nil, err
+	}
+	svc.Category = "compute"
+	err = svc.AddOperation(core.Operation{
+		Name:       "CollatzSteps",
+		Idempotent: true,
+		Doc:        "counts the 3n+1 iteration steps from n down to 1",
+		Input:      []core.Param{{Name: "n", Type: core.Int}},
+		Output:     []core.Param{{Name: "steps", Type: core.Int}},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			n := in.Int("n")
+			if n < 1 {
+				return nil, fmt.Errorf("need n >= 1, got %d", n)
+			}
+			s, err := collatz.Steps(uint64(n))
+			if err != nil {
+				return nil, err
+			}
+			return core.Values{"steps": int64(s)}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:       "CollatzValidate",
+		Idempotent: true,
+		Doc:        "validates the conjecture over [low, high) and scores the range",
+		Input: []core.Param{
+			{Name: "low", Type: core.Int},
+			{Name: "high", Type: core.Int},
+		},
+		Output: []core.Param{
+			{Name: "verified", Type: core.Int},
+			{Name: "totalSteps", Type: core.Int},
+			{Name: "maxSteps", Type: core.Int},
+			{Name: "maxAt", Type: core.Int},
+		},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			lo, hi := in.Int("low"), in.Int("high")
+			if lo < 1 || hi < lo {
+				return nil, fmt.Errorf("need 1 <= low <= high, got [%d,%d)", lo, hi)
+			}
+			if hi-lo > maxCollatzRange {
+				return nil, fmt.Errorf("range %d exceeds %d numbers per request", hi-lo, maxCollatzRange)
+			}
+			r, err := collatz.ValidateSeq(uint64(lo), uint64(hi))
+			if err != nil {
+				return nil, err
+			}
+			return core.Values{
+				"verified":   int64(r.Verified),
+				"totalSteps": int64(r.TotalSteps),
+				"maxSteps":   int64(r.MaxSteps),
+				"maxAt":      int64(r.MaxAt),
+			}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:       "MazeGenerate",
+		Idempotent: true,
+		Doc:        "generates a perfect maze, deterministic in seed; algorithm is dfs|prim|division",
+		Input: []core.Param{
+			{Name: "width", Type: core.Int},
+			{Name: "height", Type: core.Int},
+			{Name: "algorithm", Type: core.String},
+			{Name: "seed", Type: core.Int},
+		},
+		Output: []core.Param{
+			{Name: "maze", Type: core.String},
+			{Name: "pathLength", Type: core.Int},
+		},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			w, h := in.Int("width"), in.Int("height")
+			if w > maxMazeSide || h > maxMazeSide {
+				return nil, fmt.Errorf("maze %dx%d exceeds %dx%d per request", w, h, maxMazeSide, maxMazeSide)
+			}
+			alg, err := parseAlgorithm(in.Str("algorithm"))
+			if err != nil {
+				return nil, err
+			}
+			m, err := maze.Generate(int(w), int(h), alg, in.Int("seed"))
+			if err != nil {
+				return nil, err
+			}
+			path, err := m.ShortestPath()
+			if err != nil {
+				return nil, err
+			}
+			return core.Values{"maze": m.String(), "pathLength": int64(len(path) - 1)}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = svc.AddOperation(core.Operation{
+		Name:       "MazeScore",
+		Idempotent: true,
+		Doc:        "scores an ASCII maze document: solvability and shortest-path length (-1 when unsolvable)",
+		Input:      []core.Param{{Name: "maze", Type: core.String}},
+		Output: []core.Param{
+			{Name: "solvable", Type: core.Bool},
+			{Name: "pathLength", Type: core.Int},
+		},
+		Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+			m, err := maze.Parse(in.Str("maze"))
+			if err != nil {
+				return nil, err
+			}
+			path, err := m.ShortestPath()
+			if err != nil {
+				return core.Values{"solvable": false, "pathLength": int64(-1)}, nil
+			}
+			return core.Values{"solvable": true, "pathLength": int64(len(path) - 1)}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+func parseAlgorithm(name string) (maze.Algorithm, error) {
+	switch name {
+	case "dfs":
+		return maze.DFS, nil
+	case "prim":
+		return maze.Prim, nil
+	case "division":
+		return maze.Division, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want dfs, prim or division)", name)
+}

@@ -471,13 +471,13 @@ func TestCatalogAssembly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cat.Services) != 11 {
-		t.Errorf("catalog has %d services, want 11", len(cat.Services))
+	if len(cat.Services) != 12 {
+		t.Errorf("catalog has %d services, want 12", len(cat.Services))
 	}
 	want := []string{
 		"Encryption", "RandomString", "AccessControl", "GuessingGame",
 		"DynamicImage", "ImageVerifier", "Caching", "ShoppingCart",
-		"MessageBuffer", "CreditScore", "Mortgage",
+		"MessageBuffer", "CreditScore", "Mortgage", "Compute",
 	}
 	for _, name := range want {
 		findService(t, cat, name)

@@ -4,6 +4,8 @@ package soap
 
 import (
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -48,6 +50,59 @@ func TestEncodeToAllocCeiling(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Errorf("EncodeTo allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// allocsPerOpParallel is AllocsPerRun's concurrent cousin: workers
+// goroutines each run op iters times and the total heap allocation count
+// is averaged per op. Interleaved goroutines defeat the put-then-get
+// rhythm that makes serial sync.Pool reuse look free, so this is the
+// number the contended hot path actually pays.
+func allocsPerOpParallel(workers, iters int, op func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				op()
+			}
+		}()
+	}
+	wg.Wait()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(workers*iters)
+}
+
+func TestEncodeAllocCeilingParallel(t *testing.T) {
+	m := allocMessage()
+	allocs := allocsPerOpParallel(8, 500, func() {
+		if _, err := Encode(m); err != nil {
+			t.Error(err)
+		}
+	})
+	// Pool misses from goroutine interleaving may add a buffer or two
+	// over the serial ceiling, but never a per-op blowup.
+	if allocs > 9 {
+		t.Errorf("parallel Encode allocates %.1f/op, ceiling 9", allocs)
+	}
+}
+
+func TestDecodeAllocCeilingParallel(t *testing.T) {
+	env, err := Encode(allocMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := allocsPerOpParallel(8, 500, func() {
+		if _, err := DecodeBytes(env); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 20 {
+		t.Errorf("parallel DecodeBytes allocates %.1f/op, ceiling 20", allocs)
 	}
 }
 

@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,41 +42,127 @@ func (m OpMetrics) MeanTime() time.Duration {
 	return m.TotalTime / time.Duration(m.Calls)
 }
 
+// opStripe is one cache-line-padded stripe of an operation's counters.
+// Every field is atomic: the record path takes no lock at all.
+type opStripe struct {
+	calls     atomic.Uint64
+	errors    atomic.Uint64
+	cacheHits atomic.Uint64
+	totalTime atomic.Int64
+	buckets   [NumBuckets]atomic.Uint64
+	_         [48]byte // pad to 128 B so stripes don't share cache lines
+}
+
+// stripedOp is the live instrument block of one operation: counters
+// striped so concurrent recorders on different cores touch different
+// cache lines. Snapshot sums the stripes.
+type stripedOp struct {
+	stripes []opStripe
+}
+
+func (o *stripedOp) sum() OpMetrics {
+	var out OpMetrics
+	for i := range o.stripes {
+		s := &o.stripes[i]
+		out.Calls += s.calls.Load()
+		out.Errors += s.errors.Load()
+		out.CacheHits += s.cacheHits.Load()
+		out.TotalTime += time.Duration(s.totalTime.Load())
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// stripeToken carries a stripe index between Record calls via a sync.Pool
+// — per-P pools make the token a cheap core-affine stripe hint.
+type stripeToken struct{ idx uint32 }
+
 // Metrics is a concurrency-safe registry of per-operation instruments
 // keyed "Service.Operation" — the single instrument set shared by host
-// metrics, /metricz and the trace plane.
+// metrics, /metricz and the trace plane. The hot record path is
+// lock-free: an RCU-style atomic map resolves the key, and the counters
+// are striped atomics. The mutex guards only first-time key insertion
+// and map replacement.
 type Metrics struct {
-	mu sync.Mutex
-	m  map[string]*OpMetrics
+	mu      sync.Mutex
+	m       atomic.Pointer[map[string]*stripedOp]
+	stripes int
+	tokens  sync.Pool
+	tokSeq  atomic.Uint32
+}
+
+// metricsStripes picks the per-op stripe count: one per core, power of
+// two, capped at 8. A single-core box gets one stripe and skips token
+// dispatch entirely.
+func metricsStripes() int {
+	n := 1
+	for n*2 <= runtime.NumCPU() && n < 8 {
+		n *= 2
+	}
+	return n
 }
 
 // NewMetrics returns an empty instrument set.
-func NewMetrics() *Metrics { return &Metrics{m: make(map[string]*OpMetrics)} }
-
-func (x *Metrics) get(key string) *OpMetrics {
-	om, ok := x.m[key]
-	if !ok {
-		om = &OpMetrics{}
-		x.m[key] = om
+func NewMetrics() *Metrics {
+	x := &Metrics{stripes: metricsStripes()}
+	m := make(map[string]*stripedOp)
+	x.m.Store(&m)
+	x.tokens.New = func() any {
+		return &stripeToken{idx: x.tokSeq.Add(1) % uint32(x.stripes)}
 	}
+	return x
+}
+
+// stripe picks the stripe to record on. With one stripe (single-core)
+// it's free; otherwise a pooled token supplies a core-affine index.
+func (x *Metrics) stripe(o *stripedOp) *opStripe {
+	if x.stripes == 1 {
+		return &o.stripes[0]
+	}
+	tok := x.tokens.Get().(*stripeToken)
+	s := &o.stripes[tok.idx]
+	x.tokens.Put(tok)
+	return s
+}
+
+// get resolves (or lazily creates) the instrument block for key. The
+// fast path is one atomic load and a map read; insertion copies the map
+// under the mutex and swings the pointer (RCU), so readers never block.
+func (x *Metrics) get(key string) *stripedOp {
+	if om, ok := (*x.m.Load())[key]; ok {
+		return om
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	old := *x.m.Load()
+	if om, ok := old[key]; ok {
+		return om
+	}
+	om := &stripedOp{stripes: make([]opStripe, x.stripes)}
+	next := make(map[string]*stripedOp, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = om
+	x.m.Store(&next)
 	return om
 }
 
 // Record folds one real (handler-executed) call into the instruments.
 func (x *Metrics) Record(key string, d time.Duration, failed bool) {
-	x.mu.Lock()
-	om := x.get(key)
-	om.Calls++
-	om.TotalTime += d
+	s := x.stripe(x.get(key))
+	s.calls.Add(1)
+	s.totalTime.Add(int64(d))
 	if failed {
-		om.Errors++
+		s.errors.Add(1)
 	}
 	i := 0
 	for i < len(BucketBounds) && d > BucketBounds[i] {
 		i++
 	}
-	om.Buckets[i]++
-	x.mu.Unlock()
+	s.buckets[i].Add(1)
 }
 
 // RecordCached counts a response served from the idempotent-response
@@ -82,28 +170,26 @@ func (x *Metrics) Record(key string, d time.Duration, failed bool) {
 // a cached answer says nothing about handler latency, and counting its
 // ~zero duration would flatter every latency-derived quality score.
 func (x *Metrics) RecordCached(key string) {
-	x.mu.Lock()
-	x.get(key).CacheHits++
-	x.mu.Unlock()
+	x.stripe(x.get(key)).cacheHits.Add(1)
 }
 
-// Snapshot copies the instrument set.
+// Snapshot copies the instrument set. Counters are summed per key with
+// atomic loads; a snapshot taken while recorders are in flight is a
+// monotone cut, not a single instant.
 func (x *Metrics) Snapshot() map[string]OpMetrics {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	out := make(map[string]OpMetrics, len(x.m))
-	for k, v := range x.m {
-		out[k] = *v
+	m := *x.m.Load()
+	out := make(map[string]OpMetrics, len(m))
+	for k, v := range m {
+		out[k] = v.sum()
 	}
 	return out
 }
 
 // Keys returns the sorted operation keys with any recorded activity.
 func (x *Metrics) Keys() []string {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	out := make([]string, 0, len(x.m))
-	for k := range x.m {
+	m := *x.m.Load()
+	out := make([]string, 0, len(m))
+	for k := range m {
 		out = append(out, k)
 	}
 	sort.Strings(out)

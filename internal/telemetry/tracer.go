@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"context"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -124,18 +126,30 @@ func (sp *Span) reset() {
 // through reset before Put.
 var spanPool = sync.Pool{New: func() any { return &Span{} }}
 
+// tracerSlot is one ring position: its own tiny mutex, the sequence
+// number of the span it holds, and the span copy. Writers contend only
+// when they land on the same slot, never on a tracer-wide lock.
+type tracerSlot struct {
+	mu   sync.Mutex
+	seq  uint64
+	span Span
+}
+
 // Tracer records finished spans into a bounded ring buffer: the newest
 // capacity spans survive, older ones are overwritten — the per-host
-// always-on flight recorder behind GET /tracez. The zero ring is
-// allocated on first record, so idle tracers cost a struct. A nil
-// *Tracer is valid and records nothing.
+// always-on flight recorder behind GET /tracez. The ring position is
+// claimed with one atomic increment and each position has its own lock,
+// so concurrent span ends don't serialize on a global mutex. The zero
+// ring is allocated on first record, so idle tracers cost a struct. A
+// nil *Tracer is valid and records nothing.
 type Tracer struct {
 	capacity int
 
-	mu    sync.Mutex
-	ring  []Span
-	next  int
-	total uint64
+	initMu sync.Mutex
+	ring   atomic.Pointer[[]tracerSlot]
+	// next is the total recorded count; span i (1-based) lives in slot
+	// (i-1) mod capacity.
+	next atomic.Uint64
 }
 
 // DefaultCapacity is the ring size used for NewTracer(0) and the
@@ -227,39 +241,70 @@ func (t *Tracer) Event(remote SpanContext, kind Kind, name, key, value string) {
 	t.record(&sp)
 }
 
-// record copies the finished span value into the ring.
-func (t *Tracer) record(sp *Span) {
-	t.mu.Lock()
-	if t.ring == nil {
-		t.ring = make([]Span, t.capacity)
+// slots returns the ring, allocating it on first use (double-checked so
+// the steady state is one atomic load).
+func (t *Tracer) slots() []tracerSlot {
+	if r := t.ring.Load(); r != nil {
+		return *r
 	}
-	v := *sp
-	v.tracer = nil
-	v.tp = ""
-	t.ring[t.next] = v
-	t.next = (t.next + 1) % t.capacity
-	t.total++
-	t.mu.Unlock()
+	t.initMu.Lock()
+	defer t.initMu.Unlock()
+	if r := t.ring.Load(); r != nil {
+		return *r
+	}
+	r := make([]tracerSlot, t.capacity)
+	t.ring.Store(&r)
+	return r
 }
 
-// Snapshot returns the retained spans, oldest first.
+// record copies the finished span value into the ring: claim a sequence
+// number atomically, then fill the corresponding slot under its own
+// lock. A slot keeps the newest sequence it has seen, so a lapped writer
+// (preempted long enough for the ring to wrap past it) never clobbers a
+// newer span.
+func (t *Tracer) record(sp *Span) {
+	ring := t.slots()
+	seq := t.next.Add(1)
+	s := &ring[(seq-1)%uint64(t.capacity)]
+	s.mu.Lock()
+	if seq > s.seq {
+		s.seq = seq
+		s.span = *sp
+		s.span.tracer = nil
+		s.span.tp = ""
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first (ascending record
+// order).
 func (t *Tracer) Snapshot() []Span {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.total == 0 {
+	r := t.ring.Load()
+	if r == nil {
 		return nil
 	}
-	if t.total <= uint64(t.capacity) {
-		out := make([]Span, t.next)
-		copy(out, t.ring[:t.next])
-		return out
+	ring := *r
+	type seqSpan struct {
+		seq  uint64
+		span Span
 	}
-	out := make([]Span, 0, t.capacity)
-	out = append(out, t.ring[t.next:]...)
-	out = append(out, t.ring[:t.next]...)
+	filled := make([]seqSpan, 0, len(ring))
+	for i := range ring {
+		s := &ring[i]
+		s.mu.Lock()
+		if s.seq > 0 {
+			filled = append(filled, seqSpan{seq: s.seq, span: s.span})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(filled, func(i, j int) bool { return filled[i].seq < filled[j].seq })
+	out := make([]Span, len(filled))
+	for i, f := range filled {
+		out[i] = f.span
+	}
 	return out
 }
 
@@ -269,9 +314,7 @@ func (t *Tracer) Recorded() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.total
+	return t.next.Load()
 }
 
 // Reset drops all retained spans.
@@ -279,9 +322,8 @@ func (t *Tracer) Reset() {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ring = nil
-	t.next = 0
-	t.total = 0
+	t.initMu.Lock()
+	defer t.initMu.Unlock()
+	t.ring.Store(nil)
+	t.next.Store(0)
 }
