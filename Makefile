@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare bench-contention bench-contention-record load-smoke trace-demo sim crash
+.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare bench-contention bench-contention-record load-smoke cluster-smoke trace-demo sim crash
 
 ## ci: the full gate — build, lint (vet + soclint in machine-readable
 ## mode), race-enabled tests, the deterministic simulation corpus, the
 ## exhaustive WAL crash-point corpus, the benchmark regression gates
 ## (message plane + WAL + contention), and the open-loop load smoke
-ci: build lint-ci race sim crash bench-compare bench-wal-compare bench-contention load-smoke
+ci: build lint-ci race sim crash bench-compare bench-wal-compare bench-contention load-smoke cluster-smoke
 
 # Raw benchmark output lands outside the tree: committed artifacts are
 # the BENCH_*.json baselines, never the text dumps.
@@ -156,3 +156,12 @@ bench-contention-record:
 ## the request count: the coordinated-omission guarantee, gated in CI)
 load-smoke:
 	$(GO) run ./cmd/socload -virtual -rate 2000 -duration 2s -stall 100ms -assert-open-loop
+
+## cluster-smoke: the deterministic elastic-cluster gate — a
+## virtual-clock schedule ramps load up and down through the front door
+## with replica kills mid-ramp, and the run must close its ledger
+## (every admitted request completes or fails with an injected fault —
+## scale-down never drops one), keep the pool inside policy bounds,
+## never pick an expired replica, and replay to the identical hash
+cluster-smoke:
+	$(GO) test -count 1 -run 'TestClusterSmoke' ./internal/simtest

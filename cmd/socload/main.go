@@ -61,15 +61,16 @@ func main() {
 		stall    = flag.Duration("stall", 0, "inject one server stall of this length mid-schedule (in-process only)")
 		virtual  = flag.Bool("virtual", false, "run on a deterministic virtual clock (in-process only)")
 		assertOL = flag.Bool("assert-open-loop", false, "exit nonzero unless the full schedule was offered and any injected stall shows in the tail")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request client `deadline` for -target runs; a saturation study sets this to the latency the caller would actually tolerate")
 	)
 	flag.Parse()
-	if err := run(*rate, *duration, *workers, *target, *mix, *stall, *virtual, *assertOL); err != nil {
+	if err := run(*rate, *duration, *workers, *target, *mix, *stall, *virtual, *assertOL, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "socload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rate float64, duration time.Duration, workers int, target, mix string, stall time.Duration, virtual, assertOL bool) error {
+func run(rate float64, duration time.Duration, workers int, target, mix string, stall time.Duration, virtual, assertOL bool, timeout time.Duration) error {
 	weights, err := parseMix(mix)
 	if err != nil {
 		return err
@@ -90,7 +91,7 @@ func run(rate float64, duration time.Duration, workers int, target, mix string, 
 		scheduled := int(rate * duration.Seconds())
 		ops, err = inprocessOps(clock, stall, scheduled)
 	} else {
-		ops, err = liveOps(strings.TrimRight(target, "/"))
+		ops, err = liveOps(strings.TrimRight(target, "/"), timeout)
 	}
 	if err != nil {
 		return err
@@ -113,6 +114,8 @@ func run(rate float64, duration time.Duration, workers int, target, mix string, 
 		}
 		fmt.Println("open-loop check: full schedule offered; stall visible in tail")
 	}
+	// Sheds are deliberate backpressure, reported above as their own
+	// outcome class; only hard errors fail the run.
 	if res.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Issued)
 	}
@@ -256,11 +259,12 @@ func inprocessOps(clock vtime.Clock, stall time.Duration, scheduled int) (worklo
 	return workloadOps{cached: get(cachedURL), rest: get(restURL), soapOp: soapOp}, nil
 }
 
-// liveOps targets a running host over HTTP with the same three shapes.
-// The host must serve the standard catalog (Encryption); shapes the host
-// lacks fail and count as errors.
-func liveOps(base string) (workloadOps, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
+// liveOps targets a running host (or cluster front door) over HTTP with
+// the same three shapes. The host must serve the standard catalog
+// (Encryption); shapes the host lacks fail and count as errors. A 503
+// is classified as a shed — the server protecting itself — not an error.
+func liveOps(base string, timeout time.Duration) (workloadOps, error) {
+	client := &http.Client{Timeout: timeout}
 	// One Encrypt round-trip up front produces the ciphertext the cached
 	// shape replays.
 	seal, err := client.Get(base + "/services/Encryption/invoke/Encrypt?" + url.Values{
@@ -289,8 +293,8 @@ func liveOps(base string) (workloadOps, error) {
 		"plaintext":  {"load generator payload"},
 	}.Encode()
 	envelope, err := soap.Encode(soap.Message{
-		Operation:  "Encrypt",
-		Namespace:  "http://soc.asu.example/wsrepository/encryption",
+		Operation: "Encrypt",
+		Namespace: "http://soc.asu.example/wsrepository/encryption",
 		Params: map[string]string{
 			"passphrase": "correct horse battery",
 			"plaintext":  "load generator payload",
@@ -331,6 +335,9 @@ func doOK(client *http.Client, req *http.Request) error {
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	//soclint:ignore errdiscard nothing actionable on close failure after a drained body
 	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, loadgen.ErrShed)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
 	}

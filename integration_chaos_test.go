@@ -3,17 +3,20 @@ package soc
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"soc/internal/cloud"
 	"soc/internal/core"
 	"soc/internal/faultinject"
 	"soc/internal/host"
 	"soc/internal/registry"
 	"soc/internal/reliability"
+	"soc/internal/vtime"
 )
 
 // chaosSeed fixes the fault sequence; changing it changes which calls
@@ -333,5 +336,143 @@ func TestIntegrationChaosGracefulDegradation(t *testing.T) {
 	_, _, _, fallbacks := rc.Counters()
 	if fallbacks != 1 {
 		t.Errorf("fallbacks = %d, want 1", fallbacks)
+	}
+}
+
+// aliveTransport models a replica process that can be killed mid-run:
+// alive it serves through the wrapped transport, dead it refuses
+// connections like a closed listener.
+type aliveTransport struct {
+	alive *atomic.Bool
+	rt    http.RoundTripper
+}
+
+func (a aliveTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !a.alive.Load() {
+		return nil, context.DeadlineExceeded // connection refused stand-in
+	}
+	return a.rt.RoundTrip(req)
+}
+
+// TestIntegrationChaosFrontDoorReplicaKill runs three replicas behind
+// the cluster front door with lease-driven membership, then kills one
+// cold mid-run (it refuses connections and stops heartbeating). The
+// door's failover retry must keep client success at 99% or better, and
+// once the dead replica's lease expires it must leave the rotation and
+// never be picked again.
+func TestIntegrationChaosFrontDoorReplicaKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is tier-2; skipped with -short")
+	}
+	clock := vtime.NewVirtual(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC))
+	const lease = 5 * time.Second
+	reg := registry.New(registry.WithLease(lease), registry.WithClock(clock.Now))
+	fd := cloud.NewFrontDoor(cloud.FrontDoorConfig{Clock: clock, Seed: chaosSeed})
+
+	type liveReplica struct {
+		name  string
+		alive *atomic.Bool
+		rep   *cloud.Replica
+	}
+	newCalcHost := func() *host.Host {
+		svc, err := core.NewService("Calc", "http://soc.example/calc", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.MustAddOperation(core.Operation{
+			Name:   "Add",
+			Input:  []core.Param{{Name: "a", Type: core.Int}, {Name: "b", Type: core.Int}},
+			Output: []core.Param{{Name: "sum", Type: core.Int}},
+			Handler: func(_ context.Context, in core.Values) (core.Values, error) {
+				return core.Values{"sum": in.Int("a") + in.Int("b")}, nil
+			},
+		})
+		h := host.New()
+		h.MustMount(svc)
+		return h
+	}
+	var replicas []*liveReplica
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		h := newCalcHost()
+		lr := &liveReplica{name: name, alive: &atomic.Bool{}}
+		lr.alive.Store(true)
+		lr.rep = cloud.NewReplica(name, aliveTransport{alive: lr.alive, rt: cloud.HandlerTransport(h)}, 0)
+		if err := reg.Publish(registry.Entry{Name: name, Category: "replica", Endpoint: "local://" + name}); err != nil {
+			t.Fatal(err)
+		}
+		fd.Add(lr.rep)
+		replicas = append(replicas, lr)
+	}
+	victim := replicas[2]
+
+	ctx := vtime.WithClock(context.Background(), clock)
+	call := func() int {
+		req := httptest.NewRequest(http.MethodGet,
+			"http://cluster/services/Calc/invoke/Add?a=19&b=23", nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		fd.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	sync := func() {
+		// Heartbeat the living, then reconcile the rotation against the
+		// live lease view — what soccluster's heartbeat goroutines and
+		// autoscaler Tick do each second.
+		for _, lr := range replicas {
+			if lr.alive.Load() {
+				if err := reg.Heartbeat(lr.name); err != nil {
+					t.Fatalf("heartbeat %s: %v", lr.name, err)
+				}
+			}
+		}
+		if _, _, err := fd.SyncMembership(reg.ByCategory("replica"), nil); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+
+	// 40 virtual seconds at 50 req/s; the kill lands at t=15s, the lease
+	// runs out by t≈20s.
+	const total, perSecond = 2000, 50
+	ok := 0
+	var picksAtExpiry uint64
+	expired := false
+	for i := 0; i < total; i++ {
+		tVirtual := time.Duration(i) * (time.Second / perSecond)
+		if i == total*15/40 {
+			victim.alive.Store(false) // the process dies cold
+		}
+		if code := call(); code == http.StatusOK {
+			ok++
+		}
+		clock.Advance(time.Second / perSecond)
+		if (i+1)%perSecond == 0 {
+			sync()
+		}
+		if !expired && tVirtual > 15*time.Second+lease+2*time.Second {
+			if fd.Replica(victim.name) != nil {
+				t.Fatalf("dead replica still in rotation %v after its last heartbeat", lease)
+			}
+			picksAtExpiry = victim.rep.Picks()
+			expired = true
+		}
+	}
+	if !expired {
+		t.Fatal("run never reached the lease-expiry checkpoint")
+	}
+	if got := victim.rep.Picks(); got != picksAtExpiry {
+		t.Errorf("dead replica picked after lease expiry: picks %d -> %d", picksAtExpiry, got)
+	}
+	if fd.Replica(victim.name) != nil {
+		t.Error("dead replica re-entered the rotation")
+	}
+	if len(fd.Replicas()) != 2 {
+		t.Errorf("rotation has %d replicas at end, want 2", len(fd.Replicas()))
+	}
+	if rate := float64(ok) / float64(total); rate < 0.99 {
+		t.Errorf("success rate %.4f < 0.99 (ok=%d of %d): failover did not cover the kill", rate, ok, total)
+	}
+	st := fd.Stats()
+	if st.Admitted != st.Completed+st.Errored+st.ShedBusy {
+		t.Errorf("ledger does not close: %+v", st)
 	}
 }

@@ -106,15 +106,22 @@ type AutoscalerConfig struct {
 	StartupTicks int
 }
 
+// policy extracts the pure scaling policy the simulation shares with the
+// real Autoscaler (one window == one tick).
+func (c AutoscalerConfig) policy() Policy {
+	return Policy{
+		MinReplicas:       c.MinInstances,
+		MaxReplicas:       c.MaxInstances,
+		ReplicaCapacity:   c.InstanceCapacity,
+		TargetUtilization: c.TargetUtilization,
+	}
+}
+
 func (c AutoscalerConfig) validate() error {
-	switch {
-	case c.MinInstances < 1 || c.MaxInstances < c.MinInstances:
-		return fmt.Errorf("%w: instances [%d,%d]", ErrConfig, c.MinInstances, c.MaxInstances)
-	case c.InstanceCapacity < 1:
-		return fmt.Errorf("%w: capacity %d", ErrConfig, c.InstanceCapacity)
-	case c.TargetUtilization <= 0 || c.TargetUtilization > 1:
-		return fmt.Errorf("%w: target %v", ErrConfig, c.TargetUtilization)
-	case c.CooldownTicks < 0 || c.StartupTicks < 0:
+	if err := c.policy().Validate(); err != nil {
+		return err
+	}
+	if c.CooldownTicks < 0 || c.StartupTicks < 0 {
 		return fmt.Errorf("%w: negative ticks", ErrConfig)
 	}
 	return nil
@@ -139,9 +146,9 @@ type Simulation struct {
 
 	nextID       int
 	online       []*Instance
-	pending      []int // remaining startup ticks per pending instance
-	lastScale    int   // tick of the last scaling action
-	instanceTick int   // metering: accumulated instance-ticks
+	pending      []int    // remaining startup ticks per pending instance
+	cool         Cooldown // spacing between scaling actions, in ticks
+	instanceTick int      // metering: accumulated instance-ticks
 }
 
 // NewSimulation returns a simulation starting at MinInstances.
@@ -153,7 +160,7 @@ func NewSimulation(cfg AutoscalerConfig, strategy Strategy) (*Simulation, error)
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulation{cfg: cfg, balancer: b, lastScale: -1 << 30}
+	s := &Simulation{cfg: cfg, balancer: b}
 	for i := 0; i < cfg.MinInstances; i++ {
 		s.addInstance()
 	}
@@ -194,31 +201,27 @@ func (s *Simulation) Run(demand []int) ([]TickStats, error) {
 		}
 		s.instanceTick += len(s.online)
 
-		// Scaling decision on observed demand (not just served).
+		// Scaling decision on observed demand (not just served), shared
+		// with the real Autoscaler via the extracted Policy.
 		desired := len(s.online)
-		if tick-s.lastScale >= s.cfg.CooldownTicks {
-			ideal := ceilDiv(d, int(float64(s.cfg.InstanceCapacity)*s.cfg.TargetUtilization))
-			if ideal < s.cfg.MinInstances {
-				ideal = s.cfg.MinInstances
-			}
-			if ideal > s.cfg.MaxInstances {
-				ideal = s.cfg.MaxInstances
-			}
+		if s.cool.Ready(int64(tick), int64(s.cfg.CooldownTicks)) {
 			current := len(s.online) + len(s.pending)
-			if ideal > current {
-				for i := current; i < ideal; i++ {
+			target, dir := s.cfg.policy().Evaluate(d, current)
+			switch {
+			case dir == ScaleUp:
+				for i := current; i < target; i++ {
 					if s.cfg.StartupTicks == 0 {
 						s.addInstance()
 					} else {
 						s.pending = append(s.pending, s.cfg.StartupTicks)
 					}
 				}
-				s.lastScale = tick
-				desired = ideal
-			} else if ideal < current && len(s.online) > s.cfg.MinInstances {
+				s.cool.Fire(int64(tick))
+				desired = target
+			case dir == ScaleDown && len(s.online) > s.cfg.MinInstances:
 				// Scale down immediately (terminate newest first), never
 				// below the configured minimum.
-				drop := current - ideal
+				drop := current - target
 				for drop > 0 && len(s.pending) > 0 {
 					s.pending = s.pending[:len(s.pending)-1]
 					drop--
@@ -227,7 +230,7 @@ func (s *Simulation) Run(demand []int) ([]TickStats, error) {
 					s.online = s.online[:len(s.online)-1]
 					drop--
 				}
-				s.lastScale = tick
+				s.cool.Fire(int64(tick))
 				desired = len(s.online) + len(s.pending)
 			}
 		}

@@ -1,0 +1,602 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soc/internal/callplane"
+	"soc/internal/registry"
+	"soc/internal/reliability"
+	"soc/internal/rest"
+	"soc/internal/telemetry"
+	"soc/internal/vtime"
+)
+
+// Front-door dispatch errors. Exchange failures are retried onto another
+// replica (nothing has been written to the client); the saturation and
+// empty-rotation cases are terminal and answered with backpressure.
+var (
+	// ErrNoReplica reports an empty rotation: no replica is eligible.
+	ErrNoReplica = errors.New("cloud: no eligible replica")
+	// ErrReplicasSaturated reports that every eligible replica is at its
+	// in-flight cap.
+	ErrReplicasSaturated = errors.New("cloud: all replicas at capacity")
+	// errExchange wraps a transport-level replica failure (peer dead,
+	// connection refused); the request is replayable against a sibling.
+	errExchange = errors.New("cloud: replica exchange failed")
+)
+
+// FrontDoorConfig shapes the cluster's single entry point.
+type FrontDoorConfig struct {
+	// MaxInFlight bounds concurrently proxied requests (0 = 256).
+	MaxInFlight int
+	// QueueDepth bounds arrivals waiting for an in-flight slot before the
+	// door sheds: 0 means MaxInFlight, negative means unbounded (no
+	// admission control — the "naive" mode the saturation study measures
+	// against). A synchronous (virtual) clock never queues: blocking an
+	// arrival would deadlock single-threaded deterministic runs, so
+	// saturation sheds immediately there.
+	QueueDepth int
+	// QueueTimeout bounds the wait for a slot (0 = 100ms, negative = no
+	// bound beyond the request's own deadline).
+	QueueTimeout time.Duration
+	// MaxAttempts is replica attempts per request — a transport-level
+	// failure replays the request against another replica (0 = 2).
+	MaxAttempts int
+	// MaxBodyBytes caps the buffered request body (0 = 1 MiB). Bodies are
+	// buffered so an attempt against a dead replica can be replayed.
+	MaxBodyBytes int64
+	// Clock supplies timestamps and queue timeouts; nil means wall clock.
+	Clock vtime.Clock
+	// Tracer records proxy spans; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Metrics receives frontdoor.proxy / frontdoor.shed instruments; nil
+	// allocates a private set (served at GET /metricz either way).
+	Metrics *telemetry.Metrics
+	// Seed fixes the power-of-two-choices PRNG (0 = 1), so virtual-clock
+	// runs replay identically.
+	Seed int64
+}
+
+// FrontDoor is the cluster's entry point: an http.Handler that admits or
+// sheds each arrival (bounded queue, 503 + Retry-After once saturated),
+// picks a replica by power-of-two-choices over in-flight count × EWMA
+// latency, and proxies the exchange over the callplane spine so every
+// hop lands in the trace tree. Membership is a copy-on-write rotation,
+// either managed directly (Add/Remove) or reconciled from the registry's
+// live lease view (SyncMembership).
+type FrontDoor struct {
+	maxInFlight  int
+	queueDepth   int
+	queueTimeout time.Duration
+	maxBody      int64
+
+	clock   vtime.Clock
+	tracer  *telemetry.Tracer
+	metrics *telemetry.Metrics
+	chain   callplane.Transport
+
+	rotation atomic.Pointer[rotation]
+	mu       sync.Mutex // guards rotation rebuilds and the pick PRNG
+	rng      *rand.Rand
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	admitted  atomic.Uint64
+	shedQueue atomic.Uint64 // refused admission: queue full or wait timed out
+	shedBusy  atomic.Uint64 // admitted but every replica at capacity
+	completed atomic.Uint64 // a replica's response was delivered
+	errored   atomic.Uint64 // attempts exhausted; the door answered 502
+}
+
+// rotation is the copy-on-write membership view: all replicas for
+// /clusterz, the non-draining subset for picking.
+type rotation struct {
+	all      []*Replica
+	eligible []*Replica
+}
+
+// NewFrontDoor builds the front door; replicas join via Add or
+// SyncMembership.
+func NewFrontDoor(cfg FrontDoorConfig) *FrontDoor {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = cfg.MaxInFlight
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = 100 * time.Millisecond
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewMetrics()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	fd := &FrontDoor{
+		maxInFlight:  cfg.MaxInFlight,
+		queueDepth:   cfg.QueueDepth,
+		queueTimeout: cfg.QueueTimeout,
+		maxBody:      cfg.MaxBodyBytes,
+		clock:        cfg.Clock,
+		tracer:       cfg.Tracer,
+		metrics:      cfg.Metrics,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+	}
+	fd.rotation.Store(&rotation{})
+	fd.chain = callplane.Chain(callplane.Terminal,
+		callplane.WithSpan(cfg.Tracer, telemetry.KindClient),
+		callplane.WithRetry(retryPolicy(cfg.MaxAttempts)),
+		callplane.WithAttemptSpan(cfg.Tracer),
+	)
+	return fd
+}
+
+// retryPolicy replays a request against another replica only after a
+// transport-level failure — the one error class where no bytes reached
+// the client. BaseDelay 0 makes the failover hop immediate.
+func retryPolicy(attempts int) reliability.RetryPolicy {
+	return reliability.RetryPolicy{
+		MaxAttempts: attempts,
+		Retryable:   func(err error) bool { return errors.Is(err, errExchange) },
+	}
+}
+
+// Add puts a replica into the rotation (replacing any same-named one).
+func (fd *FrontDoor) Add(rep *Replica) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	cur := fd.rotation.Load()
+	next := make([]*Replica, 0, len(cur.all)+1)
+	for _, r := range cur.all {
+		if r.Name() != rep.Name() {
+			next = append(next, r)
+		}
+	}
+	next = append(next, rep)
+	fd.storeLocked(next)
+}
+
+// Remove drops a replica from the rotation entirely, returning it (nil if
+// absent). In-flight requests already on it finish; it just gets no new
+// picks and no longer appears in /clusterz.
+func (fd *FrontDoor) Remove(name string) *Replica {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	cur := fd.rotation.Load()
+	var removed *Replica
+	next := make([]*Replica, 0, len(cur.all))
+	for _, r := range cur.all {
+		if r.Name() == name {
+			removed = r
+			continue
+		}
+		next = append(next, r)
+	}
+	if removed != nil {
+		fd.storeLocked(next)
+	}
+	return removed
+}
+
+// MarkDraining flips a replica's draining state: draining replicas stay
+// visible in /clusterz and keep serving what they hold, but receive no
+// new picks. Returns the replica (nil if absent).
+func (fd *FrontDoor) MarkDraining(name string, draining bool) *Replica {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	cur := fd.rotation.Load()
+	var found *Replica
+	for _, r := range cur.all {
+		if r.Name() == name {
+			found = r
+			break
+		}
+	}
+	if found == nil {
+		return nil
+	}
+	found.SetDraining(draining)
+	fd.storeLocked(append([]*Replica(nil), cur.all...))
+	return found
+}
+
+// Replica returns the named rotation member (nil if absent).
+func (fd *FrontDoor) Replica(name string) *Replica {
+	for _, r := range fd.rotation.Load().all {
+		if r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Replicas snapshots the rotation (draining members included).
+func (fd *FrontDoor) Replicas() []*Replica {
+	return append([]*Replica(nil), fd.rotation.Load().all...)
+}
+
+// storeLocked publishes a new rotation; fd.mu must be held.
+func (fd *FrontDoor) storeLocked(all []*Replica) {
+	rot := &rotation{all: all, eligible: make([]*Replica, 0, len(all))}
+	for _, r := range all {
+		if !r.Draining() {
+			rot.eligible = append(rot.eligible, r)
+		}
+	}
+	fd.rotation.Store(rot)
+}
+
+// SyncMembership reconciles the rotation against the registry's live
+// lease view, making the registry the source of truth: entries without a
+// rotation member are dialed and added; members whose entry is gone
+// (lease expired or unpublished) are removed from rotation. Draining
+// members are left alone — the autoscaler owns their exit.
+func (fd *FrontDoor) SyncMembership(live []registry.Entry, dial func(registry.Entry) (*Replica, error)) (added, removed int, err error) {
+	byName := make(map[string]registry.Entry, len(live))
+	for _, e := range live {
+		byName[e.Name] = e
+	}
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	cur := fd.rotation.Load()
+	next := make([]*Replica, 0, len(live))
+	have := make(map[string]bool, len(cur.all))
+	for _, r := range cur.all {
+		if _, ok := byName[r.Name()]; ok || r.Draining() {
+			next = append(next, r)
+			have[r.Name()] = true
+		} else {
+			removed++
+		}
+	}
+	var firstErr error
+	for _, e := range live {
+		if have[e.Name] {
+			continue
+		}
+		rep, derr := dial(e)
+		if derr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dial %s: %w", e.Name, derr)
+			}
+			continue
+		}
+		next = append(next, rep)
+		added++
+	}
+	if added > 0 || removed > 0 {
+		fd.storeLocked(next)
+	}
+	return added, removed, firstErr
+}
+
+// FrontDoorStats is the door's own counter block (replica detail lives on
+// each ReplicaStatus).
+type FrontDoorStats struct {
+	Admitted  uint64 `json:"admitted"`
+	ShedQueue uint64 `json:"shedQueue"`
+	ShedBusy  uint64 `json:"shedBusy"`
+	Completed uint64 `json:"completed"`
+	Errored   uint64 `json:"errored"`
+	InFlight  int    `json:"inFlight"`
+	Queued    int64  `json:"queued"`
+}
+
+// Shed is total load-shed responses (queue refusals + saturated picks).
+func (s FrontDoorStats) Shed() uint64 { return s.ShedQueue + s.ShedBusy }
+
+// Stats snapshots the door's counters.
+func (fd *FrontDoor) Stats() FrontDoorStats {
+	return FrontDoorStats{
+		Admitted:  fd.admitted.Load(),
+		ShedQueue: fd.shedQueue.Load(),
+		ShedBusy:  fd.shedBusy.Load(),
+		Completed: fd.completed.Load(),
+		Errored:   fd.errored.Load(),
+		InFlight:  len(fd.sem),
+		Queued:    fd.queued.Load(),
+	}
+}
+
+// Metrics exposes the door's instrument set (frontdoor.proxy latency and
+// outcome counters, frontdoor.shed) for composition into wider reports.
+func (fd *FrontDoor) Metrics() *telemetry.Metrics { return fd.metrics }
+
+// clusterzReport is the GET /clusterz document: the balancer's live view,
+// the sibling of /metricz and /tracez.
+type clusterzReport struct {
+	MaxInFlight       int             `json:"maxInFlight"`
+	QueueDepth        int             `json:"queueDepth"`
+	QueueTimeoutNanos int64           `json:"queueTimeoutNanos"`
+	Stats             FrontDoorStats  `json:"stats"`
+	Replicas          []ReplicaStatus `json:"replicas"`
+}
+
+// ServeHTTP routes the door's own observability endpoints and proxies
+// everything else to a replica.
+func (fd *FrontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/clusterz":
+		fd.handleClusterz(w, r)
+	case "/metricz":
+		fd.handleMetricz(w, r)
+	case "/healthz":
+		rest.WriteResponse(w, r, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"replicas": len(fd.rotation.Load().all),
+		})
+	default:
+		fd.proxy(w, r)
+	}
+}
+
+func (fd *FrontDoor) handleClusterz(w http.ResponseWriter, r *http.Request) {
+	rot := fd.rotation.Load()
+	report := clusterzReport{
+		MaxInFlight:       fd.maxInFlight,
+		QueueDepth:        fd.queueDepth,
+		QueueTimeoutNanos: int64(fd.queueTimeout),
+		Stats:             fd.Stats(),
+		Replicas:          make([]ReplicaStatus, len(rot.all)),
+	}
+	for i, rep := range rot.all {
+		report.Replicas[i] = rep.Status()
+	}
+	rest.WriteResponse(w, r, http.StatusOK, report)
+}
+
+// metriczOp and metriczReport mirror the host's GET /metricz document
+// field for field, so cluster dashboards read one shape everywhere.
+type metriczOp struct {
+	Calls     uint64   `json:"calls"`
+	Errors    uint64   `json:"errors"`
+	CacheHits uint64   `json:"cacheHits"`
+	MeanNanos int64    `json:"meanNanos"`
+	Histogram []uint64 `json:"histogram"`
+}
+
+type metriczReport struct {
+	BucketBoundsNanos []int64              `json:"bucketBoundsNanos"`
+	Operations        map[string]metriczOp `json:"operations"`
+}
+
+func (fd *FrontDoor) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := fd.metrics.Snapshot()
+	report := metriczReport{
+		BucketBoundsNanos: make([]int64, len(telemetry.BucketBounds)),
+		Operations:        make(map[string]metriczOp, len(snap)),
+	}
+	for i, b := range telemetry.BucketBounds {
+		report.BucketBoundsNanos[i] = int64(b)
+	}
+	for key, om := range snap {
+		report.Operations[key] = metriczOp{
+			Calls:     om.Calls,
+			Errors:    om.Errors,
+			CacheHits: om.CacheHits,
+			MeanNanos: int64(om.MeanTime()),
+			Histogram: append([]uint64(nil), om.Buckets[:]...),
+		}
+	}
+	rest.WriteResponse(w, r, http.StatusOK, report)
+}
+
+// shedResponse answers backpressure: 503 with Retry-After, metered under
+// frontdoor.shed.
+func (fd *FrontDoor) shedResponse(w http.ResponseWriter, r *http.Request, why string) {
+	fd.metrics.Record("frontdoor.shed", 0, true)
+	w.Header().Set("Retry-After", "1")
+	rest.WriteError(w, r, http.StatusServiceUnavailable, "cluster saturated: %s", why)
+}
+
+// proxy admits (or sheds) one arrival and exchanges it with a replica.
+func (fd *FrontDoor) proxy(w http.ResponseWriter, r *http.Request) {
+	ctx := vtime.WithClock(telemetry.ExtractHTTP(r.Context(), r.Header), fd.clock)
+
+	// Buffer the body once so a failed attempt can be replayed against a
+	// sibling replica.
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		b, err := io.ReadAll(io.LimitReader(r.Body, fd.maxBody+1))
+		if err != nil {
+			rest.WriteError(w, r, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if int64(len(b)) > fd.maxBody {
+			rest.WriteError(w, r, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", fd.maxBody)
+			return
+		}
+		body = b
+	}
+
+	if !fd.admit(ctx) {
+		fd.shedQueue.Add(1)
+		fd.shedResponse(w, r, "admission queue full")
+		return
+	}
+	defer func() { <-fd.sem }()
+	fd.admitted.Add(1)
+
+	start := fd.clock.Now()
+	var resp *http.Response
+	var lastFailed string
+	inv := &callplane.Invocation{
+		Service:   "frontdoor",
+		Operation: r.Method + " " + r.URL.Path,
+		Binding:   "proxy",
+		Do: func(ctx context.Context, inv *callplane.Invocation) error {
+			rep, err := fd.pickAcquired(lastFailed)
+			if err != nil {
+				return err
+			}
+			defer rep.release()
+			inv.Target = rep.Name()
+			req := r.Clone(ctx)
+			req.Body = http.NoBody
+			req.ContentLength = 0
+			if body != nil {
+				req.Body = io.NopCloser(bytes.NewReader(body))
+				req.ContentLength = int64(len(body))
+			}
+			t0 := fd.clock.Now()
+			rsp, err := rep.rt.RoundTrip(req)
+			if err != nil {
+				// A fast connection-refused must not make a dead replica
+				// look attractive: penalize the EWMA with at least a
+				// second so picks steer away until the lease reaps it.
+				elapsed := fd.clock.Now().Sub(t0)
+				if elapsed < time.Second {
+					elapsed = time.Second
+				}
+				rep.observe(elapsed, true)
+				lastFailed = rep.Name()
+				return fmt.Errorf("%w: %s: %v", errExchange, rep.Name(), err)
+			}
+			rep.observe(fd.clock.Now().Sub(t0), rsp.StatusCode >= http.StatusInternalServerError)
+			resp = rsp
+			return nil
+		},
+	}
+	err := fd.chain.RoundTrip(ctx, inv)
+	switch {
+	case err == nil:
+		fd.completed.Add(1)
+		fd.metrics.Record("frontdoor.proxy", fd.clock.Now().Sub(start), resp.StatusCode >= http.StatusInternalServerError)
+		copyResponse(w, resp)
+	case errors.Is(err, ErrNoReplica) || errors.Is(err, ErrReplicasSaturated):
+		fd.shedBusy.Add(1)
+		fd.shedResponse(w, r, err.Error())
+	default:
+		fd.errored.Add(1)
+		fd.metrics.Record("frontdoor.proxy", fd.clock.Now().Sub(start), true)
+		rest.WriteError(w, r, http.StatusBadGateway, "all replica attempts failed: %v", err)
+	}
+}
+
+// admit claims an in-flight slot, waiting in the bounded queue when the
+// door is saturated. False means shed. A synchronous clock never waits:
+// time only advances inside Sleep there, so a blocked arrival would
+// deadlock the single-threaded run — saturation sheds instantly instead.
+func (fd *FrontDoor) admit(ctx context.Context) bool {
+	select {
+	case fd.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if vtime.IsSynchronous(fd.clock) {
+		return false
+	}
+	if n := fd.queued.Add(1); fd.queueDepth > 0 && n > int64(fd.queueDepth) {
+		fd.queued.Add(-1)
+		return false
+	}
+	defer fd.queued.Add(-1)
+	qctx, cancel := ctx, context.CancelFunc(func() {})
+	if fd.queueTimeout > 0 {
+		qctx, cancel = fd.clock.WithTimeout(ctx, fd.queueTimeout)
+	}
+	defer cancel()
+	select {
+	case fd.sem <- struct{}{}:
+		return true
+	case <-qctx.Done():
+		return false
+	}
+}
+
+// pickAcquired chooses a replica by power of two choices over
+// score = (in-flight + 1) × EWMA latency and claims a slot on it. When
+// both sampled candidates are full it falls back to a linear sweep, so
+// ErrReplicasSaturated genuinely means "no headroom anywhere". A retry
+// passes the replica that just failed as exclude, so the failover hop
+// always lands on a sibling when one exists.
+func (fd *FrontDoor) pickAcquired(exclude string) (*Replica, error) {
+	reps := fd.rotation.Load().eligible
+	if exclude != "" && len(reps) > 1 {
+		rest := make([]*Replica, 0, len(reps)-1)
+		for _, r := range reps {
+			if r.Name() != exclude {
+				rest = append(rest, r)
+			}
+		}
+		if len(rest) > 0 {
+			reps = rest
+		}
+	}
+	switch len(reps) {
+	case 0:
+		return nil, ErrNoReplica
+	case 1:
+		if reps[0].tryAcquire() {
+			reps[0].picks.Add(1)
+			return reps[0], nil
+		}
+		return nil, ErrReplicasSaturated
+	}
+	i, j := fd.twoIndices(len(reps))
+	a, b := reps[i], reps[j]
+	if b.score() < a.score() {
+		a, b = b, a
+	}
+	if a.tryAcquire() {
+		a.picks.Add(1)
+		return a, nil
+	}
+	if b.tryAcquire() {
+		b.picks.Add(1)
+		return b, nil
+	}
+	for _, rep := range reps {
+		if rep.tryAcquire() {
+			rep.picks.Add(1)
+			return rep, nil
+		}
+	}
+	return nil, ErrReplicasSaturated
+}
+
+// twoIndices draws two distinct indices from the seeded pick PRNG.
+func (fd *FrontDoor) twoIndices(n int) (int, int) {
+	fd.mu.Lock()
+	i := fd.rng.Intn(n)
+	j := fd.rng.Intn(n - 1)
+	fd.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// copyResponse relays a replica's buffered response to the client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer func() { _ = resp.Body.Close() }()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

@@ -1,0 +1,110 @@
+package cloud
+
+import "fmt"
+
+// Policy is the pure scaling decision: given observed demand for one
+// evaluation window, how many replicas should exist. It is shared by the
+// tick Simulation (which doubles as the policy's property-test harness)
+// and the real Autoscaler driving live replicas — the sim and the data
+// plane cannot drift apart because they call the same function.
+//
+// Units are deliberately abstract: ReplicaCapacity is "requests one
+// replica absorbs per evaluation window", where a window is a tick for
+// the simulation and the autoscaler's evaluation interval for the real
+// thing. The policy holds no clock and no state; cooldown — the only
+// stateful part of a scaling decision — lives in Cooldown so both
+// engines gate actions identically.
+type Policy struct {
+	// MinReplicas and MaxReplicas bound the pool.
+	MinReplicas, MaxReplicas int
+	// ReplicaCapacity is the requests one replica absorbs per window.
+	ReplicaCapacity int
+	// TargetUtilization is the desired demand/capacity ratio in (0,1]:
+	// the pool is sized so each replica runs at this fraction of its
+	// capacity, leaving headroom for bursts.
+	TargetUtilization float64
+}
+
+// Validate reports whether the policy is self-consistent.
+func (p Policy) Validate() error {
+	switch {
+	case p.MinReplicas < 1 || p.MaxReplicas < p.MinReplicas:
+		return fmt.Errorf("%w: replicas [%d,%d]", ErrConfig, p.MinReplicas, p.MaxReplicas)
+	case p.ReplicaCapacity < 1:
+		return fmt.Errorf("%w: capacity %d", ErrConfig, p.ReplicaCapacity)
+	case p.TargetUtilization <= 0 || p.TargetUtilization > 1:
+		return fmt.Errorf("%w: target %v", ErrConfig, p.TargetUtilization)
+	}
+	return nil
+}
+
+// Desired returns the replica count the policy wants for the observed
+// demand: enough replicas that each runs at TargetUtilization, clamped
+// to [MinReplicas, MaxReplicas]. Pure — same inputs, same answer.
+func (p Policy) Desired(demand int) int {
+	per := int(float64(p.ReplicaCapacity) * p.TargetUtilization)
+	ideal := ceilDiv(demand, per)
+	if ideal < p.MinReplicas {
+		ideal = p.MinReplicas
+	}
+	if ideal > p.MaxReplicas {
+		ideal = p.MaxReplicas
+	}
+	return ideal
+}
+
+// Direction classifies one evaluation's outcome.
+type Direction int
+
+// Evaluation outcomes.
+const (
+	Hold Direction = iota
+	ScaleUp
+	ScaleDown
+)
+
+func (d Direction) String() string {
+	switch d {
+	case ScaleUp:
+		return "up"
+	case ScaleDown:
+		return "down"
+	default:
+		return "hold"
+	}
+}
+
+// Evaluate compares the desired count against the current pool size and
+// names the direction. Current should count replicas that are coming or
+// staying (online + starting), not ones already draining away.
+func (p Policy) Evaluate(demand, current int) (target int, dir Direction) {
+	target = p.Desired(demand)
+	switch {
+	case target > current:
+		return target, ScaleUp
+	case target < current:
+		return target, ScaleDown
+	default:
+		return target, Hold
+	}
+}
+
+// Cooldown gates scaling actions to at most one per window. It is
+// unit-agnostic — the simulation feeds it tick numbers, the autoscaler
+// feeds it clock nanoseconds — so both engines share one spacing rule.
+// The zero value is ready: the first action is never gated.
+type Cooldown struct {
+	last  int64
+	fired bool
+}
+
+// Ready reports whether an action at instant now respects the window
+// since the last fired action.
+func (c *Cooldown) Ready(now, window int64) bool {
+	return !c.fired || now-c.last >= window
+}
+
+// Fire records that a scaling action happened at instant now.
+func (c *Cooldown) Fire(now int64) {
+	c.last, c.fired = now, true
+}

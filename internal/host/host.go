@@ -78,9 +78,12 @@ type Host struct {
 	// touches a lock.
 	wmu    sync.Mutex
 	mounts atomic.Pointer[map[string]*mounted]
-	router *rest.Router
-	instr  *telemetry.Metrics
-	tracer *telemetry.Tracer
+	// draining flips the healthz verdict to 503 while the host empties
+	// out ahead of a scale-down; every other route keeps serving.
+	draining atomic.Bool
+	router   *rest.Router
+	instr    *telemetry.Metrics
+	tracer   *telemetry.Tracer
 	// BaseURL, when set, is used as the advertised endpoint prefix in
 	// generated WSDL (e.g. "http://host:port"). Unset hosts advertise
 	// a relative endpoint.
@@ -335,14 +338,28 @@ type healthReport struct {
 	Services map[string]serviceHealth `json:"services"`
 }
 
+// SetDraining flips the host's draining flag. A draining host keeps
+// serving every route — in-flight and retried work must still land — but
+// its health probe answers 503 "draining", so balancers and health
+// checkers stop steering new traffic at it while it empties out.
+func (h *Host) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports whether SetDraining marked the host as draining.
+func (h *Host) Draining() bool { return h.draining.Load() }
+
 // handleHealthz answers 200 with per-service status — the probe target
 // of reliability.HealthChecker. A service is "degraded" once a majority
 // of a meaningful sample of its calls failed; the host itself is "ok"
-// whenever it can answer at all (a dead host can't).
+// whenever it can answer at all (a dead host can't) — unless it is
+// draining, which probes see as 503 so no new traffic arrives.
 func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Params) {
 	stats := h.Stats()
 	mounts := *h.mounts.Load()
 	report := healthReport{Status: "ok", Services: make(map[string]serviceHealth, len(mounts))}
+	status := http.StatusOK
+	if h.Draining() {
+		report.Status, status = "draining", http.StatusServiceUnavailable
+	}
 	for name, m := range mounts {
 		svc := m.svc
 		sh := serviceHealth{Status: "ok", Operations: len(svc.Operations())}
@@ -357,7 +374,7 @@ func (h *Host) handleHealthz(w http.ResponseWriter, r *http.Request, _ rest.Para
 		}
 		report.Services[name] = sh
 	}
-	rest.WriteResponse(w, r, http.StatusOK, report)
+	rest.WriteResponse(w, r, status, report)
 }
 
 // statsEntry is the wire form of one operation's statistics.

@@ -79,6 +79,45 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 }
 
+// A draining host answers probes with 503 so balancers steer away, but
+// keeps serving real traffic for the work it still holds.
+func TestHealthzDraining(t *testing.T) {
+	h := newAddHost(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	h.SetDraining(true)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Status string `json:"status"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&report)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || report.Status != "draining" {
+		t.Fatalf("draining healthz = %d %q, want 503 draining", resp.StatusCode, report.Status)
+	}
+	// The data path is unaffected: the host still answers calls.
+	if _, err := NewClient(srv.URL).Call(context.Background(), "Calc", "Add", core.Values{"a": 1, "b": 2}); err != nil {
+		t.Fatalf("draining host refused a call: %v", err)
+	}
+
+	h.SetDraining(false)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered healthz status = %d, want 200", resp.StatusCode)
+	}
+}
+
 // quickPolicy keeps tests fast: no real sleeping between retries.
 func quickPolicy() Policy {
 	return Policy{

@@ -117,6 +117,7 @@ func DefaultConfig(moduleDir string) Config {
 		},
 		CallPlanePath: "soc/internal/callplane",
 		ClockScope: []string{
+			"soc/internal/cloud",
 			"soc/internal/faultinject",
 			"soc/internal/loadgen",
 			"soc/internal/reliability",
@@ -130,6 +131,7 @@ func DefaultConfig(moduleDir string) Config {
 			"soc/cmd/wsrepo",
 		},
 		LockOrderScope: []string{
+			"soc/internal/cloud",
 			"soc/internal/host",
 			"soc/internal/registry",
 			"soc/internal/respcache",
@@ -227,8 +229,8 @@ type Pass struct {
 	Path string
 	Dir  string
 
-	suppressed map[string]map[int]map[string]string // file → line → analyzer → reason
-	findings   *[]Finding
+	suppressed    map[string]map[int]map[string]string // file → line → analyzer → reason
+	findings      *[]Finding
 	suppressedOut *[]Finding
 	flowGraph     func() *flow.Graph
 }

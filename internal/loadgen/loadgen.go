@@ -31,6 +31,13 @@ import (
 // ErrConfig reports an invalid load configuration.
 var ErrConfig = errors.New("loadgen: invalid configuration")
 
+// ErrShed marks a request the server refused under backpressure (a
+// load-shed 503). Ops return it — or an error wrapping it — so the
+// harness reports sheds as their own outcome class: a server protecting
+// itself is not failing, and folding sheds into the error count would
+// hide exactly the behavior admission control exists to produce.
+var ErrShed = errors.New("loadgen: request shed")
+
 // Op issues one request. The error marks the sample as failed; the
 // sample is recorded either way.
 type Op func(ctx context.Context) error
@@ -60,8 +67,12 @@ type Result struct {
 	// instead.
 	Scheduled int
 	Issued    int
-	// Errors counts ops that returned an error.
+	// Errors counts ops that returned an error; Shed counts ops the
+	// server refused under backpressure (errors wrapping ErrShed), kept
+	// apart from Errors because a deliberate 503 is the admission
+	// control working, not the workload failing.
 	Errors int
+	Shed   int
 	// Elapsed is the clock time from first scheduled arrival to last
 	// completion.
 	Elapsed time.Duration
@@ -109,6 +120,7 @@ func Run(ctx context.Context, cfg Config, op Op) (*Result, error) {
 		next   atomic.Int64
 		issued atomic.Int64
 		errs   atomic.Int64
+		sheds  atomic.Int64
 		wg     sync.WaitGroup
 	)
 	// arrivalOffset is the fixed open-loop schedule: request i is due at
@@ -138,7 +150,11 @@ func Run(ctx context.Context, cfg Config, op Op) (*Result, error) {
 				// past and the queueing delay lands in the sample.
 				res.Latency.Record(clock.Now().Sub(due))
 				issued.Add(1)
-				if err != nil {
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrShed):
+					sheds.Add(1)
+				default:
 					errs.Add(1)
 				}
 			}
@@ -147,6 +163,7 @@ func Run(ctx context.Context, cfg Config, op Op) (*Result, error) {
 	wg.Wait()
 	res.Issued = int(issued.Load())
 	res.Errors = int(errs.Load())
+	res.Shed = int(sheds.Load())
 	res.Elapsed = clock.Now().Sub(start)
 	if s := res.Elapsed.Seconds(); s > 0 {
 		res.AchievedRate = float64(res.Issued) / s
@@ -157,11 +174,33 @@ func Run(ctx context.Context, cfg Config, op Op) (*Result, error) {
 	return res, nil
 }
 
+// OK is the successful-response count: issued minus errors minus sheds.
+func (r *Result) OK() int { return r.Issued - r.Errors - r.Shed }
+
+// GoodputRate is successful responses per second of elapsed time — the
+// number a saturation study compares, since a stalling server can keep
+// "achieving" its issue rate while serving almost nothing.
+func (r *Result) GoodputRate() float64 {
+	if s := r.Elapsed.Seconds(); s > 0 {
+		return float64(r.OK()) / s
+	}
+	return 0
+}
+
+// ShedRate is shed responses per second of elapsed time.
+func (r *Result) ShedRate() float64 {
+	if s := r.Elapsed.Seconds(); s > 0 {
+		return float64(r.Shed) / s
+	}
+	return 0
+}
+
 // Format renders the result as the human-readable report socload prints.
 func (r *Result) Format(w io.Writer) {
-	fmt.Fprintf(w, "scheduled %d  issued %d  errors %d  elapsed %v\n",
-		r.Scheduled, r.Issued, r.Errors, r.Elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "offered %.1f req/s  achieved %.1f req/s\n", r.OfferedRate, r.AchievedRate)
+	fmt.Fprintf(w, "scheduled %d  issued %d  ok %d  errors %d  shed %d  elapsed %v\n",
+		r.Scheduled, r.Issued, r.OK(), r.Errors, r.Shed, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "offered %.1f req/s  achieved %.1f req/s  goodput %.1f req/s  shed %.1f req/s\n",
+		r.OfferedRate, r.AchievedRate, r.GoodputRate(), r.ShedRate())
 	fmt.Fprintf(w, "latency (from scheduled arrival): p50 %v  p99 %v  p99.9 %v  max %v  mean %v\n",
 		r.Latency.Quantile(0.50), r.Latency.Quantile(0.99),
 		r.Latency.Quantile(0.999), r.Latency.Max(), r.Latency.Mean())

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -110,5 +112,38 @@ func TestRunCancel(t *testing.T) {
 	}
 	if res == nil || res.Issued >= res.Scheduled {
 		t.Fatalf("canceled run should report partial issue count, got %+v", res)
+	}
+}
+
+// TestRunShedOutcomeClass: ops failing with (wrapped) ErrShed land in the
+// Shed counter, not Errors — backpressure is its own outcome class.
+func TestRunShedOutcomeClass(t *testing.T) {
+	clock := vtime.NewVirtual(time.Unix(0, 0))
+	calls := 0
+	res, err := Run(context.Background(), Config{Rate: 100, Duration: time.Second, Clock: clock},
+		func(context.Context) error {
+			calls++
+			switch calls % 4 {
+			case 0:
+				return ErrShed
+			case 1:
+				return fmt.Errorf("server said no: %w", ErrShed)
+			case 2:
+				return errors.New("hard failure")
+			default:
+				return nil
+			}
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Issued != 100 || res.Shed != 50 || res.Errors != 25 || res.OK() != 25 {
+		t.Fatalf("issued %d shed %d errors %d ok %d, want 100/50/25/25",
+			res.Issued, res.Shed, res.Errors, res.OK())
+	}
+	var buf strings.Builder
+	res.Format(&buf)
+	if !strings.Contains(buf.String(), "shed 50") {
+		t.Fatalf("report does not surface the shed count:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,86 @@
+package simtest
+
+import (
+	"testing"
+
+	"soc/internal/cloud"
+)
+
+// TestClusterSmoke is the `make cluster-smoke` gate: the deterministic
+// elastic-cluster scenario — load ramping up and down with replica
+// kills mid-ramp — must finish with zero invariant violations (the
+// ledger closes, the pool stays bounded, no drain ever races, expired
+// replicas never get picked) and must replay to the identical hash.
+func TestClusterSmoke(t *testing.T) {
+	rec, err := RunCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	for _, v := range rec.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if t.Failed() {
+		for _, line := range rec.Log {
+			t.Log(line)
+		}
+		t.FailNow()
+	}
+
+	// The scenario must actually exercise the machinery it gates: the
+	// ramp reaches the maximum pool, the descent drains replicas, and
+	// both kills are reaped via lease expiry.
+	// Both kills must happen; at least the up-ramp one leaves via lease
+	// expiry (the down-ramp kill may exit through the drain path instead,
+	// if scale-down picked the dead replica as its victim — either way
+	// the expiry invariant holds it out of rotation).
+	if rec.Killed != 2 {
+		t.Errorf("kills = %d, want 2", rec.Killed)
+	}
+	if rec.Scaler.Lost < 1 {
+		t.Errorf("lease-reaped = %d, want at least 1", rec.Scaler.Lost)
+	}
+	if rec.Scaler.Stopped == 0 {
+		t.Error("no replica was ever drained and stopped: the ramp-down never exercised scale-down")
+	}
+	if rec.Scaler.Launched <= 2 {
+		t.Errorf("launched = %d: the ramp-up never exercised scale-up", rec.Scaler.Launched)
+	}
+	if rec.Gateway > rec.OK/50 {
+		t.Errorf("gateway errors %d exceed 2%% of %d successes: retry is not covering kills", rec.Gateway, rec.OK)
+	}
+	if rec.OK == 0 || rec.Faulted == 0 {
+		t.Errorf("outcome classes missing: ok=%d faulted=%d", rec.OK, rec.Faulted)
+	}
+
+	// Determinism: the same config replays to the identical event log.
+	again, err := RunCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatalf("RunCluster (replay): %v", err)
+	}
+	if again.Hash != rec.Hash {
+		t.Fatalf("replay diverged: %s != %s", again.Hash, rec.Hash)
+	}
+}
+
+// TestClusterSmokeCustomPolicy pins the scenario's scaling arithmetic on
+// a second configuration, so the gate is not tuned to one profile.
+func TestClusterSmokeCustomPolicy(t *testing.T) {
+	cfg := ClusterConfig{
+		Policy: cloud.Policy{MinReplicas: 1, MaxReplicas: 4, ReplicaCapacity: 80, TargetUtilization: 0.9},
+		Seed:   42,
+	}
+	rec, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("RunCluster: %v", err)
+	}
+	for _, v := range rec.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	again, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatalf("RunCluster (replay): %v", err)
+	}
+	if again.Hash != rec.Hash {
+		t.Fatalf("replay diverged: %s != %s", again.Hash, rec.Hash)
+	}
+}

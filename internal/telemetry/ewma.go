@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// EWMA is a lock-free exponentially weighted moving average of durations,
+// the latency estimate the cluster front door feeds into its
+// power-of-two-choices scores. The value is stored as float64 bits in one
+// atomic word; Observe folds each sample in with a CAS loop, so readers
+// on the pick path never take a lock and writers never block each other
+// for long.
+//
+// The zero value is empty: Value reports 0 until the first observation,
+// which seeds the average directly (no warm-up bias toward zero).
+type EWMA struct {
+	bits atomic.Uint64 // float64 bits of the average, in nanoseconds
+	seen atomic.Bool   // false until the first Observe
+}
+
+// ewmaAlpha is the weight of each new sample. 0.2 tracks a shifting
+// latency regime within ~10 samples while smoothing single outliers —
+// responsive enough for load balancing, calm enough not to thrash picks.
+const ewmaAlpha = 0.2
+
+// Observe folds one latency sample into the average.
+func (e *EWMA) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sample := float64(d)
+	if e.seen.CompareAndSwap(false, true) {
+		e.bits.Store(math.Float64bits(sample))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*sample
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() time.Duration {
+	return time.Duration(math.Float64frombits(e.bits.Load()))
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMAZeroValue(t *testing.T) {
+	var e EWMA
+	if got := e.Value(); got != 0 {
+		t.Fatalf("zero EWMA reports %v, want 0", got)
+	}
+}
+
+func TestEWMASeedsFromFirstSample(t *testing.T) {
+	var e EWMA
+	e.Observe(40 * time.Millisecond)
+	if got := e.Value(); got != 40*time.Millisecond {
+		t.Fatalf("first sample should seed directly: got %v", got)
+	}
+}
+
+func TestEWMAConvergesToConstantStream(t *testing.T) {
+	var e EWMA
+	e.Observe(time.Second) // bad start
+	for i := 0; i < 100; i++ {
+		e.Observe(10 * time.Millisecond)
+	}
+	got := e.Value()
+	if got < 9*time.Millisecond || got > 12*time.Millisecond {
+		t.Fatalf("after 100 steady samples, EWMA = %v, want ~10ms", got)
+	}
+}
+
+func TestEWMAOrdersDistinctRegimes(t *testing.T) {
+	var fast, slow EWMA
+	for i := 0; i < 50; i++ {
+		fast.Observe(5 * time.Millisecond)
+		slow.Observe(50 * time.Millisecond)
+	}
+	if fast.Value() >= slow.Value() {
+		t.Fatalf("fast %v !< slow %v", fast.Value(), slow.Value())
+	}
+}
+
+func TestEWMAConcurrentObserve(t *testing.T) {
+	var e EWMA
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(20 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	got := e.Value()
+	if got < 15*time.Millisecond || got > 25*time.Millisecond {
+		t.Fatalf("concurrent constant stream: EWMA = %v, want ~20ms", got)
+	}
+}
+
+func TestEWMANegativeClampsToZero(t *testing.T) {
+	var e EWMA
+	e.Observe(-time.Second)
+	if got := e.Value(); got != 0 {
+		t.Fatalf("negative sample should clamp: got %v", got)
+	}
+}
