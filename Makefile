@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare bench-contention bench-contention-record load-smoke cluster-smoke trace-demo sim crash
+.PHONY: ci build vet lint lint-ci soclint soclint-json contracts test race chaos short bench bench-compare bench-wal bench-wal-compare bench-workflow bench-workflow-compare bench-contention bench-contention-record load-smoke cluster-smoke workflow-smoke trace-demo sim crash
 
 ## ci: the full gate — build, lint (vet + soclint in machine-readable
 ## mode), race-enabled tests, the deterministic simulation corpus, the
-## exhaustive WAL crash-point corpus, the benchmark regression gates
-## (message plane + WAL + contention), and the open-loop load smoke
-ci: build lint-ci race sim crash bench-compare bench-wal-compare bench-contention load-smoke cluster-smoke
+## exhaustive WAL + workflow-journal crash-point corpora, the benchmark
+## regression gates (message plane + WAL + workflow + contention), the
+## open-loop load smoke, and the cluster + workflow orchestration smokes
+ci: build lint-ci race sim crash bench-compare bench-wal-compare bench-workflow-compare bench-contention load-smoke cluster-smoke workflow-smoke
 
 # Raw benchmark output lands outside the tree: committed artifacts are
 # the BENCH_*.json baselines, never the text dumps.
@@ -76,11 +77,14 @@ sim:
 # deeper nightly sweep.
 WAL_CRASH_RECORDS ?= 24
 
-## crash: the WAL crash-point corpus — cut the log at every byte offset
-## and flip every byte, then prove recovery salvages exactly the acked
-## prefix and stays deterministic
+## crash: the crash-point corpora — cut the WAL at every byte offset and
+## flip every byte, then prove recovery salvages exactly the acked
+## prefix and stays deterministic; the same sweep runs over a workflow
+## journal image, where each damaged prefix must recover to a replayable
+## instance or a clean compensation with no duplicated side effect
 crash:
 	WAL_CRASH_RECORDS=$(WAL_CRASH_RECORDS) $(GO) test -count 1 -run 'TestCrash' ./internal/wal
+	WORKFLOW_CRASH_STRIDE=1 $(GO) test -count 1 -run 'TestCrash' ./internal/workflow
 
 ## trace-demo: drive one resilient call through injected faults, retry,
 ## failover and the response cache, then print the reassembled trace
@@ -127,6 +131,25 @@ bench-wal-compare:
 	$(GO) test $(WAL_BENCHFLAGS) ./internal/wal | tee $(BENCH_OUT_DIR)/bench-wal.out
 	$(GO) run ./cmd/benchdiff -against BENCH_wal.json -new $(BENCH_OUT_DIR)/bench-wal.out -gate allocs -threshold 10
 
+WF_BENCHFLAGS := -run '^$$' -bench BenchmarkWorkflow -benchmem -benchtime 1000x -count 3
+
+## bench-workflow: run the workflow journal-append and instance-complete
+## benchmarks (over the deterministic in-memory disk, so allocation
+## counts are exact) and record them as the committed baseline artifact
+## BENCH_workflow.json
+bench-workflow:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(WF_BENCHFLAGS) ./internal/workflow | tee $(BENCH_OUT_DIR)/bench-workflow.out
+	$(GO) run ./cmd/benchdiff -new $(BENCH_OUT_DIR)/bench-workflow.out -gate none -json BENCH_workflow.json
+
+## bench-workflow-compare: rerun the workflow benchmarks and fail if
+## allocs/op regressed >10% against the recorded baseline — the journal
+## append rides the orchestrator's hottest path
+bench-workflow-compare:
+	@mkdir -p $(BENCH_OUT_DIR)
+	$(GO) test $(WF_BENCHFLAGS) ./internal/workflow | tee $(BENCH_OUT_DIR)/bench-workflow.out
+	$(GO) run ./cmd/benchdiff -against BENCH_workflow.json -new $(BENCH_OUT_DIR)/bench-workflow.out -gate allocs -threshold 10
+
 # Contention suite settings: fixed iteration count for deterministic
 # allocs/op, three runs for medians. 50 iterations keeps the saturated
 # variants (NumCPU x 128 goroutines, each running b.N times) inside a
@@ -165,3 +188,12 @@ load-smoke:
 ## never pick an expired replica, and replay to the identical hash
 cluster-smoke:
 	$(GO) test -count 1 -run 'TestClusterSmoke' ./internal/simtest
+
+## workflow-smoke: the deterministic durable-workflow gate — a
+## workflow-heavy simtest schedule starts hundreds of instances with
+## power cuts armed mid-Parallel and mid-ForEach, kills and resumes;
+## every instance must settle exactly once (complete or compensate, per
+## the journal audit), the run must replay to the identical hash, and
+## each journal mutation hook must trip the invariant
+workflow-smoke:
+	$(GO) test -count 1 -run 'TestWorkflowSmoke|TestWorkflowMutationsTrip' ./internal/simtest

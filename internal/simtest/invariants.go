@@ -3,11 +3,13 @@ package simtest
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"soc/internal/registry"
 	"soc/internal/reliability"
 	"soc/internal/telemetry"
+	"soc/internal/workflow"
 )
 
 // Violation is one invariant breach, tagged with the step that exposed
@@ -31,6 +33,13 @@ const (
 	InvQoSBounds  = "qos-bounds"
 	InvDelivery   = "delivery"
 	InvDurable    = "acked-durable"
+	// InvWorkflow is the completes-or-compensates-exactly-once invariant:
+	// every workflow journal must audit clean, and recovery must preserve
+	// every acked record of every instance.
+	InvWorkflow = "workflow-once"
+	// InvWorkflowSettle is its liveness half: after the settle phase,
+	// every started instance has reached a terminal status.
+	InvWorkflowSettle = "workflow-settle"
 )
 
 // CheckCacheOnce verifies the idempotent-response cache contract: within
@@ -188,6 +197,76 @@ func CheckDelivery(step, delivered, serverSpans, cacheSpans int) []Violation {
 		Detail: fmt.Sprintf("%d requests delivered but %d terminal spans recorded (%d server + %d cache)",
 			delivered, serverSpans+cacheSpans, serverSpans, cacheSpans),
 	}}
+}
+
+// CheckWorkflows audits one replica's workflow orchestrator against the
+// world's acked ledger. Two obligations:
+//
+//  1. Internal soundness: every instance's journal must satisfy the
+//     completes-or-compensates-exactly-once rules (InstanceAudit.Problems),
+//     across any number of crash/resume incarnations.
+//  2. Acked ⇒ durable: every instance the world saw acknowledged must
+//     still exist with at least the acked history — step completions,
+//     invoke starts, executed compensations and terminal decisions never
+//     regress — and a terminal status, once acked, never changes. And
+//     nothing the ledger does not account for may appear (a resurrected
+//     nacked append).
+func CheckWorkflows(step int, replica string, acked, audits map[string]workflow.InstanceAudit) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Step: step, Invariant: InvWorkflow, Detail: fmt.Sprintf(format, args...)})
+	}
+	for _, id := range sortedAuditKeys(audits) {
+		for _, p := range audits[id].Problems() {
+			bad("%s: %s", replica, p)
+		}
+		if _, ok := acked[id]; !ok {
+			bad("%s: instance %s present but never acked (resurrected nacked append?)", replica, id)
+		}
+	}
+	for _, id := range sortedAuditKeys(acked) {
+		want := acked[id]
+		got, ok := audits[id]
+		if !ok {
+			bad("%s: acked instance %s lost", replica, id)
+			continue
+		}
+		for k, n := range want.Dones {
+			if got.Dones[k] < n {
+				bad("%s: instance %s lost acked completion of step %s (%d acked, %d recovered)",
+					replica, id, k, n, got.Dones[k])
+			}
+		}
+		for k, s := range want.Starts {
+			if got.Starts[k].Count < s.Count {
+				bad("%s: instance %s lost acked start of invoke %s (%d acked, %d recovered)",
+					replica, id, k, s.Count, got.Starts[k].Count)
+			}
+		}
+		for c, n := range want.CompDones {
+			if got.CompDones[c] < n {
+				bad("%s: instance %s lost acked compensation %s (%d acked, %d recovered)",
+					replica, id, c, n, got.CompDones[c])
+			}
+		}
+		if got.Terminals < want.Terminals {
+			bad("%s: instance %s lost its acked terminal record", replica, id)
+		}
+		if want.Terminals > 0 && got.Terminals > 0 && got.Status != want.Status {
+			bad("%s: instance %s changed terminal status %s → %s after recovery",
+				replica, id, want.Status, got.Status)
+		}
+	}
+	return out
+}
+
+func sortedAuditKeys(m map[string]workflow.InstanceAudit) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // QoSAgg is the world's independent book-keeping of what the QoS

@@ -41,6 +41,16 @@ const (
 	StepUnpublish = "unpublish"
 	// StepRenew durably renews Service's lease on the replica.
 	StepRenew = "renew"
+	// StepWorkflowStart starts a durable workflow instance (definition
+	// Def, initial variables from Args) on the target replica's
+	// journaled orchestrator. When AfterAppends > 0 the replica's power
+	// is cut at that journal-append ordinal — which lands the kill
+	// mid-workflow, possibly during a later step's appends.
+	StepWorkflowStart = "wfstart"
+	// StepWorkflowResume resumes every pending workflow instance on the
+	// target replica — after a restart, replay drives each instance
+	// from its exact journaled step.
+	StepWorkflowResume = "wfresume"
 )
 
 // Step is one event of a simulation schedule. The zero-value fields not
@@ -54,6 +64,11 @@ type Step struct {
 	Args      map[string]string `json:"args,omitempty"`
 	Replica   int               `json:"replica,omitempty"`
 	AdvanceMs int64             `json:"advanceMs,omitempty"`
+	// Def names the workflow definition a wfstart step instantiates.
+	Def string `json:"def,omitempty"`
+	// AfterAppends arms a power cut on the replica after that many more
+	// workflow-journal appends (0 = no cut).
+	AfterAppends int64 `json:"afterAppends,omitempty"`
 }
 
 // Schedule is a complete, self-contained simulation input: the seed that
@@ -104,6 +119,14 @@ var (
 	// so re-publishes actually change state.
 	endpointPool = []string{"sim://alpha", "sim://beta", "sim://gamma"}
 	categoryPool = []string{"games/maze", "data/weather", "text/translate"}
+	// wfDefPool names the canned durable workflow definitions every
+	// replica's orchestrator registers at boot (see workflows.go).
+	wfDefPool = []string{DefOrderSaga, DefFanoutCheck, DefRetryPoll}
+	// wfItemsPool feeds order-saga ForEach bodies (comma-separated so a
+	// list fits the string-valued Args map).
+	wfItemsPool = []string{"widget", "widget,gadget", "sprocket,flange,widget"}
+	// wfPasswordsPool feeds fanout-check's parallel ForEach sweep.
+	wfPasswordsPool = []string{"hunter2,qwerty", "Tr0ub4dor&3,aA1!aA1!aA1!,hunter2"}
 )
 
 // GenSchedule derives a property-based workload from a seed: a random
@@ -131,13 +154,17 @@ func GenSchedule(seed int64, steps, clients, replicas int) Schedule {
 func genStep(rng *rand.Rand, clients, replicas int) Step {
 	client := rng.Intn(clients)
 	switch p := rng.Float64(); {
-	case p < 0.50:
+	case p < 0.42:
 		return genCall(rng, client)
-	case p < 0.58:
+	case p < 0.50:
 		return Step{Kind: StepWorkflow, Client: client, Args: map[string]string{
 			"ssn":      pick(rng, ssnPool),
 			"password": pick(rng, passwordPool),
 		}}
+	case p < 0.56:
+		return genWorkflowStart(rng, replicas)
+	case p < 0.60:
+		return Step{Kind: StepWorkflowResume, Replica: rng.Intn(replicas)}
 	case p < 0.65:
 		return Step{Kind: StepPublish, Replica: rng.Intn(replicas),
 			Service: pick(rng, dirSvcPool), Args: map[string]string{
@@ -155,6 +182,73 @@ func genStep(rng *rand.Rand, clients, replicas int) Step {
 	default:
 		return Step{Kind: StepRestart, Replica: rng.Intn(replicas)}
 	}
+}
+
+// genWorkflowStart instantiates a canned durable workflow. Roughly a
+// third of the starts arm a mid-workflow power cut, at an append
+// ordinal low enough to land inside the instance's own run — including
+// mid-Parallel and mid-ForEach.
+func genWorkflowStart(rng *rand.Rand, replicas int) Step {
+	st := Step{Kind: StepWorkflowStart, Replica: rng.Intn(replicas), Def: pick(rng, wfDefPool)}
+	switch st.Def {
+	case DefOrderSaga:
+		st.Args = map[string]string{
+			"ssn":      pick(rng, ssnPool),
+			"items":    pick(rng, wfItemsPool),
+			"quantity": strconv.Itoa(1 + rng.Intn(3)),
+			"price":    pick(rng, pricePool),
+		}
+	case DefFanoutCheck:
+		st.Args = map[string]string{
+			"ssn":       pick(rng, ssnPool),
+			"password":  pick(rng, passwordPool),
+			"passwords": pick(rng, wfPasswordsPool),
+		}
+	case DefRetryPoll:
+		st.Args = map[string]string{
+			"ssn":    pick(rng, ssnPool),
+			"rounds": strconv.Itoa(1 + rng.Intn(3)),
+		}
+	}
+	if rng.Float64() < 0.35 {
+		st.AfterAppends = 2 + rng.Int63n(16)
+	}
+	return st
+}
+
+// GenWorkflowSchedule derives a workflow-heavy workload: mostly
+// wfstart/wfresume with enough kills, restarts and clock advances that
+// instances crash mid-flight and settle across incarnations. Used by
+// the workflow smoke gate, which needs hundreds of instances per run.
+func GenWorkflowSchedule(seed int64, steps, clients, replicas int) Schedule {
+	if steps < 1 {
+		steps = 1
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Seed: seed, Steps: make([]Step, 0, steps)}
+	for i := 0; i < steps; i++ {
+		switch p := rng.Float64(); {
+		case p < 0.34:
+			sched.Steps = append(sched.Steps, genWorkflowStart(rng, replicas))
+		case p < 0.48:
+			sched.Steps = append(sched.Steps, Step{Kind: StepWorkflowResume, Replica: rng.Intn(replicas)})
+		case p < 0.58:
+			sched.Steps = append(sched.Steps, Step{Kind: StepKill, Replica: rng.Intn(replicas)})
+		case p < 0.72:
+			sched.Steps = append(sched.Steps, Step{Kind: StepRestart, Replica: rng.Intn(replicas)})
+		case p < 0.86:
+			sched.Steps = append(sched.Steps, Step{Kind: StepAdvance, AdvanceMs: 50 + rng.Int63n(1950)})
+		default:
+			sched.Steps = append(sched.Steps, genCall(rng, rng.Intn(clients)))
+		}
+	}
+	return sched
 }
 
 func genCall(rng *rand.Rand, client int) Step {

@@ -1,0 +1,234 @@
+package simtest
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"soc/internal/workflow"
+)
+
+// The canned durable workflow definitions every replica's orchestrator
+// registers at boot. Between them they cover the full activity
+// vocabulary the journal must resume through: non-idempotent sagas with
+// declared undos (order-saga), Parallel fan-out plus a parallel ForEach
+// with result collection and an armed Pick (fanout-check), and a While
+// loop ending in a Pick timeout (retry-poll).
+const (
+	DefOrderSaga   = "order-saga"
+	DefFanoutCheck = "fanout-check"
+	DefRetryPoll   = "retry-poll"
+)
+
+// wfCompensators names every compensator the canned definitions
+// reference; each must be bound on every incarnation or a saga's
+// compensation pass fails.
+var wfCompensators = []string{"undo-cart", "undo-add"}
+
+// buildWorkflowDefs constructs the canned definitions over the given
+// invoker (the replica's own service plane in the simulation).
+func buildWorkflowDefs(inv workflow.Invoker) ([]*workflow.Workflow, error) {
+	roots := []struct {
+		name string
+		root workflow.Activity
+	}{
+		{DefOrderSaga, orderSagaRoot(inv)},
+		{DefFanoutCheck, fanoutCheckRoot(inv)},
+		{DefRetryPoll, retryPollRoot(inv)},
+	}
+	defs := make([]*workflow.Workflow, 0, len(roots))
+	for _, r := range roots {
+		wf, err := workflow.New(r.name, r.root)
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, wf)
+	}
+	return defs, nil
+}
+
+// orderSagaRoot is the compensation workhorse: every cart operation is
+// non-idempotent with a declared undo, and carts live in one replica
+// incarnation's memory — so an instance resumed after a crash fails its
+// next cart call cleanly and walks the saga back through the journaled
+// compensations. The invalid-SSN pool entry also faults mid-saga on a
+// healthy replica.
+func orderSagaRoot(inv workflow.Invoker) workflow.Activity {
+	return &workflow.Sequence{Label: "saga", Steps: []workflow.Activity{
+		&workflow.Invoke{
+			Label: "create", Service: "ShoppingCart", Operation: "CreateCart", Invoker: inv,
+			Outputs:      map[string]string{"cart": "cart"},
+			Compensation: &workflow.Undo{Name: "undo-cart", ArgsFrom: map[string]string{"cart": "cart"}},
+		},
+		&workflow.ForEach{
+			Label: "fill", Items: "items", ItemVar: "item",
+			Body: &workflow.Invoke{
+				Label: "add", Service: "ShoppingCart", Operation: "AddItem", Invoker: inv,
+				Inputs:       map[string]string{"cart": "cart", "item": "item", "quantity": "quantity", "price": "price"},
+				Outputs:      map[string]string{"items": "count"},
+				Compensation: &workflow.Undo{Name: "undo-add", ArgsFrom: map[string]string{"cart": "cart", "item": "item"}},
+			},
+		},
+		&workflow.Invoke{
+			Label: "score", Service: "CreditScore", Operation: "Score", Invoker: inv, Idempotent: true,
+			Inputs: map[string]string{"ssn": "ssn"}, Outputs: map[string]string{"score": "score"},
+		},
+		&workflow.Invoke{
+			Label: "total", Service: "ShoppingCart", Operation: "Total", Invoker: inv,
+			Inputs: map[string]string{"cart": "cart"}, Outputs: map[string]string{"total": "total"},
+		},
+		&workflow.If{
+			Label: "approve",
+			Cond:  func(v *workflow.Vars) bool { return v.GetInt("score") >= 600 },
+			Then:  assignBool("ok", "approved", true),
+			Else:  assignBool("no", "approved", false),
+		},
+	}}
+}
+
+// fanoutCheckRoot exercises the fan-out shapes: an AND-join Parallel, a
+// parallel ForEach collecting per-iteration verdicts in index order, and
+// an armed Pick whose journaled decision replays without re-racing.
+func fanoutCheckRoot(inv workflow.Invoker) workflow.Activity {
+	return &workflow.Sequence{Label: "fanout", Steps: []workflow.Activity{
+		&workflow.Parallel{Label: "fan", Branches: []workflow.Activity{
+			&workflow.Invoke{
+				Label: "score", Service: "CreditScore", Operation: "Score", Invoker: inv, Idempotent: true,
+				Inputs: map[string]string{"ssn": "ssn"}, Outputs: map[string]string{"score": "score"},
+			},
+			&workflow.Invoke{
+				Label: "check", Service: "RandomString", Operation: "CheckStrength", Invoker: inv, Idempotent: true,
+				Inputs: map[string]string{"password": "password"}, Outputs: map[string]string{"strong": "strong"},
+			},
+		}},
+		&workflow.ForEach{
+			Label: "sweep", Items: "passwords", ItemVar: "pw", Parallel: true, CollectVar: "verdict",
+			Body: &workflow.Invoke{
+				Label: "probe", Service: "RandomString", Operation: "CheckStrength", Invoker: inv, Idempotent: true,
+				Inputs: map[string]string{"password": "pw"}, Outputs: map[string]string{"strong": "verdict"},
+			},
+		},
+		&workflow.Pick{Label: "confirm", Events: []workflow.PickBranch{{
+			Wait: armedEvent("confirm"),
+			Var:  "signal",
+			Then: assignBool("confirmed", "confirmed", true),
+		}}},
+	}}
+}
+
+// retryPollRoot exercises While resumption (the loop re-executes and
+// replays exactly the journaled iterations) and the Pick expiry path.
+func retryPollRoot(inv workflow.Invoker) workflow.Activity {
+	return &workflow.Sequence{Label: "poll", Steps: []workflow.Activity{
+		&workflow.While{
+			Label: "loop",
+			Cond:  func(v *workflow.Vars) bool { return v.GetInt("n") < v.GetInt("rounds") },
+			Body: &workflow.Sequence{Label: "round", Steps: []workflow.Activity{
+				&workflow.Invoke{
+					Label: "probe", Service: "CreditScore", Operation: "Score", Invoker: inv, Idempotent: true,
+					Inputs: map[string]string{"ssn": "ssn"}, Outputs: map[string]string{"score": "score"},
+				},
+				&workflow.Assign{Label: "bump", Var: "n", Expr: func(v *workflow.Vars) any { return v.GetInt("n") + 1 }},
+			}},
+		},
+		&workflow.Pick{
+			Label:   "wait",
+			Timeout: time.Millisecond,
+			Events: []workflow.PickBranch{{
+				Wait: unarmedEvent,
+				Then: assignBool("signaled", "signaled", true),
+			}},
+			OnExpire: assignBool("expire", "timedout", true),
+		},
+	}}
+}
+
+func assignBool(label, varName string, val bool) workflow.Activity {
+	return &workflow.Assign{Label: label, Var: varName, Expr: func(*workflow.Vars) any { return val }}
+}
+
+// armedEvent is a Pick source that has already fired: deterministic mode
+// polls it and journals the branch win with the payload.
+func armedEvent(payload string) func(ctx context.Context) <-chan any {
+	return func(context.Context) <-chan any {
+		ch := make(chan any, 1)
+		ch <- payload
+		return ch
+	}
+}
+
+// unarmedEvent never fires; deterministic mode treats the pick as
+// expired immediately.
+func unarmedEvent(context.Context) <-chan any { return nil }
+
+// workflowInit converts a wfstart step's string Args into the typed
+// initial scope its definition expects. Comma-separated lists become
+// []any so ForEach can range them; numbers parse leniently (a malformed
+// generator value degrades to zero rather than crashing the harness).
+func workflowInit(def string, args map[string]string) map[string]any {
+	init := map[string]any{}
+	switch def {
+	case DefOrderSaga:
+		init["ssn"] = args["ssn"]
+		init["items"] = splitList(args["items"])
+		init["quantity"] = parseInt64(args["quantity"])
+		init["price"] = parseFloat64(args["price"])
+	case DefFanoutCheck:
+		init["ssn"] = args["ssn"]
+		init["password"] = args["password"]
+		init["passwords"] = splitList(args["passwords"])
+	case DefRetryPoll:
+		init["ssn"] = args["ssn"]
+		init["rounds"] = parseInt64(args["rounds"])
+		init["n"] = int64(0)
+	}
+	return init
+}
+
+func splitList(s string) []any {
+	parts := strings.Split(s, ",")
+	out := make([]any, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInt64(s string) int64 {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func parseFloat64(s string) float64 {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+// wfResultOut renders one orchestrator result canonically (no spaces —
+// it feeds the hash-checked event log; the error rides the step's Err).
+func wfResultOut(res workflow.Result) string {
+	return res.ID + ":" + res.Status
+}
+
+// wfResultsOut renders a ResumeAll batch sorted by instance id.
+func wfResultsOut(results []workflow.Result) string {
+	if len(results) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(results))
+	for i, r := range results {
+		parts[i] = wfResultOut(r)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

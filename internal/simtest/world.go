@@ -69,6 +69,14 @@ type Config struct {
 	// SegmentBytes is the replica WAL rotation threshold (default 2048,
 	// small enough that schedules span multiple segments).
 	SegmentBytes int64
+	// WorkflowSnapshotEvery folds each replica's workflow journal into a
+	// snapshot after this many appends (default 48 — large enough that
+	// instances span snapshots, small enough that compaction happens).
+	WorkflowSnapshotEvery int
+	// WorkflowMutation enables one of the workflow.Mutation* fault hooks
+	// on every replica's orchestrator (tests only): the workflow audit
+	// invariant must trip under each of them.
+	WorkflowMutation string
 }
 
 // DefaultFaults is the standard chaos mix: errors, drops, the occasional
@@ -138,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 2048
+	}
+	if c.WorkflowSnapshotEvery == 0 {
+		c.WorkflowSnapshotEvery = 48
 	}
 	return c
 }
@@ -210,6 +221,12 @@ type simReplica struct {
 	disk    *wal.MemFS
 	faultFS wal.FS
 	dreg    *registry.DurableRegistry
+
+	// wfdisk is the second durable medium: the workflow journal's disk,
+	// torn on the same power cuts, behind its own seeded fault injector.
+	wfdisk    *wal.MemFS
+	wfFaultFS wal.FS
+	orch      *workflow.Orchestrator
 }
 
 // World is one simulated universe: virtual clock, replicas, clients,
@@ -236,6 +253,11 @@ type World struct {
 	// world has seen. The acked ⇒ durable invariant holds each replica's
 	// directory to it after every step, crashes included.
 	acked []map[string]registry.Entry
+	// wfAcked is the per-replica ledger of acked workflow-journal state:
+	// a snapshot of every instance's audit taken after each workflow
+	// step. Recovery may never lose or contradict it — the workflow
+	// twin of acked ⇒ durable.
+	wfAcked []map[string]workflow.InstanceAudit
 }
 
 // NewWorld builds a world for the schedule's seed. Fault plans for each
@@ -272,7 +294,17 @@ func NewWorld(cfg Config, seed int64) (*World, error) {
 			return nil, err
 		}
 		r.faultFS = di.FS(r.disk)
+		r.wfdisk = wal.NewMemFS(seed ^ fnv64(r.name+"/wfdisk"))
+		wdi, err := faultinject.NewDisk(faultinject.DiskPlan{
+			Seed: seed ^ fnv64(r.name+"/wfdisk-faults"),
+			Rule: *cfg.DiskFaults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.wfFaultFS = wdi.FS(r.wfdisk)
 		w.acked = append(w.acked, map[string]registry.Entry{})
+		w.wfAcked = append(w.wfAcked, map[string]workflow.InstanceAudit{})
 		if err := r.boot(); err != nil {
 			return nil, err
 		}
@@ -380,7 +412,51 @@ func (r *simReplica) boot() error {
 		return err
 	}
 	r.dreg = dreg
+	// Recover the durable workflow orchestrator from its own disk and
+	// re-register the canned definitions and compensators (code is
+	// per-incarnation; journals are the only durable truth). Its invoker
+	// is the replica's own service plane over the simulated wire, so
+	// workflow invocations produce the same spans, delivery counts and
+	// cache hits the invariants audit.
+	wfClient := &host.Client{
+		BaseURL: r.baseURL,
+		//soclint:ignore noclientliteral workflow invocations ride the deterministic in-memory wire; a wall-clock timeout would leak real time into the run
+		HTTPClient: &http.Client{Transport: deliverer{r}},
+		Tracer:     r.w.clientTracer,
+	}
+	inv := workflow.InvokerFunc(func(ctx context.Context, service, operation string, args map[string]any) (map[string]any, error) {
+		out, err := wfClient.Call(ctx, service, operation, core.Values(args))
+		return map[string]any(out), err
+	})
+	orch, err := workflow.OpenOrchestrator(r.wfFaultFS, workflow.Options{
+		WAL:           wal.Options{SegmentBytes: r.w.cfg.SegmentBytes},
+		SnapshotEvery: r.w.cfg.WorkflowSnapshotEvery,
+		Deterministic: true,
+		Mutation:      r.w.cfg.WorkflowMutation,
+	})
+	if err != nil {
+		return err
+	}
+	defs, err := buildWorkflowDefs(inv)
+	if err != nil {
+		return err
+	}
+	for _, wf := range defs {
+		orch.Define(wf)
+	}
+	for _, name := range wfCompensators {
+		orch.DefineCompensator(name, func(context.Context, map[string]any) error { return nil })
+	}
+	r.orch = orch
 	return nil
+}
+
+// kill power-cuts the replica: deliveries start failing and both durable
+// media keep only their fsynced prefixes plus seeded-random torn tails.
+func (r *simReplica) kill() {
+	r.alive = false
+	r.disk.Crash()
+	r.wfdisk.Crash()
 }
 
 // deliverer delivers a request to one replica's current incarnation —
@@ -424,12 +500,33 @@ func Run(cfg Config, sched Schedule) (*RunRecord, error) {
 		return nil, err
 	}
 	rec := &RunRecord{Schedule: sched}
-	for i, st := range sched.Steps {
+	runOne := func(st Step) {
+		i := len(rec.Steps)
 		sr := w.runStep(i, st)
 		rec.Steps = append(rec.Steps, sr)
 		rec.Log = append(rec.Log, w.logLine(sr))
 		rec.Violations = append(rec.Violations, w.checkStep(sr)...)
 	}
+	for _, st := range sched.Steps {
+		runOne(st)
+	}
+	// Settle phase: every started workflow instance must eventually
+	// complete or compensate, so the world keeps restarting dead
+	// replicas and resuming pending instances with synthesized steps
+	// (which flow through the same runStep/logLine/checkStep pipeline —
+	// settling is part of the hashed, invariant-checked run). The round
+	// bound only guards against a livelocked harness; a run that
+	// exhausts it fails the settle invariant below.
+	for round := 0; round < 64; round++ {
+		synth := w.settleSteps()
+		if len(synth) == 0 {
+			break
+		}
+		for _, st := range synth {
+			runOne(st)
+		}
+	}
+	rec.Violations = append(rec.Violations, w.checkSettled(len(rec.Steps))...)
 	rec.HandlerRuns = w.handlerRuns
 	rec.Observations = w.observations
 	sum := sha256.Sum256([]byte(strings.Join(rec.Log, "\n")))
@@ -462,23 +559,53 @@ func (w *World) runStep(i int, st Step) StepRecord {
 		sr.Out = canonValues(out) + "|activities=" + strings.Join(names, ",")
 	case StepKill:
 		r := w.replicas[mod(st.Replica, len(w.replicas))]
-		r.alive = false
-		// A kill is a power cut, not a clean exit: the disk keeps only
+		// A kill is a power cut, not a clean exit: each disk keeps only
 		// what was fsynced plus a seeded-random torn tail of the rest.
-		r.disk.Crash()
+		r.kill()
 	case StepRestart:
 		r := w.replicas[mod(st.Replica, len(w.replicas))]
 		// Archive anything still in the dying incarnation's ring before
 		// the host is replaced (normally empty: every step drains).
 		w.pendingSpans = append(w.pendingSpans, drain(r.h.Tracer())...)
 		if err := r.boot(); err != nil {
+			// A failed boot (recovery tripped over an injected disk fault)
+			// leaves the replica down; a later restart retries.
+			r.alive = false
 			sr.Err = errString(err)
 		} else {
-			// The recovery report (snapshot index, replayed records,
-			// salvage decisions) feeds the canonical log, so recovery
-			// itself is held to the determinism hash.
-			sr.Out = strings.ReplaceAll(r.dreg.Recovery().String(), " ", ",")
+			// The recovery reports (snapshot index, replayed records,
+			// salvage decisions) of both durable media feed the canonical
+			// log, so recovery itself is held to the determinism hash.
+			sr.Out = strings.ReplaceAll(r.dreg.Recovery().String(), " ", ",") +
+				"|wf=" + strings.ReplaceAll(r.orch.Recovery().String(), " ", ",")
 		}
+	case StepWorkflowStart:
+		r := w.replicas[mod(st.Replica, len(w.replicas))]
+		if !r.alive {
+			sr.Err = fmt.Sprintf("simtest: %s is down", r.name)
+			sr.Out = "-"
+			break
+		}
+		if st.AfterAppends > 0 {
+			// The armed power cut fires INSTEAD of the journal write at
+			// that ordinal — mid-instance, possibly mid-Parallel or
+			// mid-ForEach, possibly during a later step on this replica.
+			r.orch.ArmCrash(st.AfterAppends, r.kill)
+		}
+		id := fmt.Sprintf("wf-%03d", i)
+		res, err := r.orch.Start(w.ctx, id, st.Def, workflowInit(st.Def, st.Args))
+		sr.Err = errString(err)
+		sr.Out = wfResultOut(res)
+		w.wfAcked[r.idx] = r.orch.Audits()
+	case StepWorkflowResume:
+		r := w.replicas[mod(st.Replica, len(w.replicas))]
+		if !r.alive {
+			sr.Err = fmt.Sprintf("simtest: %s is down", r.name)
+			sr.Out = "-"
+			break
+		}
+		sr.Out = wfResultsOut(r.orch.ResumeAll(w.ctx))
+		w.wfAcked[r.idx] = r.orch.Audits()
 	case StepPublish, StepUnpublish, StepRenew:
 		sr.Err, sr.Out = w.runDirectoryStep(st)
 	case StepAdvance:
@@ -601,6 +728,18 @@ func (w *World) checkStep(sr StepRecord) []Violation {
 		}
 		out = append(out, CheckDurable(sr.Index, r.name, w.acked[i], r.dreg)...)
 	}
+	// The workflow audit is only consulted after steps that moved
+	// workflow state: starts and resumes append to journals, restarts
+	// recover them (the moment the acked ⇒ durable comparison bites).
+	switch sr.Step.Kind {
+	case StepWorkflowStart, StepWorkflowResume, StepRestart:
+		for i, r := range w.replicas {
+			if !r.alive {
+				continue
+			}
+			out = append(out, CheckWorkflows(sr.Index, r.name, w.wfAcked[i], r.orch.Audits())...)
+		}
+	}
 	return out
 }
 
@@ -654,6 +793,11 @@ func (w *World) logLine(sr StepRecord) string {
 		fmt.Fprintf(&b, " replica=%d service=%s args=%s", sr.Step.Replica, sr.Step.Service, canonStringMap(sr.Step.Args))
 	case StepUnpublish, StepRenew:
 		fmt.Fprintf(&b, " replica=%d service=%s", sr.Step.Replica, sr.Step.Service)
+	case StepWorkflowStart:
+		fmt.Fprintf(&b, " replica=%d def=%s args=%s afterAppends=%d",
+			sr.Step.Replica, sr.Step.Def, canonStringMap(sr.Step.Args), sr.Step.AfterAppends)
+	case StepWorkflowResume:
+		fmt.Fprintf(&b, " replica=%d", sr.Step.Replica)
 	case StepAdvance:
 		fmt.Fprintf(&b, " advance=%dms", sr.Step.AdvanceMs)
 	}
@@ -669,6 +813,40 @@ func (w *World) logLine(sr StepRecord) string {
 		}
 	}
 	return b.String()
+}
+
+// settleSteps synthesizes the next settle round: restart what is down,
+// resume what is pending. Empty means the world has settled.
+func (w *World) settleSteps() []Step {
+	var out []Step
+	for idx, r := range w.replicas {
+		switch {
+		case !r.alive:
+			out = append(out, Step{Kind: StepRestart, Replica: idx})
+		case len(r.orch.Pending()) > 0:
+			out = append(out, Step{Kind: StepWorkflowResume, Replica: idx})
+		}
+	}
+	return out
+}
+
+// checkSettled enforces the eventually-terminal half of the workflow
+// invariant once the settle phase ends: no replica still down, no
+// instance still pending.
+func (w *World) checkSettled(step int) []Violation {
+	var out []Violation
+	for _, r := range w.replicas {
+		if !r.alive {
+			out = append(out, Violation{Step: step, Invariant: InvWorkflowSettle,
+				Detail: r.name + " still down after the settle phase"})
+			continue
+		}
+		for _, id := range r.orch.Pending() {
+			out = append(out, Violation{Step: step, Invariant: InvWorkflowSettle,
+				Detail: fmt.Sprintf("%s: instance %s never reached a terminal status", r.name, id)})
+		}
+	}
+	return out
 }
 
 func drain(t *telemetry.Tracer) []telemetry.Span {

@@ -63,16 +63,34 @@ func (f InvokerFunc) Invoke(ctx context.Context, service, operation string, args
 	return f(ctx, service, operation, args)
 }
 
+// Undo declares an Invoke's durable compensation: a compensator
+// registered by name on the orchestrator, with arguments resolved from
+// the scope (argument name → variable name) when the invoke's start
+// record is journaled — pessimistically, so a call that crashed in
+// flight can still be undone.
+type Undo struct {
+	Name     string
+	ArgsFrom map[string]string
+}
+
 // Invoke calls a service operation: inputs are drawn from the scope by
 // the Inputs mapping (parameter name → variable name) and outputs are
 // written back by the Outputs mapping (result name → variable name).
+//
+// Idempotent declares that re-issuing the operation is safe; the
+// orchestrator re-issues an in-flight invoke after a crash only when it
+// is set, and otherwise faults the instance into compensation.
+// Compensation (optional) is the durable undo journaled with the start
+// record.
 type Invoke struct {
-	Label     string
-	Service   string
-	Operation string
-	Invoker   Invoker
-	Inputs    map[string]string
-	Outputs   map[string]string
+	Label        string
+	Service      string
+	Operation    string
+	Invoker      Invoker
+	Inputs       map[string]string
+	Outputs      map[string]string
+	Idempotent   bool
+	Compensation *Undo
 }
 
 func (i *Invoke) Name() string { return i.Label }
@@ -81,7 +99,25 @@ func (i *Invoke) Validate() error {
 	if i.Label == "" || i.Service == "" || i.Operation == "" || i.Invoker == nil {
 		return fmt.Errorf("%w: invoke needs label, service, operation and invoker", ErrDefinition)
 	}
+	if i.Compensation != nil && i.Compensation.Name == "" {
+		return fmt.Errorf("%w: invoke %q: compensation needs a compensator name", ErrDefinition, i.Label)
+	}
 	return nil
+}
+
+// resolveCompensation materializes the declared undo with arguments
+// resolved from the current scope, ready to be journaled.
+func (i *Invoke) resolveCompensation(key string, vars *Vars) []Compensation {
+	if i.Compensation == nil {
+		return nil
+	}
+	args := make(map[string]any, len(i.Compensation.ArgsFrom))
+	for arg, varName := range i.Compensation.ArgsFrom {
+		if v, ok := vars.Get(varName); ok {
+			args[arg] = v
+		}
+	}
+	return []Compensation{{ID: key + "|" + i.Compensation.Name, Name: i.Compensation.Name, Args: args}}
 }
 
 func (i *Invoke) Execute(ctx context.Context, st *State) error {
@@ -149,13 +185,24 @@ func (p *Parallel) Validate() error {
 }
 
 func (p *Parallel) Execute(ctx context.Context, st *State) error {
+	// Deterministic journaled mode runs branches in definition order:
+	// the AND-join semantics are unchanged, and a crash still lands
+	// "mid-Parallel" — some branches journaled done, the rest not.
+	if st.sequential() {
+		for i, b := range p.Branches {
+			if err := exec(ctx, b, st.branchScope("b", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make(chan error, len(p.Branches))
-	for _, b := range p.Branches {
-		go func(b Activity) {
-			errs <- exec(ctx, b, st)
-		}(b)
+	for i, b := range p.Branches {
+		go func(i int, b Activity) {
+			errs <- exec(ctx, b, st.branchScope("b", i))
+		}(i, b)
 	}
 	var first error
 	for range p.Branches {
@@ -234,7 +281,9 @@ func (w *While) Execute(ctx context.Context, st *State) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if err := exec(ctx, w.Body, st); err != nil {
+		// Each iteration gets its own key namespace so replay aligns
+		// iteration i's journal records with iteration i's re-execution.
+		if err := exec(ctx, w.Body, st.branchScope("t", i)); err != nil {
 			return err
 		}
 	}

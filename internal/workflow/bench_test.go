@@ -1,0 +1,72 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"soc/internal/wal"
+)
+
+// BenchmarkWorkflowJournalAppend measures the hot journaling path — JSON
+// encode plus a durable WAL append over the deterministic in-memory disk,
+// so allocs/op is exact and gated in CI.
+func BenchmarkWorkflowJournalAppend(b *testing.B) {
+	fs := wal.NewMemFS(7)
+	log, _, err := wal.Open(fs, wal.Options{SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := &journal{log: log}
+	rec := Record{
+		Inst:    "wf-bench",
+		Kind:    recDone,
+		Key:     "/saga#0/fill#0/i1/add#0",
+		Service: "ShoppingCart",
+		Op:      "AddItem",
+		Effects: map[string]any{"items": float64(3), "total": 129.95},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkflowInstanceComplete measures one whole orchestrated
+// instance end to end: begin record, every step journaled before its
+// effect, terminal record — the per-instance cost a driver pays.
+func BenchmarkWorkflowInstanceComplete(b *testing.B) {
+	inv := newStubInvoker()
+	fs := wal.NewMemFS(7)
+	o, err := OpenOrchestrator(fs, Options{
+		Deterministic: true,
+		SnapshotEvery: -1,
+		WAL:           wal.Options{SegmentBytes: 1 << 30},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wf, err := New("everything", everythingRoot(inv))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Define(wf)
+	for _, name := range []string{"release", "uncommit", "log-undo"} {
+		o.DefineCompensator(name, inv.compensator(name))
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Start(ctx, fmt.Sprintf("wf-%06d", i), "everything", initVars())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != StatusCompleted {
+			b.Fatalf("instance %d: %s", i, res.Status)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// journalRun is the per-(instance, incarnation) execution context of a
+// journaled run: deterministic step keys, the replay snapshot of prior
+// incarnations' records, and the append path back to the orchestrator.
+type journalRun struct {
+	o    *Orchestrator
+	inst *Instance
+	seq  bool
+
+	mu       sync.Mutex
+	counters map[string]int
+
+	prior priorState
+}
+
+// priorState is the read-only replay index built from the records acked
+// before this incarnation's run began. Records appended during the run
+// are not in it — within one run every step key is visited at most
+// once, so the run never needs to replay its own appends.
+type priorState struct {
+	dones      map[string]Record
+	starts     map[string]int
+	stepFaults map[string]int
+	picks      map[string]Record
+}
+
+func newJournalRun(o *Orchestrator, inst *Instance) *journalRun {
+	jr := &journalRun{
+		o:        o,
+		inst:     inst,
+		seq:      o.opts.Deterministic,
+		counters: map[string]int{},
+		prior: priorState{
+			dones:      map[string]Record{},
+			starts:     map[string]int{},
+			stepFaults: map[string]int{},
+			picks:      map[string]Record{},
+		},
+	}
+	for _, r := range inst.snapshotRecords() {
+		switch r.Kind {
+		case recDone:
+			jr.prior.dones[r.Key] = r
+		case recStart:
+			jr.prior.starts[r.Key]++
+		case recStepFault:
+			jr.prior.stepFaults[r.Key]++
+		case recPick:
+			jr.prior.picks[r.Key] = r
+		}
+	}
+	return jr
+}
+
+// nextKey allocates the deterministic step key for the n-th occurrence
+// of name under path. Composites scope their children's paths (branch,
+// iteration), so re-executing the same control flow over the same
+// journaled effects allocates the same keys — the property replay
+// matching rests on.
+func (jr *journalRun) nextKey(path, name string) string {
+	jr.mu.Lock()
+	defer jr.mu.Unlock()
+	ck := path + "/" + name
+	n := jr.counters[ck]
+	jr.counters[ck] = n + 1
+	return fmt.Sprintf("%s#%d", ck, n)
+}
+
+func (jr *journalRun) append(r Record) error {
+	r.Inst = jr.inst.id
+	return jr.o.append(jr.inst, r)
+}
+
+// exec routes one activity through the journal: composites re-execute
+// (they are pure control flow over journaled effects), leaves replay
+// from their done record or execute-then-journal.
+func (jr *journalRun) exec(ctx context.Context, a Activity, st *State) error {
+	switch act := a.(type) {
+	case *Pick:
+		return jr.execPick(ctx, act, st)
+	case *Invoke:
+		return jr.execInvoke(ctx, act, st)
+	}
+	if isComposite(a) {
+		key := jr.nextKey(st.path, a.Name())
+		return plainExec(ctx, a, st.scoped(key))
+	}
+	return jr.execLeaf(ctx, a, st)
+}
+
+// isComposite reports whether a is pure control flow that should be
+// re-executed on replay rather than journaled as a step. Unknown
+// user-defined activities without children are treated as leaves.
+func isComposite(a Activity) bool {
+	switch a.(type) {
+	case *Sequence, *Parallel, *If, *While, *ForEach, *Scope:
+		return true
+	}
+	_, ok := a.(children)
+	return ok
+}
+
+// execLeaf runs a leaf step with append-before-effect: the step
+// executes against a buffered overlay of the scope, its resolved writes
+// are journaled, and only an acked done record flushes them into the
+// instance scope. Replayed leaves skip execution and apply the
+// journaled effects.
+func (jr *journalRun) execLeaf(ctx context.Context, a Activity, st *State) error {
+	key := jr.nextKey(st.path, a.Name())
+	if rec, ok := jr.prior.dones[key]; ok {
+		applyEffects(st.Vars, rec.Effects)
+		st.trace.add(TraceEntry{Activity: a.Name(), Replayed: true})
+		return nil
+	}
+	overlay := newOverlay(st.Vars)
+	cc := &compCollector{key: key}
+	if err := plainExec(withCompCollector(ctx, cc), a, st.withVars(overlay)); err != nil {
+		return err
+	}
+	rec := Record{Kind: recDone, Key: key, Effects: overlay.effects(), Comps: cc.comps}
+	if err := jr.append(rec); err != nil {
+		return err
+	}
+	overlay.flush()
+	return nil
+}
+
+// execInvoke adds the in-flight protocol around a service invocation:
+// a start record (carrying idempotence and the pessimistic
+// compensation) is acked before the call goes out, so a crash mid-call
+// leaves evidence. On resume, a start without a done re-issues only
+// when the operation is idempotent; otherwise the instance faults —
+// the side effect may or may not have happened and must be compensated,
+// never duplicated.
+func (jr *journalRun) execInvoke(ctx context.Context, inv *Invoke, st *State) error {
+	key := jr.nextKey(st.path, inv.Label)
+	if rec, ok := jr.prior.dones[key]; ok {
+		applyEffects(st.Vars, rec.Effects)
+		st.trace.add(TraceEntry{Activity: inv.Label, Replayed: true})
+		return nil
+	}
+	// A prior start is in flight only if it never resolved: no done (we
+	// would have replayed above) and no clean-failure record. In-flight
+	// means the side effect may or may not have happened — re-issuing is
+	// safe only for idempotent operations.
+	if jr.prior.starts[key] > jr.prior.stepFaults[key] && !inv.Idempotent &&
+		jr.o.opts.Mutation != MutationResumeNonIdempotent {
+		return fmt.Errorf("%w: %s (%s.%s)", ErrNonIdempotentResume, key, inv.Service, inv.Operation)
+	}
+	start := Record{
+		Kind: recStart, Key: key,
+		Service: inv.Service, Op: inv.Operation, Idempotent: inv.Idempotent,
+		Comps: inv.resolveCompensation(key, st.Vars),
+	}
+	if err := jr.append(start); err != nil {
+		return err
+	}
+	overlay := newOverlay(st.Vars)
+	if err := plainExec(ctx, inv, st.withVars(overlay)); err != nil {
+		// A clean call failure resolves the start: the side effect did not
+		// happen, so journal that fact (best-effort — if the journal is
+		// down the start simply stays in flight, which is safe) and let
+		// the fault propagate.
+		if !isJournalErr(err) && ctx.Err() == nil {
+			if aerr := jr.append(Record{Kind: recStepFault, Key: key, Err: err.Error()}); aerr != nil {
+				return err
+			}
+		}
+		return err
+	}
+	done := Record{Kind: recDone, Key: key, Service: inv.Service, Op: inv.Operation, Effects: overlay.effects()}
+	if err := jr.append(done); err != nil {
+		return err
+	}
+	overlay.flush()
+	return nil
+}
+
+// execPick journals the branch decision: the winning branch (or
+// expiry) and its payload are acked before the continuation runs, so
+// replay re-runs the same continuation without re-racing the events.
+func (jr *journalRun) execPick(ctx context.Context, p *Pick, st *State) error {
+	key := jr.nextKey(st.path, p.Label)
+	cst := st.scoped(key)
+	if rec, ok := jr.prior.picks[key]; ok {
+		return jr.runPickBranch(ctx, p, cst, rec)
+	}
+	idx, payload, expired, err := jr.selectPick(ctx, p)
+	if err != nil {
+		return err
+	}
+	rec := Record{Kind: recPick, Key: key, Branch: idx, Expired: expired, Payload: payload}
+	if err := jr.append(rec); err != nil {
+		return err
+	}
+	return jr.runPickBranch(ctx, p, cst, rec)
+}
+
+func (jr *journalRun) runPickBranch(ctx context.Context, p *Pick, st *State, rec Record) error {
+	if rec.Expired {
+		if p.OnExpire != nil {
+			return exec(ctx, p.OnExpire, st)
+		}
+		return fmt.Errorf("pick %q timed out after %v", p.Label, p.Timeout)
+	}
+	if rec.Branch < 0 || rec.Branch >= len(p.Events) {
+		return fmt.Errorf("pick %q: journaled branch %d out of range (definition drift?)", p.Label, rec.Branch)
+	}
+	br := p.Events[rec.Branch]
+	if br.Var != "" {
+		st.Vars.Set(br.Var, rec.Payload)
+	}
+	return exec(ctx, br.Then, st)
+}
+
+// selectPick resolves which branch wins. Deterministic mode polls each
+// branch's event channel once, in definition order, and treats an
+// unarmed pick as expired immediately — virtual-time-safe and a pure
+// function of the event sources. Concurrent mode races the events
+// exactly like the plain interpreter.
+func (jr *journalRun) selectPick(ctx context.Context, p *Pick) (idx int, payload any, expired bool, err error) {
+	if jr.seq {
+		for i, e := range p.Events {
+			select {
+			case v, ok := <-e.Wait(ctx):
+				if ok {
+					return i, v, false, nil
+				}
+			default:
+			}
+		}
+		return 0, nil, true, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type fired struct {
+		idx     int
+		payload any
+	}
+	ch := make(chan fired, len(p.Events))
+	for i, e := range p.Events {
+		go func(i int, e PickBranch) {
+			select {
+			case v, ok := <-e.Wait(ctx):
+				if ok {
+					ch <- fired{i, v}
+				}
+			case <-ctx.Done():
+			}
+		}(i, e)
+	}
+	var timeout <-chan time.Time
+	if p.Timeout > 0 {
+		timer := time.NewTimer(p.Timeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case f := <-ch:
+		return f.idx, f.payload, false, nil
+	case <-timeout:
+		return 0, nil, true, nil
+	case <-ctx.Done():
+		return 0, nil, false, ctx.Err()
+	}
+}
+
+// isJournalErr distinguishes infrastructure failures (journal down,
+// cancellation) from clean activity faults.
+func isJournalErr(err error) bool {
+	return errors.Is(err, ErrJournal) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// applyEffects writes a done record's journaled effects into the scope.
+// Values went through a JSON round trip on recovery (ints come back as
+// float64); GetInt and friends normalize on read.
+func applyEffects(vars *Vars, effects map[string]any) {
+	keys := make([]string, 0, len(effects))
+	for k := range effects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vars.Set(k, effects[k])
+	}
+}
+
+// newOverlay returns a buffered view of parent: reads fall through,
+// writes stay local until flush. The local writes are the step's
+// journaled effects.
+func newOverlay(parent *Vars) *Vars {
+	return &Vars{m: map[string]any{}, parent: parent}
+}
+
+// effects returns the overlay's JSON-serializable writes. Values that
+// cannot be marshaled (closure lists from RegisterCompensation, live
+// channels) are skipped: they are incarnation-local by nature and are
+// documented not to survive failover.
+func (v *Vars) effects() map[string]any {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]any, len(v.m))
+	for k, val := range v.m {
+		if _, err := json.Marshal(val); err != nil {
+			continue
+		}
+		out[k] = val
+	}
+	return out
+}
+
+// flush applies the overlay's writes to its parent scope — called only
+// after the journal acked the step's done record.
+func (v *Vars) flush() {
+	// Snapshot before writing through: the parent is a distinct Vars,
+	// but taking its lock while holding the overlay's would order the
+	// two instances — release first, then apply.
+	v.mu.RLock()
+	snap := make(map[string]any, len(v.m))
+	for k, val := range v.m {
+		snap[k] = val
+	}
+	v.mu.RUnlock()
+	for k, val := range snap {
+		v.parent.Set(k, val)
+	}
+}
+
+// compCollector gathers durable compensations registered by leaf code
+// during its execution; they ride on the step's done record.
+type compCollector struct {
+	mu    sync.Mutex
+	key   string
+	comps []Compensation
+}
+
+type compCollectorKey struct{}
+
+func withCompCollector(ctx context.Context, cc *compCollector) context.Context {
+	return context.WithValue(ctx, compCollectorKey{}, cc)
+}
+
+// Compensate registers a durable named compensation from inside a Task:
+// the name must be bound to a Compensator on every incarnation, args
+// must be JSON-serializable, and the registration becomes durable with
+// the enclosing step's done record. Outside a journaled run it reports
+// an error so misuse is loud.
+func Compensate(ctx context.Context, name string, args map[string]any) error {
+	cc, ok := ctx.Value(compCollectorKey{}).(*compCollector)
+	if !ok {
+		return fmt.Errorf("workflow: Compensate called outside a journaled run")
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	id := fmt.Sprintf("%s|%s#%d", cc.key, name, len(cc.comps))
+	cc.comps = append(cc.comps, Compensation{ID: id, Name: name, Args: args})
+	return nil
+}

@@ -57,7 +57,9 @@ func (f *ForEach) Execute(ctx context.Context, st *State) error {
 			if f.IndexVar != "" {
 				st.Vars.Set(f.IndexVar, int64(i))
 			}
-			if err := exec(ctx, f.Body, st); err != nil {
+			// Per-iteration key namespace: replay aligns by index, so a
+			// resumed loop skips exactly the iterations that journaled.
+			if err := exec(ctx, f.Body, st.branchScope("i", i)); err != nil {
 				return err
 			}
 		}
@@ -68,7 +70,6 @@ func (f *ForEach) Execute(ctx context.Context, st *State) error {
 	defer cancel()
 	snapshot := st.Vars.Snapshot()
 	childVars := make([]*Vars, len(items))
-	errs := make(chan error, len(items))
 	for i, item := range items {
 		vars := NewVars(snapshot)
 		vars.Set(f.ItemVar, item)
@@ -76,19 +77,32 @@ func (f *ForEach) Execute(ctx context.Context, st *State) error {
 			vars.Set(f.IndexVar, int64(i))
 		}
 		childVars[i] = vars
-		go func(vars *Vars) {
-			errs <- exec(ctx, f.Body, &State{Vars: vars, trace: st.trace})
-		}(vars)
 	}
-	var first error
-	for range items {
-		if err := <-errs; err != nil && first == nil {
-			first = err
-			cancel()
+	// Deterministic journaled mode keeps the isolated child scopes but
+	// runs iterations in index order; a crash still lands mid-ForEach.
+	if st.sequential() {
+		for i := range items {
+			if err := exec(ctx, f.Body, st.child("i", i, childVars[i])); err != nil {
+				return err
+			}
 		}
-	}
-	if first != nil {
-		return first
+	} else {
+		errs := make(chan error, len(items))
+		for i := range items {
+			go func(i int) {
+				errs <- exec(ctx, f.Body, st.child("i", i, childVars[i]))
+			}(i)
+		}
+		var first error
+		for range items {
+			if err := <-errs; err != nil && first == nil {
+				first = err
+				cancel()
+			}
+		}
+		if first != nil {
+			return first
+		}
 	}
 	if f.CollectVar != "" {
 		results := make([]any, len(items))

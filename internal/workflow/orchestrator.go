@@ -1,0 +1,529 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"soc/internal/wal"
+)
+
+// Mutation hooks prove the journal-audit invariant can fail: each one
+// deliberately breaks a durability or exactly-once rule so the checker
+// built on InstanceAudit must trip. They mirror the analyzer
+// mutation-testing discipline: a checker that cannot fail checks
+// nothing. Never set outside tests.
+const (
+	// MutationDropAppend acknowledges one done append without writing
+	// it: the acked ⇒ durable lie, exposed after the next crash.
+	MutationDropAppend = "drop-append"
+	// MutationDoubleCompensate runs and journals every compensation
+	// twice, breaking compensated-exactly-once.
+	MutationDoubleCompensate = "double-comp"
+	// MutationResumeNonIdempotent re-issues in-flight non-idempotent
+	// invokes on resume instead of faulting, breaking at-most-once
+	// side effects.
+	MutationResumeNonIdempotent = "resume-nonidem"
+)
+
+// Options configures an Orchestrator.
+type Options struct {
+	// WAL configures the underlying log (segment size etc).
+	WAL wal.Options
+	// SnapshotEvery folds the journal into a snapshot after this many
+	// appends (default 64; <0 disables).
+	SnapshotEvery int
+	// Deterministic runs Parallel branches and parallel ForEach
+	// iterations sequentially in definition order and polls Pick
+	// branches instead of racing goroutines, so the journal append
+	// order — and therefore the simulation hash — is a pure function
+	// of the schedule. Resume semantics are identical; only scheduling
+	// changes.
+	Deterministic bool
+	// Mutation enables one of the Mutation* fault hooks (tests only).
+	Mutation string
+}
+
+// Compensator is a durable undo action. It is registered by name as
+// code on every incarnation and receives the fully-resolved arguments
+// captured in the journal when the forward step ran. It must be
+// idempotent: a crash between executing the undo and journaling its
+// comp-done record re-runs it on the next incarnation.
+type Compensator func(ctx context.Context, args map[string]any) error
+
+// Result is the outcome of driving an instance as far as it would go.
+type Result struct {
+	ID     string
+	Status string
+	// Err is the committed fault for compensated instances, or the
+	// transient error that left the instance pending.
+	Err string
+	// Vars is the final variable scope — only populated by the
+	// incarnation that actually completed the instance (it is not
+	// journaled; replay reconstructs it from effects).
+	Vars map[string]any
+}
+
+// Instance is one workflow instance's in-memory state: exactly the
+// acked journal records plus derived status. All durable truth lives in
+// the records; everything else is a cache.
+type Instance struct {
+	mu      sync.Mutex
+	id      string
+	def     string
+	status  string
+	err     string
+	resumes int
+	running bool
+	init    map[string]any
+	recs    []Record
+	final   map[string]any
+}
+
+func (in *Instance) addRecord(r Record) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.applyLocked(r)
+}
+
+func (in *Instance) applyLocked(r Record) {
+	in.recs = append(in.recs, r)
+	switch r.Kind {
+	case recBegin:
+		in.def = r.Def
+		in.init = r.Init
+	case recResume:
+		in.resumes++
+	case recFault:
+		if in.err == "" {
+			in.err = r.Err
+		}
+	case recEnd:
+		in.status = r.Status
+		if r.Err != "" {
+			in.err = r.Err
+		}
+	}
+}
+
+func (in *Instance) snapshotRecords() []Record {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Record(nil), in.recs...)
+}
+
+func (in *Instance) audit() InstanceAudit {
+	return AuditRecords(in.id, in.snapshotRecords())
+}
+
+func (in *Instance) currentStatus() (status, errStr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.status, in.err
+}
+
+func (in *Instance) faultCommitted() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.recs {
+		if r.Kind == recFault {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Instance) terminal() bool {
+	s, _ := in.currentStatus()
+	return s == StatusCompleted || s == StatusCompensated
+}
+
+// Orchestrator runs many workflow instances over one journaled WAL and
+// resumes every pending instance at its exact step after a crash.
+// Definitions and compensators are code, re-registered on every
+// incarnation; everything else is reconstructed from the journal.
+type Orchestrator struct {
+	opts    Options
+	journal *journal
+
+	mu    sync.Mutex
+	defs  map[string]*Workflow
+	comps map[string]Compensator
+	insts map[string]*Instance
+	order []string
+
+	recovery wal.RecoveryInfo
+}
+
+// snapshotState is the WAL snapshot payload. A wal snapshot covers
+// every record up to its index, so the full record history of every
+// instance — pending and terminal alike — must ride in the payload or
+// compaction would amputate journals mid-instance.
+type snapshotState struct {
+	Instances []snapshotInstance `json:"instances"`
+}
+
+type snapshotInstance struct {
+	ID      string   `json:"id"`
+	Records []Record `json:"records"`
+}
+
+// OpenOrchestrator opens (or creates) an orchestrator over fs,
+// recovering every instance's journal: terminal instances keep their
+// audit, pending instances await Resume. Definitions and compensators
+// must be re-registered before resuming.
+func OpenOrchestrator(fs wal.FS, opts Options) (*Orchestrator, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = 64
+	}
+	log, rec, err := wal.Open(fs, opts.WAL)
+	if err != nil {
+		return nil, fmt.Errorf("workflow: opening journal: %w", err)
+	}
+	o := &Orchestrator{
+		opts:    opts,
+		journal: &journal{log: log},
+		defs:    map[string]*Workflow{},
+		comps:   map[string]Compensator{},
+		insts:   map[string]*Instance{},
+	}
+	if opts.Mutation == MutationDropAppend {
+		// Drop the second done append of this incarnation: late enough
+		// that real work is in flight, early enough that every
+		// non-trivial run exercises it.
+		o.journal.dropDone = 2
+	}
+	if len(rec.Snapshot) > 0 {
+		var snap snapshotState
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("workflow: decoding journal snapshot: %w", err)
+		}
+		for _, si := range snap.Instances {
+			inst := o.instanceFor(si.ID)
+			for _, r := range si.Records {
+				inst.applyLocked(r)
+			}
+		}
+	}
+	for _, wr := range rec.Records {
+		var r Record
+		if err := json.Unmarshal(wr.Data, &r); err != nil {
+			// A corrupt frame the WAL's checksum let through cannot
+			// happen; a schema drift should not kill recovery of the
+			// other instances. Count it as best we can and move on.
+			continue
+		}
+		o.instanceFor(r.Inst).addRecord(r)
+	}
+	o.recovery = rec.Info
+	return o, nil
+}
+
+// instanceFor finds or creates the in-memory instance (creation without
+// a begin record is only reachable through corruption or mutation hooks
+// and is exactly what the audit's Begins rule exists to flag).
+func (o *Orchestrator) instanceFor(id string) *Instance {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if in, ok := o.insts[id]; ok {
+		return in
+	}
+	in := &Instance{id: id, status: StatusPending}
+	o.insts[id] = in
+	o.order = append(o.order, id)
+	return in
+}
+
+// Define registers (or replaces) a workflow definition.
+func (o *Orchestrator) Define(wf *Workflow) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.defs[wf.Name] = wf
+}
+
+// DefineCompensator registers a named undo action.
+func (o *Orchestrator) DefineCompensator(name string, fn Compensator) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.comps[name] = fn
+}
+
+func (o *Orchestrator) definition(name string) *Workflow {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.defs[name]
+}
+
+func (o *Orchestrator) compensator(name string) Compensator {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.comps[name]
+}
+
+// Recovery reports what journal recovery found at open.
+func (o *Orchestrator) Recovery() wal.RecoveryInfo { return o.recovery }
+
+// Close closes the journal. Running instances' next append fails and
+// leaves them pending, the same contract as a crash.
+func (o *Orchestrator) Close() error { return o.journal.close() }
+
+// ArmCrash schedules a simulated power cut after n more journal
+// appends; fn runs once when it fires (the harness crashes the MemFS
+// there). The append that pulls the trigger fails and nothing later
+// reaches the disk.
+func (o *Orchestrator) ArmCrash(n int64, fn func()) { o.journal.armCrash(n, fn) }
+
+// Instances returns all known instance IDs in start order.
+func (o *Orchestrator) Instances() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.order...)
+}
+
+// Pending returns the IDs of non-terminal instances, sorted.
+func (o *Orchestrator) Pending() []string {
+	o.mu.Lock()
+	ids := append([]string(nil), o.order...)
+	o.mu.Unlock()
+	var out []string
+	for _, id := range ids {
+		if in := o.lookup(id); in != nil && !in.terminal() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (o *Orchestrator) lookup(id string) *Instance {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.insts[id]
+}
+
+// Audit returns the journal audit of one instance.
+func (o *Orchestrator) Audit(id string) (InstanceAudit, bool) {
+	in := o.lookup(id)
+	if in == nil {
+		return InstanceAudit{}, false
+	}
+	return in.audit(), true
+}
+
+// Audits returns every instance's audit keyed by ID.
+func (o *Orchestrator) Audits() map[string]InstanceAudit {
+	out := map[string]InstanceAudit{}
+	for _, id := range o.Instances() {
+		if in := o.lookup(id); in != nil {
+			out[id] = in.audit()
+		}
+	}
+	return out
+}
+
+// Start begins a new instance: the begin record is journaled first
+// (acked ⇒ durable), then the instance runs as far as it can. A journal
+// failure mid-run leaves it pending for a later Resume.
+func (o *Orchestrator) Start(ctx context.Context, id, def string, init map[string]any) (Result, error) {
+	if id == "" {
+		return Result{}, fmt.Errorf("workflow: empty instance id")
+	}
+	wf := o.definition(def)
+	if wf == nil {
+		return Result{}, fmt.Errorf("workflow: unknown definition %q", def)
+	}
+	o.mu.Lock()
+	if _, exists := o.insts[id]; exists {
+		o.mu.Unlock()
+		return Result{}, fmt.Errorf("workflow: instance %q already exists", id)
+	}
+	o.mu.Unlock()
+	begin := Record{Inst: id, Kind: recBegin, Def: def, Init: init}
+	if err := o.journal.append(begin); err != nil {
+		return Result{ID: id, Status: StatusPending, Err: err.Error()}, err
+	}
+	inst := o.instanceFor(id)
+	inst.addRecord(begin)
+	return o.drive(ctx, inst, wf)
+}
+
+// Resume drives a pending instance on this incarnation: replaying its
+// journal skips completed steps, re-issues only idempotent in-flight
+// invokes, and picks compensation back up exactly where it stopped.
+// Resuming a terminal instance is a no-op returning its result.
+func (o *Orchestrator) Resume(ctx context.Context, id string) (Result, error) {
+	inst := o.lookup(id)
+	if inst == nil {
+		return Result{}, fmt.Errorf("workflow: unknown instance %q", id)
+	}
+	if inst.terminal() {
+		st, errStr := inst.currentStatus()
+		return Result{ID: id, Status: st, Err: errStr}, nil
+	}
+	inst.mu.Lock()
+	def, resumes := inst.def, inst.resumes
+	inst.mu.Unlock()
+	wf := o.definition(def)
+	if wf == nil {
+		return Result{ID: id, Status: StatusPending},
+			fmt.Errorf("workflow: instance %q needs unregistered definition %q", id, def)
+	}
+	rec := Record{Inst: id, Kind: recResume, Incarnation: resumes + 1}
+	if err := o.append(inst, rec); err != nil {
+		return Result{ID: id, Status: StatusPending, Err: err.Error()}, err
+	}
+	return o.drive(ctx, inst, wf)
+}
+
+// ResumeAll resumes every pending instance in sorted order and returns
+// their results. Errors are carried in the results; the loop never
+// stops early (one stuck instance must not strand the rest).
+func (o *Orchestrator) ResumeAll(ctx context.Context) []Result {
+	var out []Result
+	for _, id := range o.Pending() {
+		res, err := o.Resume(ctx, id)
+		if err != nil && res.Err == "" {
+			res.Err = err.Error()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// append journals a record and, only on ack, applies it to the
+// instance: the in-memory state is exactly the acked journal.
+func (o *Orchestrator) append(inst *Instance, r Record) error {
+	if err := o.journal.append(r); err != nil {
+		return err
+	}
+	inst.addRecord(r)
+	return nil
+}
+
+// drive runs one instance as far as it can go on this incarnation:
+// forward execution (with replay) unless a fault is already committed,
+// then compensation, then the terminal record.
+func (o *Orchestrator) drive(ctx context.Context, inst *Instance, wf *Workflow) (Result, error) {
+	inst.mu.Lock()
+	if inst.running {
+		inst.mu.Unlock()
+		return Result{ID: inst.id, Status: StatusPending}, fmt.Errorf("workflow: instance %q is already running", inst.id)
+	}
+	inst.running = true
+	inst.mu.Unlock()
+	defer func() {
+		inst.mu.Lock()
+		inst.running = false
+		inst.mu.Unlock()
+	}()
+
+	jr := newJournalRun(o, inst)
+	if !inst.faultCommitted() {
+		inst.mu.Lock()
+		init := inst.init
+		inst.mu.Unlock()
+		st := &State{Vars: NewVars(init), trace: &Trace{}, jr: jr}
+		err := exec(ctx, wf.Root, st)
+		switch {
+		case err == nil:
+			if aerr := o.append(inst, Record{Inst: inst.id, Kind: recEnd, Status: StatusCompleted}); aerr != nil {
+				return o.pendingResult(inst, aerr), aerr
+			}
+			inst.mu.Lock()
+			inst.final = st.Vars.Snapshot()
+			inst.mu.Unlock()
+			o.maybeSnapshot()
+			return Result{ID: inst.id, Status: StatusCompleted, Vars: st.Vars.Snapshot()}, nil
+		case errors.Is(err, ErrJournal), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Nothing was committed past the last ack: stay pending.
+			return o.pendingResult(inst, err), err
+		default:
+			// Activity fault: commit the instance to compensation. Once
+			// this record is acked, no incarnation runs forward again.
+			fault := Record{Inst: inst.id, Kind: recFault, Err: err.Error()}
+			if aerr := o.append(inst, fault); aerr != nil {
+				return o.pendingResult(inst, aerr), aerr
+			}
+		}
+	}
+	if err := o.compensate(ctx, inst); err != nil {
+		return o.pendingResult(inst, err), err
+	}
+	_, faultErr := inst.currentStatus()
+	end := Record{Inst: inst.id, Kind: recEnd, Status: StatusCompensated, Err: faultErr}
+	if aerr := o.append(inst, end); aerr != nil {
+		return o.pendingResult(inst, aerr), aerr
+	}
+	o.maybeSnapshot()
+	return Result{ID: inst.id, Status: StatusCompensated, Err: faultErr}, nil
+}
+
+func (o *Orchestrator) pendingResult(inst *Instance, err error) Result {
+	return Result{ID: inst.id, Status: StatusPending, Err: err.Error()}
+}
+
+// compensate runs the instance's registered compensations in LIFO
+// order, skipping those already journaled as done by any incarnation.
+// Each undo executes, then its comp-done record is appended: at-least-
+// once execution, exactly-once journal — which is why compensators must
+// be idempotent.
+func (o *Orchestrator) compensate(ctx context.Context, inst *Instance) error {
+	audit := inst.audit()
+	// Compensation must be able to finish after the forward path was
+	// canceled, so it runs detached from cancellation (request-scoped
+	// values, including the virtual clock, continue to flow).
+	cctx := context.WithoutCancel(ctx)
+	applications := 1
+	if o.opts.Mutation == MutationDoubleCompensate {
+		applications = 2
+	}
+	for i := len(audit.Comps) - 1; i >= 0; i-- {
+		c := audit.Comps[i]
+		if audit.CompDones[c.ID] > 0 {
+			continue
+		}
+		fn := o.compensator(c.Name)
+		if fn == nil {
+			return fmt.Errorf("workflow: instance %s: no compensator %q registered", inst.id, c.Name)
+		}
+		for n := 0; n < applications; n++ {
+			if err := fn(cctx, c.Args); err != nil {
+				return fmt.Errorf("workflow: instance %s: compensation %s: %w", inst.id, c.ID, err)
+			}
+			rec := Record{Inst: inst.id, Kind: recCompDone, Comp: c.ID}
+			if err := o.append(inst, rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// maybeSnapshot folds the journal into a snapshot when enough appends
+// accumulated. Best-effort: a failed snapshot (injected disk fault)
+// just means compaction waits for the next opportunity.
+func (o *Orchestrator) maybeSnapshot() {
+	if o.opts.SnapshotEvery <= 0 {
+		return
+	}
+	if o.journal.appendsSinceSnapshot() < o.opts.SnapshotEvery {
+		return
+	}
+	snap := snapshotState{}
+	for _, id := range o.Instances() {
+		in := o.lookup(id)
+		if in == nil {
+			continue
+		}
+		snap.Instances = append(snap.Instances, snapshotInstance{ID: id, Records: in.snapshotRecords()})
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	//soclint:ignore errdiscard snapshotting is opportunistic compaction; a faulted disk write leaves the journal authoritative and the next ack retries
+	_ = o.journal.snapshot(data)
+}

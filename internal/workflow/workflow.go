@@ -24,9 +24,15 @@ var ErrFaulted = errors.New("workflow: faulted")
 
 // Vars is the shared variable scope of a workflow instance. Access is
 // synchronized so parallel branches may read and write concurrently.
+//
+// A Vars may be an overlay (parent non-nil): reads fall through to the
+// parent on a local miss, writes stay local. The journaled executor
+// runs each leaf step against an overlay so its effects can be
+// journaled before they land in the instance scope.
 type Vars struct {
-	mu sync.RWMutex
-	m  map[string]any
+	mu     sync.RWMutex
+	m      map[string]any
+	parent *Vars
 }
 
 // NewVars returns a scope seeded with init (may be nil).
@@ -41,8 +47,12 @@ func NewVars(init map[string]any) *Vars {
 // Get reads a variable.
 func (v *Vars) Get(key string) (any, bool) {
 	v.mu.RLock()
-	defer v.mu.RUnlock()
 	val, ok := v.m[key]
+	parent := v.parent
+	v.mu.RUnlock()
+	if !ok && parent != nil {
+		return parent.Get(key)
+	}
 	return val, ok
 }
 
@@ -81,12 +91,21 @@ func (v *Vars) Set(key string, val any) {
 	v.m[key] = val
 }
 
-// Snapshot copies the scope.
+// Snapshot copies the scope (parent layers included for overlays, with
+// local writes winning).
 func (v *Vars) Snapshot() map[string]any {
 	v.mu.RLock()
-	defer v.mu.RUnlock()
-	out := make(map[string]any, len(v.m))
+	parent := v.parent
+	local := make(map[string]any, len(v.m))
 	for k, val := range v.m {
+		local[k] = val
+	}
+	v.mu.RUnlock()
+	if parent == nil {
+		return local
+	}
+	out := parent.Snapshot()
+	for k, val := range local {
 		out[k] = val
 	}
 	return out
@@ -100,11 +119,48 @@ type Activity interface {
 	Execute(ctx context.Context, st *State) error
 }
 
-// State is the execution state of one workflow instance.
+// State is the execution state of one workflow instance. In a
+// journaled run it additionally carries the journal context and the
+// activity path that step keys are derived from.
 type State struct {
 	Vars  *Vars
 	trace *Trace
+	jr    *journalRun
+	path  string
 }
+
+// scoped returns a copy of the state with the given activity path —
+// how composites give branches and iterations distinct key namespaces.
+func (st *State) scoped(path string) *State {
+	return &State{Vars: st.Vars, trace: st.trace, jr: st.jr, path: path}
+}
+
+// withVars returns a copy of the state bound to a different scope
+// (the journaled executor's effect overlay).
+func (st *State) withVars(v *Vars) *State {
+	return &State{Vars: v, trace: st.trace, jr: st.jr, path: st.path}
+}
+
+// branchScope extends the path for branch/iteration i of a fan-out
+// composite. Outside a journaled run paths are irrelevant and the
+// state is returned unchanged.
+func (st *State) branchScope(prefix string, i int) *State {
+	if st.jr == nil {
+		return st
+	}
+	return st.scoped(fmt.Sprintf("%s/%s%d", st.path, prefix, i))
+}
+
+// child builds the state for an isolated-scope child (parallel ForEach
+// iterations), preserving the journal context and extending the path.
+func (st *State) child(prefix string, i int, vars *Vars) *State {
+	c := st.branchScope(prefix, i)
+	return &State{Vars: vars, trace: c.trace, jr: c.jr, path: c.path}
+}
+
+// sequential reports whether fan-out composites must run their
+// branches in definition order (deterministic journaled mode).
+func (st *State) sequential() bool { return st.jr != nil && st.jr.seq }
 
 // Trace records executed activities in order.
 type Trace struct {
@@ -118,6 +174,9 @@ type TraceEntry struct {
 	Start    time.Time
 	Elapsed  time.Duration
 	Err      string
+	// Replayed marks a step skipped by journal replay: its effects were
+	// applied from the done record, the activity did not run again.
+	Replayed bool
 }
 
 func (t *Trace) add(e TraceEntry) {
@@ -194,10 +253,19 @@ func (w *Workflow) Run(ctx context.Context, init map[string]any) (map[string]any
 	return st.Vars.Snapshot(), st.trace, nil
 }
 
-// exec runs one activity with tracing: the workflow's own TraceEntry log,
-// plus — when a tracer rides the context — a child span per activity, so
-// composed sub-invocations nest under their activity in the trace tree.
+// exec runs one activity: through the journal in an orchestrated run,
+// directly otherwise.
 func exec(ctx context.Context, a Activity, st *State) error {
+	if st.jr != nil {
+		return st.jr.exec(ctx, a, st)
+	}
+	return plainExec(ctx, a, st)
+}
+
+// plainExec runs one activity with tracing: the workflow's own TraceEntry
+// log, plus — when a tracer rides the context — a child span per activity,
+// so composed sub-invocations nest under their activity in the trace tree.
+func plainExec(ctx context.Context, a Activity, st *State) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
